@@ -1,0 +1,57 @@
+// Ablation: MLM pretraining (the DeepSCC transfer stand-in, DESIGN.md §1)
+// vs training PragFormer from scratch on the directive task.
+//
+// The paper fine-tunes from DeepSCC and frames it as transfer learning into
+// a low-resource setting (§4.1); this bench quantifies what the pretrained
+// initialization buys at our scale, reporting curves for both arms.
+#include "bench/common.h"
+#include "support/csv.h"
+#include "support/plot.h"
+
+using namespace clpp;
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_ablation_pretrain", "ablation: MLM pretraining");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const bench::BenchOptions options = bench::read_common_options(parser);
+  bench::print_banner("Ablation: MLM-pretrained encoder vs from-scratch", options);
+
+  CsvWriter csv({"arm", "epoch", "val_accuracy", "val_loss"});
+  std::vector<PlotSeries> series;
+  std::map<std::string, core::BinaryMetrics> results;
+
+  for (const bool pretrain : {true, false}) {
+    const std::string arm = pretrain ? "mlm-pretrained" : "from-scratch";
+    core::PipelineConfig config = bench::pipeline_config(options);
+    config.mlm_pretrain = pretrain;
+    std::printf("training arm: %s\n", arm.c_str());
+    Stopwatch timer;
+    core::Pipeline pipeline(config);
+    core::TaskRun run = pipeline.train_task(corpus::Task::kDirective);
+    std::printf("  %.1fs; %s\n", timer.seconds(), run.test_metrics().summary().c_str());
+
+    std::vector<double> acc;
+    for (const core::EpochCurve& curve : run.curves) {
+      acc.push_back(curve.val_accuracy);
+      csv.add_row({arm, std::to_string(curve.epoch + 1), fixed(curve.val_accuracy, 4),
+                   fixed(curve.val_loss, 4)});
+    }
+    series.push_back({arm, std::move(acc)});
+    results.emplace(arm, run.test_metrics());
+  }
+
+  AsciiPlot plot("Validation accuracy: MLM-pretrained vs from-scratch", "epoch",
+                 "val accuracy");
+  for (const PlotSeries& s : series) plot.add_series(s.name, s.ys);
+  std::printf("\n%s\n", plot.str().c_str());
+
+  TextTable table({"", "Precision", "Recall", "F1"});
+  for (const auto& [arm, metrics] : results) bench::add_metric_row(table, arm, metrics);
+  std::printf("%s\n", table.str().c_str());
+
+  const std::string csv_path = options.out_dir + "/ablation_pretrain.csv";
+  csv.write_file(csv_path);
+  std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate kernels
+// that dominate experiment wall-clock — GEMM, attention, the C frontend,
+// tokenization, and the dependence analyzer.
+#include <benchmark/benchmark.h>
+
+#include "analysis/depend.h"
+#include "frontend/parser.h"
+#include "nn/attention.h"
+#include "s2s/compar.h"
+#include "tensor/ops.h"
+#include "tokenize/representation.h"
+
+namespace {
+
+using namespace clpp;
+
+void BM_GemmNN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a, b, c, false, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransB)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const std::size_t seq = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 64;
+  Rng rng(3);
+  nn::MultiHeadSelfAttention attn("bench", dim, 4, rng);
+  const Tensor x = Tensor::randn({8 * seq, dim}, rng);
+  const std::vector<int> lengths(8, static_cast<int>(seq));
+  for (auto _ : state) {
+    Tensor y = attn.forward(x, 8, seq, lengths, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * seq);
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(110);
+
+const char* kParseSnippet =
+    "double norm(double *v, int n) { double s = 0; for (int i = 0; i < n; i++) "
+    "s += v[i] * v[i]; return s; }\n"
+    "for (i = 1; i < rows - 1; i++)\n"
+    "    for (j = 1; j < cols - 1; j++)\n"
+    "        b[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]);\n";
+
+void BM_ParseSnippet(benchmark::State& state) {
+  for (auto _ : state) {
+    auto unit = frontend::parse_snippet(kParseSnippet);
+    benchmark::DoNotOptimize(unit.get());
+  }
+}
+BENCHMARK(BM_ParseSnippet);
+
+void BM_TokenizeText(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = tokenize::tokenize(kParseSnippet, tokenize::Representation::kText);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+}
+BENCHMARK(BM_TokenizeText);
+
+void BM_TokenizeAst(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = tokenize::tokenize(kParseSnippet, tokenize::Representation::kRAst);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+}
+BENCHMARK(BM_TokenizeAst);
+
+void BM_DependenceAnalysis(benchmark::State& state) {
+  const auto unit = frontend::parse_snippet(kParseSnippet);
+  const frontend::Node* loop = s2s::find_target_loop(*unit);
+  const analysis::SideEffectOracle oracle(*unit);
+  const analysis::DependenceAnalyzer analyzer(oracle, {});
+  for (auto _ : state) {
+    auto verdict = analyzer.analyze(*loop);
+    benchmark::DoNotOptimize(&verdict);
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_ComParEndToEnd(benchmark::State& state) {
+  const s2s::ComPar compar;
+  for (auto _ : state) {
+    auto result = compar.process_source(kParseSnippet);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_ComParEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

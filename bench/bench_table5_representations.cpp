@@ -1,0 +1,35 @@
+// Reproduces Table 5 of the paper: the four code representations of the
+// canonical example loop.
+#include "bench/common.h"
+#include "frontend/dfs.h"
+#include "frontend/parser.h"
+#include "tokenize/representation.h"
+
+using namespace clpp;
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_table5_representations", "Table 5: code representations");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const bench::BenchOptions options = bench::read_common_options(parser);
+  bench::print_banner("Table 5: the four code representations", options);
+
+  const std::string code = "for (i = 0; i < len; i++) a[i] = i;";
+  std::printf("source: %s\n\n", code.c_str());
+
+  for (tokenize::Representation rep : tokenize::all_representations()) {
+    const auto tokens = tokenize::tokenize(code, rep);
+    std::printf("%-7s (%zu tokens): %s\n",
+                tokenize::representation_name(rep).c_str(), tokens.size(),
+                join(tokens, " ").c_str());
+  }
+
+  // The indented AST rendering the paper prints in the table body.
+  std::printf("\nAST (indented form):\n%s\n",
+              frontend::dfs_lines(*frontend::parse_snippet(code)).c_str());
+  std::printf("identifier replacement map: ");
+  for (const auto& [from, to] : tokenize::replacement_map(code))
+    std::printf("%s->%s ", from.c_str(), to.c_str());
+  std::printf("\n");
+  return 0;
+}

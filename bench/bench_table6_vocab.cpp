@@ -1,0 +1,62 @@
+// Reproduces Table 6 of the paper: type-level corpus statistics per code
+// representation — train vocabulary size, OOV types in validation+test,
+// and average token count per snippet.
+#include "bench/common.h"
+#include "core/dataset.h"
+#include "support/csv.h"
+
+using namespace clpp;
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_table6_vocab", "Table 6: type-level corpus statistics");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const bench::BenchOptions options = bench::read_common_options(parser);
+  bench::print_banner("Table 6: type-level corpus statistics", options);
+
+  core::PipelineConfig config = bench::pipeline_config(options);
+  config.generator.size = options.paper_scale() ? 28374 : 6000;
+  const corpus::Corpus corpus = codegen::generate_corpus(config.generator);
+  Rng split_rng(config.split_seed);
+  const corpus::Split split =
+      corpus::make_split(corpus, corpus::Task::kDirective, split_rng);
+
+  TextTable table({"", "Text", "R-Text", "AST", "R-AST"});
+  std::vector<std::string> vocab_row = {"Train vocab size"};
+  std::vector<std::string> oov_row = {"OOV types"};
+  std::vector<std::string> len_row = {"Avg. length"};
+  CsvWriter csv({"representation", "train_vocab", "oov_types", "avg_length"});
+
+  for (tokenize::Representation rep : tokenize::all_representations()) {
+    const auto train_docs = core::tokenize_records(corpus, split.train, rep);
+    auto held_out_docs = core::tokenize_records(corpus, split.validation, rep);
+    for (auto& doc : core::tokenize_records(corpus, split.test, rep))
+      held_out_docs.push_back(std::move(doc));
+
+    const tokenize::Vocabulary vocab = tokenize::Vocabulary::build(train_docs);
+    const std::size_t oov = vocab.count_oov_types(held_out_docs);
+    std::size_t token_total = 0;
+    for (const auto& doc : train_docs) token_total += doc.size();
+    const double avg_len =
+        static_cast<double>(token_total) / static_cast<double>(train_docs.size());
+
+    vocab_row.push_back(with_commas((long long)vocab.size()));
+    oov_row.push_back(with_commas((long long)oov));
+    len_row.push_back(fixed(avg_len, 0));
+    csv.add_row({tokenize::representation_name(rep), std::to_string(vocab.size()),
+                 std::to_string(oov), fixed(avg_len, 2)});
+  }
+  table.add_row(vocab_row);
+  table.add_row(oov_row);
+  table.add_row(len_row);
+  std::printf("%s\n", table.str().c_str());
+  std::printf("paper (28k GitHub corpus): vocab 6,427/2,424/5,261/3,409; "
+              "OOV 398/226/348/309; avg len 33/30/37/35\n");
+  std::printf("expected shape: replacement shrinks the vocabulary; AST "
+              "representations are longer than text.\n");
+
+  const std::string csv_path = options.out_dir + "/table6_vocab.csv";
+  csv.write_file(csv_path);
+  std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}

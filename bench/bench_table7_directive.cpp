@@ -1,0 +1,53 @@
+// Reproduces Table 7 of the paper: PragFormer vs BoW+Logistic vs ComPar on
+// the directive classification task (RQ1), including the §5.2 detail that
+// ComPar fails to compile a noticeable share of the test set (fallback
+// negative).
+#include "bench/common.h"
+#include "support/csv.h"
+
+using namespace clpp;
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_table7_directive", "Table 7: directive classification");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const bench::BenchOptions options = bench::read_common_options(parser);
+  bench::print_banner("Table 7: identifying the need for an OpenMP directive",
+                      options);
+
+  core::Pipeline pipeline(bench::pipeline_config(options));
+
+  std::printf("training PragFormer (with MLM-pretrained encoder)...\n");
+  Stopwatch timer;
+  core::TaskRun run = pipeline.train_task(corpus::Task::kDirective);
+  const core::BinaryMetrics prag = run.test_metrics();
+  std::printf("  done in %.1fs (%s)\n", timer.seconds(), prag.summary().c_str());
+
+  std::printf("training BoW + logistic regression...\n");
+  const core::BinaryMetrics bow = pipeline.bow_metrics(corpus::Task::kDirective);
+
+  std::printf("running the ComPar S2S ensemble on the test set...\n");
+  const core::ComParEval compar = pipeline.compar_metrics(corpus::Task::kDirective);
+
+  TextTable table({"", "Precision", "Recall", "F1"});
+  bench::add_metric_row(table, "PragFormer", prag);
+  bench::add_metric_row(table, "BoW + Logistic", bow);
+  bench::add_metric_row(table, "ComPar", compar.metrics);
+  std::printf("\n%s\n", table.str().c_str());
+  std::printf("paper: PragFormer 0.84/0.85/0.84; BoW 0.78/0.75/0.76; "
+              "ComPar 0.35/0.52/0.43\n");
+  std::printf("ComPar failed to compile %zu of %zu test snippets (%.1f%%); "
+              "paper: 526/3,547 (14.8%%)\n",
+              compar.compile_failures, compar.total,
+              100.0 * compar.compile_failures / compar.total);
+
+  CsvWriter csv({"system", "precision", "recall", "f1"});
+  for (const auto& [name, m] :
+       std::vector<std::pair<std::string, const core::BinaryMetrics&>>{
+           {"PragFormer", prag}, {"BoW", bow}, {"ComPar", compar.metrics}})
+    csv.add_row({name, fixed(m.precision(), 4), fixed(m.recall(), 4), fixed(m.f1(), 4)});
+  const std::string csv_path = options.out_dir + "/table7_directive.csv";
+  csv.write_file(csv_path);
+  std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}

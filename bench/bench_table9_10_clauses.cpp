@@ -1,0 +1,60 @@
+// Reproduces Tables 9 and 10 of the paper: private and reduction clause
+// classification (RQ2), comparing PragFormer, BoW, and ComPar over the
+// clause dataset (records that carry a directive).
+#include "bench/common.h"
+#include "support/csv.h"
+
+using namespace clpp;
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_table9_10_clauses", "Tables 9-10: clause classification");
+  bench::add_common_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const bench::BenchOptions options = bench::read_common_options(parser);
+  bench::print_banner("Tables 9 & 10: private / reduction clause identification",
+                      options);
+
+  core::Pipeline pipeline(bench::pipeline_config(options));
+  CsvWriter csv({"task", "system", "precision", "recall", "f1"});
+
+  struct PaperRow {
+    const char* prag;
+    const char* bow;
+    const char* compar;
+  };
+  const std::map<corpus::Task, PaperRow> paper = {
+      {corpus::Task::kPrivate, {"0.90/0.91/0.90", "0.83/0.79/0.82", "0.50/0.33/0.40"}},
+      {corpus::Task::kReduction, {"0.92/0.96/0.94", "0.84/0.85/0.84", "0.86/0.16/0.27"}},
+  };
+
+  for (corpus::Task task : {corpus::Task::kPrivate, corpus::Task::kReduction}) {
+    const std::string name = corpus::task_name(task);
+    std::printf("--- %s clause (Table %s) ---\n", name.c_str(),
+                task == corpus::Task::kPrivate ? "9" : "10");
+    std::printf("training PragFormer...\n");
+    core::TaskRun run = pipeline.train_task(task);
+    const core::BinaryMetrics prag = run.test_metrics();
+    const core::BinaryMetrics bow = pipeline.bow_metrics(task);
+    const core::ComParEval compar = pipeline.compar_metrics(task);
+
+    TextTable table({"", "Precision", "Recall", "F1"});
+    bench::add_metric_row(table, "PragFormer", prag);
+    bench::add_metric_row(table, "BoW + Logistic", bow);
+    bench::add_metric_row(table, "ComPar", compar.metrics);
+    std::printf("%s", table.str().c_str());
+    const PaperRow& row = paper.at(task);
+    std::printf("paper: PragFormer %s; BoW %s; ComPar %s\n\n", row.prag, row.bow,
+                row.compar);
+
+    for (const auto& [system, m] :
+         std::vector<std::pair<std::string, const core::BinaryMetrics&>>{
+             {"PragFormer", prag}, {"BoW", bow}, {"ComPar", compar.metrics}})
+      csv.add_row({name, system, fixed(m.precision(), 4), fixed(m.recall(), 4),
+                   fixed(m.f1(), 4)});
+  }
+
+  const std::string csv_path = options.out_dir + "/table9_10_clauses.csv";
+  csv.write_file(csv_path);
+  std::printf("csv: %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared scaffolding for the bench harnesses (one binary per paper table
+// or figure — see DESIGN.md §3).
+//
+// Every bench accepts:
+//   --scale quick|paper   experiment size (default quick: single-core
+//                         friendly; paper: full 28,374-snippet corpus and
+//                         the larger model)
+//   --seed N              master seed (default 2023)
+//   --out-dir PATH        where CSV artifacts are written (default ".")
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+#include "support/cli.h"
+#include "support/stopwatch.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace clpp::bench {
+
+/// Parsed common options.
+struct BenchOptions {
+  std::string scale = "quick";
+  std::uint64_t seed = 2023;
+  std::string out_dir = ".";
+
+  bool paper_scale() const { return scale == "paper"; }
+};
+
+/// Declares the shared options on `parser`.
+inline void add_common_options(ArgParser& parser) {
+  parser.add_string("scale", "quick", "experiment scale: quick | paper");
+  parser.add_int("seed", 2023, "master random seed");
+  parser.add_string("out-dir", ".", "directory for CSV artifacts");
+}
+
+/// Reads the shared options back.
+inline BenchOptions read_common_options(const ArgParser& parser) {
+  BenchOptions options;
+  options.scale = parser.get_string("scale");
+  CLPP_CHECK_MSG(options.scale == "quick" || options.scale == "paper",
+                 "--scale must be quick or paper");
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  options.out_dir = parser.get_string("out-dir");
+  return options;
+}
+
+/// The pipeline configuration for a scale. `quick` is sized so each bench
+/// finishes in minutes on one core; `paper` matches the paper's corpus
+/// size and uses the bigger encoder.
+inline core::PipelineConfig pipeline_config(const BenchOptions& options) {
+  core::PipelineConfig config;
+  config.generator.seed = options.seed;
+  config.split_seed = options.seed + 1;
+  config.model_seed = options.seed + 2;
+  if (options.paper_scale()) {
+    config.generator.size = 28374;  // Table 3
+    config.max_len = 110;           // §4.3
+    config.encoder.dim = 64;
+    config.encoder.heads = 4;
+    config.encoder.layers = 2;
+    config.encoder.ffn_dim = 128;
+    config.train.epochs = 10;
+    config.train.batch_size = 32;
+    config.train.lr = 5e-4f;
+    config.mlm.epochs = 2;
+  } else {
+    config.generator.size = 2000;
+    config.max_len = 64;  // tight cap: long (AST) serializations pay for truncation
+    config.encoder.dim = 48;
+    config.encoder.heads = 4;
+    config.encoder.layers = 2;
+    config.encoder.ffn_dim = 96;
+    config.train.epochs = 8;
+    config.train.batch_size = 32;
+    config.train.lr = 7e-4f;
+    config.mlm.epochs = 2;
+  }
+  return config;
+}
+
+/// Banner printed at the top of every bench.
+inline void print_banner(const std::string& what, const BenchOptions& options) {
+  std::printf("== %s ==\n", what.c_str());
+  std::printf("scale=%s seed=%llu\n\n", options.scale.c_str(),
+              static_cast<unsigned long long>(options.seed));
+}
+
+/// Prints a (Precision, Recall, F1) row into a TextTable.
+inline void add_metric_row(TextTable& table, const std::string& name,
+                           const core::BinaryMetrics& metrics) {
+  table.add_row({name, TextTable::num(metrics.precision()),
+                 TextTable::num(metrics.recall()), TextTable::num(metrics.f1())});
+}
+
+}  // namespace clpp::bench

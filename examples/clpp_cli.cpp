@@ -1,0 +1,154 @@
+// clpp_cli: command-line front door to the whole library.
+//
+//   clpp_cli generate --size 2000 --out corpus.jsonl
+//   clpp_cli train    --out advisor.bin [--size N] [--epochs E] [--rep Text]
+//   clpp_cli advise   --model advisor.bin [snippet.c]
+//   clpp_cli annotate --model advisor.bin [snippet.c]
+//   clpp_cli explain  --model advisor.bin [snippet.c]
+//   clpp_cli s2s      [snippet.c]
+//
+// `advise`/`annotate`/`explain` read the snippet from the given file or use
+// a built-in demo. Trained advisors persist across invocations — train
+// once, advise many times.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/advisor.h"
+#include "s2s/compiler.h"
+#include "support/cli.h"
+
+namespace {
+
+using namespace clpp;
+
+constexpr const char* kDemo =
+    "for (i = 0; i < n; i++) {\n"
+    "    t = a[i] * 0.5;\n"
+    "    b[i] = t + a[i];\n"
+    "}\n";
+
+std::string snippet_from(const std::vector<std::string>& positional,
+                         std::size_t index) {
+  if (positional.size() <= index) return kDemo;
+  std::ifstream in(positional[index]);
+  if (!in) throw IoError("cannot open " + positional[index]);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_generate(ArgParser& parser) {
+  codegen::GeneratorConfig config;
+  config.size = static_cast<std::size_t>(parser.get_int("size"));
+  config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+  const std::string out = parser.get_string("out");
+  corpus.save_jsonl(out);
+  const auto stats = corpus.stats();
+  std::printf("wrote %zu records to %s (%zu with directive, %zu private, %zu reduction)\n",
+              corpus.size(), out.c_str(), stats.with_directive, stats.private_clause,
+              stats.reduction);
+  return 0;
+}
+
+int cmd_train(ArgParser& parser) {
+  core::PipelineConfig config;
+  config.generator.size = static_cast<std::size_t>(parser.get_int("size"));
+  config.generator.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  config.representation = tokenize::representation_from(parser.get_string("rep"));
+  config.train.epochs = static_cast<std::size_t>(parser.get_int("epochs"));
+  config.max_len = static_cast<std::size_t>(parser.get_int("max-len"));
+  config.encoder.dim = static_cast<std::size_t>(parser.get_int("dim"));
+  config.encoder.ffn_dim = 2 * config.encoder.dim;
+  config.mlm_pretrain = !parser.get_flag("no-mlm");
+  std::printf("training advisor (corpus %zu, rep %s, %zu epochs, mlm %s)...\n",
+              config.generator.size,
+              tokenize::representation_name(config.representation).c_str(),
+              config.train.epochs, config.mlm_pretrain ? "on" : "off");
+  const core::ParallelAdvisor advisor = core::ParallelAdvisor::train(config);
+  const std::string out = parser.get_string("out");
+  advisor.save(out);
+  std::printf("saved advisor to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_advise(ArgParser& parser, const std::string& code) {
+  const auto advisor = core::ParallelAdvisor::load(parser.get_string("model"));
+  const core::Advice advice = advisor.advise(code);
+  std::printf("p(directive)=%.3f p(private)=%.3f p(reduction)=%.3f p(dynamic)=%.3f\n",
+              advice.p_directive, advice.p_private, advice.p_reduction,
+              advice.p_dynamic);
+  if (advice.needs_directive) {
+    std::printf("suggestion: %s\n", advice.suggestion.c_str());
+  } else {
+    std::printf("suggestion: leave the loop serial\n");
+  }
+  if (!advice.compar_suggestion.empty())
+    std::printf("(S2S ComPar: %s)\n", advice.compar_suggestion.c_str());
+  return 0;
+}
+
+int cmd_annotate(ArgParser& parser, const std::string& code) {
+  const auto advisor = core::ParallelAdvisor::load(parser.get_string("model"));
+  const core::Advice advice = advisor.advise(code);
+  if (advice.needs_directive) std::printf("%s\n", advice.suggestion.c_str());
+  std::printf("%s", code.c_str());
+  return 0;
+}
+
+int cmd_explain(ArgParser& parser, const std::string& code) {
+  const auto advisor = core::ParallelAdvisor::load(parser.get_string("model"));
+  const core::Explanation explanation = advisor.explain(code);
+  std::printf("%s", explanation.ascii().c_str());
+  std::printf("top tokens: ");
+  for (const auto& t : explanation.top_tokens(5))
+    std::printf("%s(%.2f) ", t.token.c_str(), t.weight);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_s2s(const std::string& code) {
+  const s2s::S2SCompiler cetus(s2s::cetus_profile());
+  std::printf("%s", cetus.annotate(code).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: clpp_cli <generate|train|advise|annotate|explain|s2s> "
+                 "[options] [snippet.c]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  ArgParser parser("clpp_cli " + command, "CLPP command-line interface");
+  parser.add_int("size", 2000, "corpus size");
+  parser.add_int("seed", 2023, "random seed");
+  parser.add_int("epochs", 8, "training epochs");
+  parser.add_int("max-len", 64, "max input tokens");
+  parser.add_int("dim", 48, "encoder width");
+  parser.add_string("rep", "Text", "code representation (Text|R-Text|AST|R-AST)");
+  parser.add_string("out", command == "generate" ? "corpus.jsonl" : "advisor.bin",
+                    "output path");
+  parser.add_string("model", "advisor.bin", "trained advisor path");
+  parser.add_flag("no-mlm", "skip MLM pretraining");
+
+  try {
+    if (!parser.parse(argc - 1, argv + 1)) return 0;
+    if (command == "generate") return cmd_generate(parser);
+    if (command == "train") return cmd_train(parser);
+    const std::string code = snippet_from(parser.positional(), 0);
+    if (command == "advise") return cmd_advise(parser, code);
+    if (command == "annotate") return cmd_annotate(parser, code);
+    if (command == "explain") return cmd_explain(parser, code);
+    if (command == "s2s") return cmd_s2s(code);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  } catch (const clpp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,74 @@
+// parallelize_file: annotate a C snippet file with an OpenMP directive.
+//
+//   $ ./build/examples/parallelize_file [path/to/snippet.c]
+//
+// With no argument, a built-in demo snippet is used. The tool shows both
+// worlds side by side: the deterministic S2S transformation (Cetus
+// personality, full transparency — §1.1 of the paper) and the learned
+// PragFormer advice (what the paper proposes instead).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/advisor.h"
+#include "s2s/compiler.h"
+
+namespace {
+
+constexpr const char* kDemo =
+    "double scale(double x) { return 0.5 * x + 1.0; }\n"
+    "for (i = 0; i < n; i++) {\n"
+    "    t = scale(a[i]);\n"
+    "    b[i] = t * t;\n"
+    "}\n";
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw clpp::IoError(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace clpp;
+  const std::string source = argc > 1 ? read_file(argv[1]) : std::string(kDemo);
+
+  std::printf("input snippet:\n%s\n", source.c_str());
+
+  // Deterministic path: the Cetus-personality S2S compiler.
+  const s2s::S2SCompiler cetus(s2s::cetus_profile());
+  std::printf("--- S2S (cetus personality) ---\n%s\n", cetus.annotate(source).c_str());
+  const s2s::ComPar compar;
+  const s2s::ComParResult ensemble = compar.process_source(source);
+  std::printf("ComPar ensemble verdict: %s\n",
+              ensemble.compile_failed()       ? "compile failure"
+              : ensemble.predicts_directive() ? ensemble.combined.directive->to_string().c_str()
+                                              : "no directive");
+  for (const auto& [name, result] : ensemble.members)
+    for (const std::string& note : result.notes)
+      std::printf("  [%s] %s\n", name.c_str(), note.c_str());
+
+  // Learned path: PragFormer advice.
+  std::printf("\n--- PragFormer (training a compact advisor first) ---\n");
+  core::PipelineConfig config;
+  config.generator.size = 1200;
+  config.encoder.dim = 48;
+  config.encoder.ffn_dim = 96;
+  config.max_len = 80;
+  config.train.epochs = 6;
+  config.mlm_pretrain = false;
+  const core::ParallelAdvisor advisor = core::ParallelAdvisor::train(config);
+  const core::Advice advice = advisor.advise(source);
+  std::printf("p(directive)=%.2f p(private)=%.2f p(reduction)=%.2f\n",
+              advice.p_directive, advice.p_private, advice.p_reduction);
+  if (advice.needs_directive) {
+    std::printf("annotated snippet:\n%s\n%s\n", advice.suggestion.c_str(),
+                source.c_str());
+  } else {
+    std::printf("PragFormer advises leaving this loop serial.\n");
+  }
+  return 0;
+}

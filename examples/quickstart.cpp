@@ -1,0 +1,52 @@
+// Quickstart: train a small ParallelAdvisor and ask it about a few loops.
+//
+//   $ ./build/examples/quickstart
+//
+// Demonstrates the three public layers of the library:
+//   1. clpp::codegen / clpp::corpus — the Open-OMP-style corpus;
+//   2. clpp::core::Pipeline — training PragFormer models;
+//   3. clpp::core::ParallelAdvisor — asking for advice on new code.
+#include <cstdio>
+
+#include "core/advisor.h"
+
+int main() {
+  using namespace clpp;
+
+  // 1+2. Train a compact advisor (four PragFormer classifiers: directive,
+  // private, reduction, schedule) on a freshly generated corpus. Small config: this
+  // takes about 90 seconds on one core.
+  core::PipelineConfig config;
+  config.generator.size = 1600;
+  config.encoder.dim = 48;
+  config.encoder.ffn_dim = 96;
+  config.max_len = 80;
+  config.train.epochs = 8;
+  config.train.select_best_epoch = true;
+  config.mlm_pretrain = false;
+  std::printf("training the advisor on a %zu-snippet corpus...\n",
+              config.generator.size);
+  const core::ParallelAdvisor advisor = core::ParallelAdvisor::train(config);
+  std::printf("done.\n\n");
+
+  // 3. Ask about code the models have never seen.
+  const char* snippets[] = {
+      "for (i = 0; i < n; i++) c[i] = a[i] + b[i];",
+      "for (i = 0; i < n; i++) sum += a[i] * b[i];",
+      "for (i = 1; i < n; i++) a[i] = a[i - 1] * 0.5;",
+      "for (i = 0; i < n; i++) fprintf(fp, \"%d\\n\", a[i]);",
+  };
+  for (const char* code : snippets) {
+    const core::Advice advice = advisor.advise(code);
+    std::printf("code: %s\n", code);
+    std::printf("  needs directive: %s (p=%.2f)\n",
+                advice.needs_directive ? "yes" : "no", advice.p_directive);
+    if (advice.needs_directive) {
+      std::printf("  suggested pragma: %s\n", advice.suggestion.c_str());
+      if (!advice.compar_suggestion.empty())
+        std::printf("  (S2S ComPar says:  %s)\n", advice.compar_suggestion.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerates bench_output.txt by running every bench harness in order.
+cd "$(dirname "$0")"
+for b in build/bench/bench_*; do
+  echo "########## $b ##########"
+  $b
+  echo
+done

@@ -1,0 +1,199 @@
+#include "analysis/accesses.h"
+
+#include <algorithm>
+#include <set>
+
+namespace clpp::analysis {
+
+using frontend::Node;
+using frontend::NodeKind;
+
+namespace {
+
+/// Recursive collector distinguishing read and write contexts.
+class Collector {
+ public:
+  explicit Collector(AccessSet& out) : out_(out) {}
+
+  void scan(const Node& node) { expr(node, /*write=*/false); }
+
+ private:
+  /// Peels ArrayRef chains down to the base, collecting subscripts
+  /// outermost-first; returns the base node.
+  const Node* peel_array(const Node& node, std::vector<const Node*>& subscripts) {
+    if (node.kind == NodeKind::kArrayRef) {
+      const Node* base = peel_array(node.child(0), subscripts);
+      subscripts.push_back(&node.child(1));
+      return base;
+    }
+    return &node;
+  }
+
+  void record(const std::string& name, bool write, bool array,
+              std::vector<const Node*> subscripts, const Node* site) {
+    out_.accesses.push_back(
+        Access{name, write, array, std::move(subscripts), site});
+  }
+
+  /// Handles an lvalue occurrence (assignment target, ++/--). For
+  /// read-modify-write forms the read is recorded *before* the write, so
+  /// def-before-use privatization tests see the true program order.
+  void lvalue(const Node& node, bool also_read) {
+    switch (node.kind) {
+      case NodeKind::kID:
+        if (also_read) record(node.text, false, false, {}, &node);
+        record(node.text, /*write=*/true, /*array=*/false, {}, &node);
+        return;
+      case NodeKind::kArrayRef: {
+        std::vector<const Node*> subscripts;
+        const Node* base = peel_array(node, subscripts);
+        // Subscript expressions themselves are reads.
+        for (const Node* s : subscripts) expr(*s, false);
+        if (base->kind == NodeKind::kID) {
+          if (also_read) record(base->text, false, true, subscripts, &node);
+          record(base->text, true, true, subscripts, &node);
+        } else {
+          // Writing through a computed base (struct member array, deref).
+          out_.hazards.pointer_deref_write = true;
+          expr(*base, false);
+        }
+        return;
+      }
+      case NodeKind::kUnaryOp:
+        if (node.text == "*") {
+          out_.hazards.pointer_deref_write = true;
+          expr(node.child(0), false);
+          return;
+        }
+        expr(node, false);
+        return;
+      case NodeKind::kStructRef:
+        out_.hazards.struct_access = true;
+        out_.hazards.pointer_deref_write = true;
+        expr(node.child(0), false);
+        return;
+      default:
+        expr(node, false);
+        return;
+    }
+  }
+
+  void expr(const Node& node, bool write) {
+    switch (node.kind) {
+      case NodeKind::kID:
+        record(node.text, write, false, {}, &node);
+        return;
+      case NodeKind::kAssignment: {
+        // The rhs is evaluated before the store, so record its reads first:
+        // def-before-use analyses rely on this program order. Compound
+        // assignments also read the target before writing it.
+        expr(node.child(1), false);
+        lvalue(node.child(0), /*also_read=*/node.text != "=");
+        return;
+      }
+      case NodeKind::kUnaryOp: {
+        if (node.text == "++" || node.text == "--" || node.text == "p++" ||
+            node.text == "p--") {
+          lvalue(node.child(0), /*also_read=*/true);
+          return;
+        }
+        if (node.text == "&") {
+          out_.hazards.address_taken = true;
+          expr(node.child(0), false);
+          return;
+        }
+        expr(node.child(0), false);
+        return;
+      }
+      case NodeKind::kArrayRef: {
+        std::vector<const Node*> subscripts;
+        const Node* base = peel_array(node, subscripts);
+        for (const Node* s : subscripts) expr(*s, false);
+        if (base->kind == NodeKind::kID) {
+          record(base->text, write, true, subscripts, &node);
+        } else {
+          if (write) out_.hazards.pointer_deref_write = true;
+          expr(*base, false);
+        }
+        return;
+      }
+      case NodeKind::kFuncCall: {
+        const Node& callee = node.child(0);
+        if (callee.kind == NodeKind::kID) {
+          out_.hazards.called_functions.push_back(callee.text);
+        } else {
+          out_.hazards.function_pointer_call = true;
+          expr(callee, false);
+        }
+        // Arguments are reads; arrays/pointers passed by value may still be
+        // written through — the side-effect analysis decides what that means.
+        for (const auto& arg : node.child(1).children) expr(*arg, false);
+        return;
+      }
+      case NodeKind::kStructRef:
+        out_.hazards.struct_access = true;
+        expr(node.child(0), write);
+        return;
+      case NodeKind::kDecl: {
+        // Declarations write their name; dims and init are reads.
+        record(node.text, true, false, {}, &node);
+        for (const auto& c : node.children) expr(*c, false);
+        return;
+      }
+      case NodeKind::kConstant:
+      case NodeKind::kEmpty:
+      case NodeKind::kPragma:
+      case NodeKind::kBreak:
+      case NodeKind::kContinue:
+      case NodeKind::kGoto:
+        return;
+      default:
+        for (const auto& c : node.children) expr(*c, false);
+        return;
+    }
+  }
+
+  AccessSet& out_;
+};
+
+}  // namespace
+
+std::vector<const Access*> AccessSet::writes_of(const std::string& variable) const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses)
+    if (a.is_write && a.variable == variable) out.push_back(&a);
+  return out;
+}
+
+std::vector<const Access*> AccessSet::reads_of(const std::string& variable) const {
+  std::vector<const Access*> out;
+  for (const Access& a : accesses)
+    if (!a.is_write && a.variable == variable) out.push_back(&a);
+  return out;
+}
+
+bool AccessSet::is_written(const std::string& variable) const {
+  return std::any_of(accesses.begin(), accesses.end(), [&](const Access& a) {
+    return a.is_write && a.variable == variable;
+  });
+}
+
+bool AccessSet::is_read(const std::string& variable) const {
+  return std::any_of(accesses.begin(), accesses.end(), [&](const Access& a) {
+    return !a.is_write && a.variable == variable;
+  });
+}
+
+std::vector<std::string> AccessSet::variables() const {
+  std::set<std::string> names;
+  for (const Access& a : accesses) names.insert(a.variable);
+  return {names.begin(), names.end()};
+}
+
+AccessSet collect_accesses(const frontend::Node& node) {
+  AccessSet out;
+  Collector{out}.scan(node);
+  return out;
+}
+
+}  // namespace clpp::analysis

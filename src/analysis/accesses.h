@@ -1,0 +1,51 @@
+// Memory-access collection over AST subtrees.
+//
+// First stage of the classic S2S pipeline (§1.1 step 2): gather every read
+// and write of every variable in a loop body, with array subscripts kept
+// for the dependence tests. The collector is conservative: constructs it
+// cannot reason about (pointer dereferences, address-taken variables,
+// calls with out-parameters) are flagged rather than ignored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace clpp::analysis {
+
+/// One variable access.
+struct Access {
+  std::string variable;           // base variable name
+  bool is_write = false;
+  bool is_array = false;
+  std::vector<const frontend::Node*> subscripts;  // innermost-last, may be empty
+  const frontend::Node* site = nullptr;           // the expression node
+};
+
+/// Aggregated facts that make the enclosing analysis conservative.
+struct AccessHazards {
+  bool pointer_deref_write = false;   // *p = ..., p->f = ...
+  bool address_taken = false;         // &x passed around
+  bool struct_access = false;         // a.b or a->b anywhere
+  bool function_pointer_call = false; // call through a non-ID callee
+  std::vector<std::string> called_functions;  // direct callees, in order
+};
+
+/// Result of scanning a subtree.
+struct AccessSet {
+  std::vector<Access> accesses;
+  AccessHazards hazards;
+
+  std::vector<const Access*> writes_of(const std::string& variable) const;
+  std::vector<const Access*> reads_of(const std::string& variable) const;
+  bool is_written(const std::string& variable) const;
+  bool is_read(const std::string& variable) const;
+  /// All distinct variable names accessed.
+  std::vector<std::string> variables() const;
+};
+
+/// Collects all accesses in the subtree rooted at `node`.
+AccessSet collect_accesses(const frontend::Node& node);
+
+}  // namespace clpp::analysis

@@ -1,0 +1,459 @@
+#include "analysis/depend.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "frontend/printer.h"
+
+namespace clpp::analysis {
+
+using frontend::Node;
+using frontend::NodeKind;
+using frontend::Reduction;
+using frontend::ReductionOp;
+
+namespace {
+
+bool mentions(const Node& expr, const std::string& name) {
+  bool found = false;
+  frontend::walk(expr, [&](const Node& n, int) {
+    if (n.kind == NodeKind::kID && n.text == name) found = true;
+  });
+  return found;
+}
+
+}  // namespace
+
+Affine analyze_subscript(const Node& expr, const std::string& induction) {
+  // Literal constant.
+  if (auto value = literal_value(expr)) {
+    return Affine{Affine::Kind::kAffine, 0, *value, {}};
+  }
+  // The induction variable itself.
+  if (expr.kind == NodeKind::kID) {
+    if (expr.text == induction) return Affine{Affine::Kind::kAffine, 1, 0, {}};
+    return Affine{Affine::Kind::kInvariant, 0, 0, expr.text};
+  }
+  if (!mentions(expr, induction)) {
+    return Affine{Affine::Kind::kInvariant, 0, 0, frontend::print_expression(expr)};
+  }
+  if (expr.kind == NodeKind::kBinaryOp) {
+    const Affine lhs = analyze_subscript(expr.child(0), induction);
+    const Affine rhs = analyze_subscript(expr.child(1), induction);
+    const bool both_affine =
+        lhs.kind == Affine::Kind::kAffine && rhs.kind == Affine::Kind::kAffine;
+    if (expr.text == "+" && both_affine)
+      return Affine{Affine::Kind::kAffine, lhs.coeff + rhs.coeff,
+                    lhs.offset + rhs.offset, {}};
+    if (expr.text == "-" && both_affine)
+      return Affine{Affine::Kind::kAffine, lhs.coeff - rhs.coeff,
+                    lhs.offset - rhs.offset, {}};
+    if (expr.text == "*" && both_affine) {
+      // One side must be a pure constant for the product to stay affine.
+      if (lhs.coeff == 0)
+        return Affine{Affine::Kind::kAffine, lhs.offset * rhs.coeff,
+                      lhs.offset * rhs.offset, {}};
+      if (rhs.coeff == 0)
+        return Affine{Affine::Kind::kAffine, lhs.coeff * rhs.offset,
+                      lhs.offset * rhs.offset, {}};
+    }
+    return Affine{};  // complex
+  }
+  if (expr.kind == NodeKind::kUnaryOp && expr.text == "-") {
+    const Affine inner = analyze_subscript(expr.child(0), induction);
+    if (inner.kind == Affine::Kind::kAffine)
+      return Affine{Affine::Kind::kAffine, -inner.coeff, -inner.offset, {}};
+  }
+  return Affine{};  // complex
+}
+
+DimRelation compare_dimension(const Affine& a, const Affine& b) {
+  using K = Affine::Kind;
+  if (a.kind == K::kComplex || b.kind == K::kComplex) return DimRelation::kUnknown;
+  if (a.kind == K::kInvariant && b.kind == K::kInvariant) {
+    // Same loop-invariant expression selects the same element every
+    // iteration -> carried if anyone writes; different texts -> unknown
+    // aliasing, stay conservative.
+    return a.invariant_text == b.invariant_text ? DimRelation::kCarried
+                                                : DimRelation::kUnknown;
+  }
+  if (a.kind == K::kInvariant || b.kind == K::kInvariant) return DimRelation::kUnknown;
+  // Both affine.
+  if (a.coeff == 0 && b.coeff == 0)
+    return a.offset == b.offset ? DimRelation::kCarried : DimRelation::kDisjoint;
+  if (a.coeff != b.coeff) return DimRelation::kUnknown;
+  // Equal non-zero coefficients: distance = (b.offset - a.offset) / coeff.
+  const long long diff = b.offset - a.offset;
+  if (diff == 0) return DimRelation::kSameIterationOnly;
+  if (diff % a.coeff == 0) return DimRelation::kCarried;
+  return DimRelation::kDisjoint;
+}
+
+DependenceAnalyzer::DependenceAnalyzer(const SideEffectOracle& oracle,
+                                       AnalyzerOptions options)
+    : oracle_(&oracle), options_(options) {}
+
+LoopVerdict DependenceAnalyzer::analyze(const Node& loop) const {
+  LoopVerdict verdict;
+  const auto canonical = canonicalize(loop);
+  if (!canonical) {
+    verdict.notes.push_back("loop is not in canonical form");
+    return verdict;
+  }
+  verdict.canonical = true;
+  verdict.induction = canonical->induction;
+  verdict.trip_count = canonical->static_trip_count();
+
+  const Node& body = loop.child(3);
+
+  if (has_early_exit(body)) {
+    verdict.notes.push_back("body has early exit (break/goto/return)");
+    return verdict;
+  }
+
+  const AccessSet accesses = collect_accesses(body);
+
+  // Hazards first: these abort analysis entirely (the "bail" behaviour the
+  // paper's ComPar exhibits on 526/3547 test snippets).
+  if (accesses.hazards.function_pointer_call) {
+    verdict.bailed = true;
+    verdict.notes.push_back("call through function pointer");
+    return verdict;
+  }
+  if (accesses.hazards.struct_access && options_.bail_on_struct_access) {
+    verdict.bailed = true;
+    verdict.notes.push_back("struct member access unsupported");
+    return verdict;
+  }
+  if (accesses.hazards.pointer_deref_write) {
+    verdict.bailed = true;
+    verdict.notes.push_back("write through pointer dereference");
+    return verdict;
+  }
+
+  // Side effects of calls.
+  std::set<std::string> seen_calls;
+  for (const std::string& callee : accesses.hazards.called_functions) {
+    if (!seen_calls.insert(callee).second) continue;
+    const CallEffect effect = oracle_->effect_of(callee);
+    switch (effect) {
+      case CallEffect::kPure:
+        break;
+      case CallEffect::kIo:
+        verdict.notes.push_back("calls I/O function '" + callee + "'");
+        return verdict;
+      case CallEffect::kAllocates:
+        verdict.notes.push_back("calls allocator '" + callee + "'");
+        return verdict;
+      case CallEffect::kWritesArgs:
+        verdict.notes.push_back("call to '" + callee + "' may write shared memory");
+        return verdict;
+      case CallEffect::kUnknown:
+        if (!options_.assume_unknown_calls_pure) {
+          verdict.bailed = true;
+          verdict.notes.push_back("unknown side effects of '" + callee + "'");
+          return verdict;
+        }
+        verdict.notes.push_back("assuming unknown call '" + callee + "' is pure");
+        break;
+    }
+  }
+
+  analyze_arrays(body, canonical->induction, accesses, verdict);
+  analyze_scalars(body, canonical->induction, accesses, verdict);
+
+  if (!verdict.dependences.empty()) {
+    verdict.parallelizable = false;
+    return verdict;
+  }
+
+  if (options_.min_trip_count > 0 && verdict.trip_count &&
+      *verdict.trip_count < options_.min_trip_count) {
+    verdict.notes.push_back("trip count " + std::to_string(*verdict.trip_count) +
+                            " below profitability threshold");
+    verdict.parallelizable = false;
+    return verdict;
+  }
+
+  if (options_.suggest_dynamic_schedule && has_conditional_work(body))
+    verdict.schedule_hint = frontend::ScheduleKind::kDynamic;
+
+  verdict.parallelizable = true;
+  return verdict;
+}
+
+void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
+                                        const std::string& induction,
+                                        const AccessSet& accesses,
+                                        LoopVerdict& verdict) const {
+  // Group array accesses by base variable.
+  std::map<std::string, std::vector<const Access*>> arrays;
+  for (const Access& a : accesses.accesses)
+    if (a.is_array) arrays[a.variable].push_back(&a);
+
+  for (const auto& [name, list] : arrays) {
+    const bool any_write =
+        std::any_of(list.begin(), list.end(), [](const Access* a) { return a->is_write; });
+    if (!any_write) continue;
+
+    for (const Access* w : list) {
+      if (!w->is_write) continue;
+      for (const Access* other : list) {
+        if (other == w) continue;
+        // Dimension-by-dimension comparison. Unequal ranks (A[i] vs A[i][j])
+        // is aliasing we do not model: treat as unknown.
+        if (w->subscripts.size() != other->subscripts.size()) {
+          verdict.dependences.push_back(
+              {name, "accesses with different dimensionality"});
+          break;
+        }
+        bool disjoint = false;
+        bool same_iteration_only = false;
+        bool carried = false;
+        bool unknown = false;
+        for (std::size_t d = 0; d < w->subscripts.size(); ++d) {
+          const Affine wa = analyze_subscript(*w->subscripts[d], induction);
+          const Affine oa = analyze_subscript(*other->subscripts[d], induction);
+          switch (compare_dimension(wa, oa)) {
+            case DimRelation::kDisjoint: disjoint = true; break;
+            case DimRelation::kCarried: carried = true; break;
+            case DimRelation::kUnknown: unknown = true; break;
+            case DimRelation::kSameIterationOnly: same_iteration_only = true; break;
+          }
+        }
+        // The accesses collide on iterations (i1, i2) only if EVERY
+        // dimension matches. A disjoint dimension rules out collisions
+        // entirely; a same-iteration-only dimension rules out cross-
+        // iteration collisions no matter what the other dimensions do
+        // (e.g. A[i][j] += ... : dim 0 pins i1 == i2).
+        if (disjoint) continue;
+        if (same_iteration_only) continue;
+        if (unknown) {
+          verdict.dependences.push_back(
+              {name, "subscript too complex for dependence test"});
+          break;
+        }
+        if (carried) {
+          verdict.dependences.push_back({name, "loop-carried dependence"});
+          break;
+        }
+      }
+      if (!verdict.dependences.empty() && verdict.dependences.back().variable == name)
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Recognizes whether `stmt` is a reduction statement over scalar `s`.
+/// Returns the operator, and appends every node of the statement subtree to
+/// `covered` so the caller can verify no other accesses of `s` exist.
+std::optional<ReductionOp> match_reduction_stmt(const Node& stmt, const std::string& s,
+                                                bool allow_minmax,
+                                                std::set<const Node*>& covered) {
+  auto cover = [&covered](const Node& root) {
+    frontend::walk(root, [&](const Node& n, int) { covered.insert(&n); });
+  };
+
+  const Node* expr = &stmt;
+  if (expr->kind == NodeKind::kExprStmt) expr = &expr->child(0);
+
+  if (expr->kind == NodeKind::kAssignment && expr->child(0).kind == NodeKind::kID &&
+      expr->child(0).text == s) {
+    const Node& rhs = expr->child(1);
+    if (expr->text == "+=" && !mentions(rhs, s)) {
+      cover(stmt);
+      return ReductionOp::kAdd;
+    }
+    if (expr->text == "-=" && !mentions(rhs, s)) {
+      cover(stmt);
+      return ReductionOp::kSub;
+    }
+    if (expr->text == "*=" && !mentions(rhs, s)) {
+      cover(stmt);
+      return ReductionOp::kMul;
+    }
+    if (expr->text == "=") {
+      // s = s + e | s = e + s | s = s * e | s = e * s | s = fmax(s, e)...
+      if (rhs.kind == NodeKind::kBinaryOp && (rhs.text == "+" || rhs.text == "*")) {
+        const Node& l = rhs.child(0);
+        const Node& r = rhs.child(1);
+        const bool l_is_s = l.kind == NodeKind::kID && l.text == s;
+        const bool r_is_s = r.kind == NodeKind::kID && r.text == s;
+        if (l_is_s != r_is_s) {
+          const Node& other = l_is_s ? r : l;
+          if (!mentions(other, s)) {
+            cover(stmt);
+            return rhs.text == "+" ? ReductionOp::kAdd : ReductionOp::kMul;
+          }
+        }
+      }
+      if (rhs.kind == NodeKind::kBinaryOp && rhs.text == "-") {
+        const Node& l = rhs.child(0);
+        if (l.kind == NodeKind::kID && l.text == s && !mentions(rhs.child(1), s)) {
+          cover(stmt);
+          return ReductionOp::kSub;
+        }
+      }
+      if (rhs.kind == NodeKind::kFuncCall && rhs.child(0).kind == NodeKind::kID) {
+        const std::string& fn = rhs.child(0).text;
+        if ((fn == "fmax" || fn == "fmin" || fn == "max" || fn == "min" ||
+             fn == "MAX" || fn == "MIN") &&
+            rhs.child(1).children.size() == 2) {
+          const Node& a0 = rhs.child(1).child(0);
+          const Node& a1 = rhs.child(1).child(1);
+          const bool first_is_s = a0.kind == NodeKind::kID && a0.text == s;
+          const bool second_is_s = a1.kind == NodeKind::kID && a1.text == s;
+          if (first_is_s != second_is_s) {
+            cover(stmt);
+            const bool is_max = fn == "fmax" || fn == "max" || fn == "MAX";
+            return is_max ? ReductionOp::kMax : ReductionOp::kMin;
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // if (e REL s) s = e;  — min/max via comparison.
+  if (allow_minmax && expr->kind == NodeKind::kIf && expr->children.size() == 2) {
+    const Node& cond = expr->child(0);
+    const Node* assign = &expr->child(1);
+    if (assign->kind == NodeKind::kCompound && assign->children.size() == 1)
+      assign = &assign->child(0);
+    if (assign->kind == NodeKind::kExprStmt) assign = &assign->child(0);
+    if (cond.kind == NodeKind::kBinaryOp && assign->kind == NodeKind::kAssignment &&
+        assign->text == "=" && assign->child(0).kind == NodeKind::kID &&
+        assign->child(0).text == s) {
+      const Node& value = assign->child(1);
+      const std::string value_text = frontend::print_expression(value);
+      const std::string l_text = frontend::print_expression(cond.child(0));
+      const std::string r_text = frontend::print_expression(cond.child(1));
+      const bool l_is_s = cond.child(0).kind == NodeKind::kID && cond.child(0).text == s;
+      const bool r_is_s = cond.child(1).kind == NodeKind::kID && cond.child(1).text == s;
+      if ((cond.text == ">" || cond.text == ">=") && r_is_s && l_text == value_text) {
+        cover(stmt);
+        return ReductionOp::kMax;  // if (e > s) s = e
+      }
+      if ((cond.text == "<" || cond.text == "<=") && r_is_s && l_text == value_text) {
+        cover(stmt);
+        return ReductionOp::kMin;
+      }
+      if ((cond.text == "<" || cond.text == "<=") && l_is_s && r_text == value_text) {
+        cover(stmt);
+        return ReductionOp::kMax;  // if (s < e) s = e
+      }
+      if ((cond.text == ">" || cond.text == ">=") && l_is_s && r_text == value_text) {
+        cover(stmt);
+        return ReductionOp::kMin;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Collects the reduction statements for `s` anywhere in the body.
+std::optional<ReductionOp> find_reduction(const Node& body, const std::string& s,
+                                          bool allow_minmax,
+                                          std::set<const Node*>& covered) {
+  std::optional<ReductionOp> op;
+  bool conflict = false;
+  std::function<void(const Node&)> scan = [&](const Node& node) {
+    std::set<const Node*> local;
+    if (auto matched = match_reduction_stmt(node, s, allow_minmax, local)) {
+      if (op && *op != *matched) conflict = true;
+      op = matched;
+      covered.insert(local.begin(), local.end());
+      return;  // statement consumed; don't descend further
+    }
+    for (const auto& c : node.children) scan(*c);
+  };
+  scan(body);
+  if (conflict) return std::nullopt;
+  return op;
+}
+
+}  // namespace
+
+void DependenceAnalyzer::analyze_scalars(const Node& body, const std::string& induction,
+                                         const AccessSet& accesses,
+                                         LoopVerdict& verdict) const {
+  // Scalars declared inside the body are iteration-local by construction.
+  std::set<std::string> local_decls;
+  frontend::walk(body, [&](const Node& node, int) {
+    if (node.kind == NodeKind::kDecl) local_decls.insert(node.text);
+  });
+
+  // Sites that execute conditionally (inside an If branch or a ternary
+  // arm). A conditional first write does NOT privatize: on iterations where
+  // the guard is false the stale value is observed — the lastprivate trap.
+  std::set<const Node*> conditional_sites;
+  frontend::walk(body, [&](const Node& node, int) {
+    const std::size_t first_branch =
+        node.kind == NodeKind::kIf || node.kind == NodeKind::kTernaryOp ? 1 : SIZE_MAX;
+    for (std::size_t b = first_branch; b < node.children.size(); ++b)
+      frontend::walk(node.child(b), [&](const Node& inner, int) {
+        conditional_sites.insert(&inner);
+      });
+  });
+
+  // Induction variables of nested canonical loops are privatizable.
+  std::set<std::string> nested_inductions;
+  frontend::walk(body, [&](const Node& node, int) {
+    if (node.kind != NodeKind::kFor) return;
+    if (auto inner = canonicalize(node)) nested_inductions.insert(inner->induction);
+  });
+
+  std::set<std::string> handled;
+  for (const Access& access : accesses.accesses) {
+    if (access.is_array || !access.is_write) continue;
+    const std::string& name = access.variable;
+    if (name == induction) continue;  // privatized by the runtime
+    if (!handled.insert(name).second) continue;
+
+    if (local_decls.count(name)) continue;  // block-scoped: already private
+
+    if (nested_inductions.count(name)) {
+      verdict.private_candidates.push_back(name);
+      continue;
+    }
+
+    // Reduction idiom?
+    if (options_.recognize_reduction) {
+      std::set<const Node*> covered;
+      if (auto op = find_reduction(body, name, options_.recognize_minmax_reduction,
+                                   covered)) {
+        // Every access of this scalar must belong to a reduction statement.
+        const bool all_covered = std::all_of(
+            accesses.accesses.begin(), accesses.accesses.end(), [&](const Access& a) {
+              return a.variable != name || covered.count(a.site) > 0;
+            });
+        if (all_covered && !covered.empty()) {
+          verdict.reductions.push_back(Reduction{*op, name});
+          continue;
+        }
+      }
+    }
+
+    // Privatizable? Def-before-use within the body: the first access in
+    // program order must be a write that executes unconditionally.
+    const Access* first = nullptr;
+    for (const Access& a : accesses.accesses) {
+      if (a.variable == name && !a.is_array) {
+        first = &a;
+        break;
+      }
+    }
+    if (first && first->is_write && conditional_sites.count(first->site) == 0) {
+      verdict.private_candidates.push_back(name);
+      continue;
+    }
+
+    verdict.dependences.push_back({name, "loop-carried scalar dependence"});
+  }
+}
+
+}  // namespace clpp::analysis

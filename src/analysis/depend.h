@@ -1,0 +1,109 @@
+// Loop-carried data-dependence analysis and the per-loop verdict.
+//
+// This is step (2) of the S2S workflow in §1.1 of the paper: given a
+// canonical loop, decide whether any pair of accesses to the same array can
+// touch the same element on *different* iterations (a loop-carried
+// dependence), whether scalars can be privatized, and whether written
+// scalars follow a reduction idiom. Affine subscripts (a*i + b) get an
+// exact single-index test (ZIV/SIV class); everything else is handled
+// conservatively — which is precisely how Cetus-class compilers end up
+// with high precision and low recall.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/accesses.h"
+#include "analysis/loopinfo.h"
+#include "analysis/sideeffects.h"
+#include "frontend/pragma.h"
+
+namespace clpp::analysis {
+
+/// Classification of a subscript expression relative to one induction var.
+struct Affine {
+  enum class Kind {
+    kAffine,     // coeff * i + offset with literal coeff/offset
+    kInvariant,  // does not mention the induction variable
+    kComplex,    // mentions it non-affinely (i*i, a[i], f(i), i*j ...)
+  };
+  Kind kind = Kind::kComplex;
+  long long coeff = 0;
+  long long offset = 0;
+  std::string invariant_text;  // canonical text when kInvariant
+
+  bool operator==(const Affine&) const = default;
+};
+
+/// Analyzes `expr` as a function of `induction`.
+Affine analyze_subscript(const frontend::Node& expr, const std::string& induction);
+
+/// Relation between two accesses in one array dimension.
+enum class DimRelation {
+  kSameIterationOnly,  // equal exactly when iterations are equal
+  kDisjoint,           // never equal
+  kCarried,            // equal across distinct iterations
+  kUnknown,            // cannot tell — treat as carried
+};
+
+/// Compares one dimension of two subscript classifications.
+DimRelation compare_dimension(const Affine& a, const Affine& b);
+
+/// A detected (or suspected) loop-carried dependence, for diagnostics.
+struct Dependence {
+  std::string variable;
+  std::string detail;
+};
+
+/// Final analysis verdict for one loop.
+struct LoopVerdict {
+  bool canonical = false;         // loop matched the canonical form
+  bool parallelizable = false;    // no blocking dependence/hazard found
+  bool bailed = false;            // analysis aborted on a hazard
+  std::vector<std::string> notes; // human-readable reasons, in order found
+  std::vector<Dependence> dependences;
+  std::vector<std::string> private_candidates;   // scalars to privatize
+  frontend::ScheduleKind schedule_hint = frontend::ScheduleKind::kStatic;
+  std::vector<frontend::Reduction> reductions;
+  std::optional<long long> trip_count;
+  std::string induction;
+};
+
+/// Personality knobs: each S2S compiler profile instantiates the analyzer
+/// with different capabilities (see clpp::s2s).
+struct AnalyzerOptions {
+  /// Treat calls with unknown side effects as pure (aggressive) instead of
+  /// bailing (conservative).
+  bool assume_unknown_calls_pure = false;
+  /// Abort on struct member accesses (Cetus-class parsers often do).
+  bool bail_on_struct_access = true;
+  /// Recognize `if (x > m) m = x;` style min/max reductions.
+  bool recognize_minmax_reduction = false;
+  /// Recognize reductions at all (+/-/*).
+  bool recognize_reduction = true;
+  /// Suggest schedule(dynamic) for bodies with conditional work.
+  bool suggest_dynamic_schedule = false;
+  /// Loops with a static trip count below this are not worth parallelizing.
+  long long min_trip_count = 0;
+};
+
+/// Dependence analyzer bound to a snippet's side-effect oracle.
+class DependenceAnalyzer {
+ public:
+  DependenceAnalyzer(const SideEffectOracle& oracle, AnalyzerOptions options);
+
+  /// Analyzes one For node in full.
+  LoopVerdict analyze(const frontend::Node& loop) const;
+
+ private:
+  void analyze_arrays(const frontend::Node& body, const std::string& induction,
+                      const AccessSet& accesses, LoopVerdict& verdict) const;
+  void analyze_scalars(const frontend::Node& body, const std::string& induction,
+                       const AccessSet& accesses, LoopVerdict& verdict) const;
+
+  const SideEffectOracle* oracle_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace clpp::analysis

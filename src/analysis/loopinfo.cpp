@@ -1,0 +1,210 @@
+#include "analysis/loopinfo.h"
+
+#include <cmath>
+
+namespace clpp::analysis {
+
+using frontend::Node;
+using frontend::NodeKind;
+
+std::optional<long long> literal_value(const Node& expr) {
+  if (expr.kind == NodeKind::kConstant && expr.aux == "int") {
+    try {
+      return std::stoll(expr.text);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (expr.kind == NodeKind::kUnaryOp && expr.text == "-") {
+    if (auto inner = literal_value(expr.child(0))) return -*inner;
+  }
+  return std::nullopt;
+}
+
+std::optional<long long> CanonicalLoop::static_trip_count() const {
+  if (!lower || !upper) return std::nullopt;
+  const auto lo = literal_value(*lower);
+  const auto hi = literal_value(*upper);
+  if (!lo || !hi || step == 0) return std::nullopt;
+  long long span = 0;
+  if (direction == LoopDirection::kUp) {
+    span = *hi - *lo + (relation == "<=" ? 1 : 0);
+  } else {
+    span = *lo - *hi + (relation == ">=" ? 1 : 0);
+  }
+  if (span <= 0) return 0;
+  const long long mag = std::abs(step);
+  return (span + mag - 1) / mag;
+}
+
+namespace {
+
+/// Extracts (var, lower) from the init clause.
+bool match_init(const Node& init, std::string& var, const Node*& lower,
+                bool& declared) {
+  if (init.kind == NodeKind::kDecl) {
+    // `int i = expr` — dims would make this non-canonical.
+    if (init.aux.find("[]") != std::string::npos || init.children.size() != 1)
+      return false;
+    var = init.text;
+    lower = &init.child(0);
+    declared = true;
+    return true;
+  }
+  if (init.kind == NodeKind::kAssignment && init.text == "=" &&
+      init.child(0).kind == NodeKind::kID) {
+    var = init.child(0).text;
+    lower = &init.child(1);
+    declared = false;
+    return true;
+  }
+  return false;
+}
+
+/// Extracts the relation and bound from the condition clause.
+bool match_cond(const Node& cond, const std::string& var, std::string& relation,
+                const Node*& upper) {
+  if (cond.kind != NodeKind::kBinaryOp) return false;
+  if (cond.text != "<" && cond.text != "<=" && cond.text != ">" && cond.text != ">=")
+    return false;
+  if (cond.child(0).kind == NodeKind::kID && cond.child(0).text == var) {
+    relation = cond.text;
+    upper = &cond.child(1);
+    return true;
+  }
+  // Reversed form `N > i`.
+  if (cond.child(1).kind == NodeKind::kID && cond.child(1).text == var) {
+    if (cond.text == "<") relation = ">";
+    else if (cond.text == "<=") relation = ">=";
+    else if (cond.text == ">") relation = "<";
+    else relation = "<=";
+    upper = &cond.child(0);
+    return true;
+  }
+  return false;
+}
+
+/// Extracts the signed step from the increment clause.
+bool match_step(const Node& next, const std::string& var, long long& step) {
+  if (next.kind == NodeKind::kUnaryOp) {
+    if (next.child(0).kind != NodeKind::kID || next.child(0).text != var) return false;
+    if (next.text == "++" || next.text == "p++") {
+      step = 1;
+      return true;
+    }
+    if (next.text == "--" || next.text == "p--") {
+      step = -1;
+      return true;
+    }
+    return false;
+  }
+  if (next.kind == NodeKind::kAssignment) {
+    if (next.child(0).kind != NodeKind::kID || next.child(0).text != var) return false;
+    if (next.text == "+=" || next.text == "-=") {
+      const auto value = literal_value(next.child(1));
+      if (!value || *value <= 0) return false;
+      step = next.text == "+=" ? *value : -*value;
+      return true;
+    }
+    if (next.text == "=") {
+      // i = i + c / i = i - c
+      const Node& rhs = next.child(1);
+      if (rhs.kind != NodeKind::kBinaryOp || (rhs.text != "+" && rhs.text != "-"))
+        return false;
+      if (rhs.child(0).kind != NodeKind::kID || rhs.child(0).text != var) return false;
+      const auto value = literal_value(rhs.child(1));
+      if (!value || *value <= 0) return false;
+      step = rhs.text == "+" ? *value : -*value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<CanonicalLoop> canonicalize(const Node& loop) {
+  CLPP_CHECK_MSG(loop.kind == NodeKind::kFor, "canonicalize expects a For node");
+  if (loop.children.size() != 4) return std::nullopt;
+
+  CanonicalLoop out;
+  if (!match_init(loop.child(0), out.induction, out.lower, out.declared_in_init))
+    return std::nullopt;
+  if (!match_cond(loop.child(1), out.induction, out.relation, out.upper))
+    return std::nullopt;
+  if (!match_step(loop.child(2), out.induction, out.step)) return std::nullopt;
+
+  const bool upward = out.relation == "<" || out.relation == "<=";
+  out.direction = upward ? LoopDirection::kUp : LoopDirection::kDown;
+  // Step must move toward the bound.
+  if (upward && out.step <= 0) return std::nullopt;
+  if (!upward && out.step >= 0) return std::nullopt;
+  return out;
+}
+
+bool has_early_exit(const Node& body) {
+  bool found = false;
+  frontend::walk(body, [&](const Node& node, int) {
+    switch (node.kind) {
+      case NodeKind::kBreak:
+      case NodeKind::kGoto:
+      case NodeKind::kReturn:
+        found = true;
+        break;
+      case NodeKind::kFor:
+      case NodeKind::kWhile:
+      case NodeKind::kDoWhile:
+        // `break` inside a nested loop exits that loop, not ours — but the
+        // generic walk cannot tell; stay conservative only for goto/return,
+        // which always escape. (break handled by the nested scan below.)
+        break;
+      default:
+        break;
+    }
+  });
+  if (found) {
+    // Refine: allow break/goto only if none actually escapes the outer body.
+    // A precise scan: break directly in our body (not nested in a loop or
+    // switch) escapes; goto/return always escape.
+    found = false;
+    std::function<void(const Node&, bool)> scan = [&](const Node& node, bool in_nested) {
+      switch (node.kind) {
+        case NodeKind::kReturn:
+        case NodeKind::kGoto:
+          found = true;
+          return;
+        case NodeKind::kBreak:
+          if (!in_nested) found = true;
+          return;
+        case NodeKind::kFor:
+        case NodeKind::kWhile:
+        case NodeKind::kDoWhile:
+          for (const auto& c : node.children) scan(*c, true);
+          return;
+        default:
+          for (const auto& c : node.children) scan(*c, in_nested);
+          return;
+      }
+    };
+    scan(body, false);
+  }
+  return found;
+}
+
+bool has_conditional_work(const Node& body) {
+  bool found = false;
+  frontend::walk(body, [&](const Node& node, int) {
+    if (node.kind != NodeKind::kIf) return;
+    // "Work" under the condition = a call or a nested loop in either branch.
+    for (std::size_t i = 1; i < node.children.size(); ++i) {
+      const Node& branch = node.child(i);
+      if (frontend::count_kind(branch, NodeKind::kFuncCall) > 0 ||
+          frontend::count_kind(branch, NodeKind::kFor) > 0 ||
+          frontend::count_kind(branch, NodeKind::kWhile) > 0)
+        found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace clpp::analysis

@@ -1,0 +1,65 @@
+// Function side-effect analysis.
+//
+// The paper identifies "determining function side effects" as a major S2S
+// pitfall [24]: Cetus-class compilers must prove a called function pure (or
+// at least loop-safe) before parallelizing a loop that calls it. This
+// module classifies callees as pure / io / alloc / writes-memory / unknown,
+// analyzing snippet-local function bodies recursively and falling back to a
+// whitelist of libm-style pure functions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace clpp::analysis {
+
+/// Effect classification of a callee, ordered by severity.
+enum class CallEffect {
+  kPure,         // no memory effects beyond its own locals (safe)
+  kWritesArgs,   // may write through pointer/array arguments
+  kAllocates,    // malloc/free family — not thread-safe to reorder freely
+  kIo,           // printf/scanf family — ordering matters, never parallel
+  kUnknown,      // no body available and not whitelisted
+};
+
+std::string call_effect_name(CallEffect effect);
+
+/// Side-effect oracle over a snippet: knows whitelisted library functions
+/// and analyzes locally defined functions (FuncDef nodes in the unit).
+class SideEffectOracle {
+ public:
+  /// Builds the oracle from a snippet translation unit: indexes every
+  /// FuncDef with a body and classifies it bottom-up.
+  explicit SideEffectOracle(const frontend::Node& unit);
+
+  /// Effect of calling `name`.
+  CallEffect effect_of(const std::string& name) const;
+
+  /// Worst effect among `names` (kPure when empty).
+  CallEffect worst_effect(const std::vector<std::string>& names) const;
+
+  /// True if the function's body was found in the snippet.
+  bool has_local_body(const std::string& name) const;
+
+  /// True if `name` is on the built-in pure whitelist (libm etc.).
+  static bool is_whitelisted_pure(const std::string& name);
+  /// True if `name` is a known I/O function.
+  static bool is_known_io(const std::string& name);
+  /// True if `name` is a known allocation function.
+  static bool is_known_alloc(const std::string& name);
+
+ private:
+  CallEffect classify(const std::string& name,
+                      std::vector<std::string>& in_progress) const;
+
+  std::map<std::string, const frontend::Node*> bodies_;
+  mutable std::map<std::string, CallEffect> cache_;
+};
+
+/// Severity order for combining effects.
+CallEffect worse(CallEffect a, CallEffect b);
+
+}  // namespace clpp::analysis

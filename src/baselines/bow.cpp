@@ -1,0 +1,82 @@
+#include "baselines/bow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace clpp::baselines {
+
+SparseVector bow_features(const std::vector<std::string>& tokens,
+                          const tokenize::Vocabulary& vocab) {
+  std::map<std::int32_t, float> counts;
+  for (const std::string& token : tokens) counts[vocab.id_of(token)] += 1.0f;
+  return SparseVector(counts.begin(), counts.end());
+}
+
+LogisticRegression::LogisticRegression(std::size_t features)
+    : weights_(features, 0.0f) {
+  CLPP_CHECK_MSG(features > 0, "feature dimension must be positive");
+}
+
+namespace {
+float sigmoid(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+}  // namespace
+
+float LogisticRegression::predict_proba(const SparseVector& input) const {
+  float z = bias_;
+  for (const auto& [id, count] : input) {
+    CLPP_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < weights_.size(),
+                   "feature id " << id << " out of range");
+    z += weights_[static_cast<std::size_t>(id)] * count;
+  }
+  return sigmoid(z);
+}
+
+void LogisticRegression::train(const std::vector<SparseVector>& inputs,
+                               const std::vector<std::int32_t>& labels,
+                               const LogisticConfig& config, Rng& rng) {
+  CLPP_CHECK_MSG(inputs.size() == labels.size(), "inputs/labels size mismatch");
+  CLPP_CHECK_MSG(!inputs.empty(), "empty training set");
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, order.size() - start);
+      // Accumulate the batch gradient sparsely.
+      std::map<std::int32_t, float> grad;
+      float grad_bias = 0.0f;
+      for (std::size_t b = 0; b < count; ++b) {
+        const std::size_t idx = order[start + b];
+        const float err =
+            predict_proba(inputs[idx]) - static_cast<float>(labels[idx]);
+        grad_bias += err;
+        for (const auto& [id, value] : inputs[idx]) grad[id] += err * value;
+      }
+      const float scale = config.lr / static_cast<float>(count);
+      for (const auto& [id, g] : grad) {
+        float& w = weights_[static_cast<std::size_t>(id)];
+        w -= scale * (g + config.l2 * w * static_cast<float>(count));
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+}
+
+float LogisticRegression::loss(const std::vector<SparseVector>& inputs,
+                               const std::vector<std::int32_t>& labels) const {
+  CLPP_CHECK(inputs.size() == labels.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const float p = predict_proba(inputs[i]);
+    const float target = static_cast<float>(labels[i]);
+    total -= target * std::log(std::max(p, 1e-7f)) +
+             (1.0f - target) * std::log(std::max(1.0f - p, 1e-7f));
+  }
+  return inputs.empty() ? 0.0f : static_cast<float>(total / inputs.size());
+}
+
+}  // namespace clpp::baselines

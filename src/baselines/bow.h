@@ -1,0 +1,59 @@
+// Bag-of-Words featurization + logistic regression (§5.2 baseline).
+//
+// The BoW model counts tokens into a sparse vector (order discarded) and
+// classifies with L2-regularized logistic regression trained by mini-batch
+// SGD — the "lightweight text-aware ML model" the paper compares against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+#include "tokenize/vocabulary.h"
+
+namespace clpp::baselines {
+
+/// Sparse feature: (vocabulary id, count).
+using SparseVector = std::vector<std::pair<std::int32_t, float>>;
+
+/// Counts tokens of one document into a sparse vector (ids sorted).
+SparseVector bow_features(const std::vector<std::string>& tokens,
+                          const tokenize::Vocabulary& vocab);
+
+/// Logistic-regression hyperparameters.
+struct LogisticConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  float lr = 0.1f;
+  float l2 = 1e-4f;
+};
+
+/// Binary logistic-regression classifier over sparse features.
+class LogisticRegression {
+ public:
+  /// `features` is the dimensionality (vocabulary size).
+  explicit LogisticRegression(std::size_t features);
+
+  /// Trains on (x, y) pairs; labels in {0, 1}. Deterministic given `rng`.
+  void train(const std::vector<SparseVector>& inputs,
+             const std::vector<std::int32_t>& labels, const LogisticConfig& config,
+             Rng& rng);
+
+  /// P(label = 1 | x).
+  float predict_proba(const SparseVector& input) const;
+  /// Hard prediction at the 0.5 threshold (paper §4.1).
+  int predict(const SparseVector& input) const { return predict_proba(input) > 0.5f; }
+
+  /// Mean binary cross-entropy on a dataset (for monitoring).
+  float loss(const std::vector<SparseVector>& inputs,
+             const std::vector<std::int32_t>& labels) const;
+
+  const std::vector<float>& weights() const { return weights_; }
+  float bias() const { return bias_; }
+
+ private:
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace clpp::baselines

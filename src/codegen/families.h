@@ -1,0 +1,46 @@
+// Snippet template families of the synthetic Open-OMP generator.
+//
+// Each family models one loop archetype observed in OpenMP corpora, with
+// randomized identifiers, bounds, constants, operators, and benign extra
+// statements. Positive families carry a ground-truth directive (with
+// clause/schedule labels); negative families are loops a developer would
+// leave serial — for one of the concrete reasons the paper discusses
+// (I/O, recurrences, tiny trip counts, opaque accumulation, early exits,
+// pointer chasing, allocation, indirect writes).
+//
+// The family mix is calibrated in generator.cpp so corpus statistics land
+// near Table 3 of the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "frontend/pragma.h"
+#include "support/rng.h"
+
+namespace clpp::codegen {
+
+/// One generated snippet plus its ground-truth labels.
+struct GeneratedSnippet {
+  std::string family;
+  std::string code;  // no directive line inside
+  bool has_directive = false;
+  frontend::OmpDirective directive;  // meaningful iff has_directive
+};
+
+/// A registered template family.
+struct Family {
+  std::string name;
+  double weight;   // relative sampling weight
+  bool positive;   // produces directive-labeled snippets
+  std::function<GeneratedSnippet(Rng&)> make;
+};
+
+/// The full registry (positives + negatives), weights included.
+const std::vector<Family>& all_families();
+
+/// Looks a family up by name; throws InvalidArgument when missing.
+const Family& family_by_name(const std::string& name);
+
+}  // namespace clpp::codegen

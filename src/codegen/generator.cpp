@@ -1,0 +1,48 @@
+#include "codegen/generator.h"
+
+#include "codegen/families.h"
+
+namespace clpp::codegen {
+
+corpus::Corpus generate_corpus(const GeneratorConfig& config) {
+  CLPP_CHECK_MSG(config.size > 0, "corpus size must be positive");
+  CLPP_CHECK_MSG(config.label_noise >= 0.0 && config.label_noise < 0.5,
+                 "label noise must be in [0, 0.5)");
+  Rng rng(config.seed);
+
+  const auto& families = all_families();
+  std::vector<double> weights;
+  weights.reserve(families.size());
+  for (const Family& f : families) weights.push_back(f.weight);
+
+  corpus::Corpus corpus;
+  for (std::size_t index = 0; index < config.size; ++index) {
+    const Family& family = families[rng.weighted(weights)];
+    GeneratedSnippet snippet = family.make(rng);
+
+    corpus::Record record;
+    record.id = "omp-" + std::to_string(index);
+    record.family = snippet.family;
+    record.code = std::move(snippet.code);
+    record.has_directive = snippet.has_directive;
+    if (snippet.has_directive) record.directive_text = snippet.directive.to_string();
+
+    if (rng.chance(config.label_noise)) {
+      if (record.has_directive) {
+        record.has_directive = false;
+        record.directive_text.clear();
+      } else {
+        record.has_directive = true;
+        frontend::OmpDirective bare;
+        bare.parallel = true;
+        bare.for_loop = true;
+        record.directive_text = bare.to_string();
+      }
+    }
+    record.refresh_labels();
+    corpus.add(std::move(record));
+  }
+  return corpus;
+}
+
+}  // namespace clpp::codegen

@@ -1,0 +1,26 @@
+// Synthetic Open-OMP corpus generation (DESIGN.md §1 substitution).
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/corpus.h"
+
+namespace clpp::codegen {
+
+/// Generator configuration.
+struct GeneratorConfig {
+  /// Number of snippets; the paper's corpus has 28,374 (Table 3).
+  std::size_t size = 28374;
+  /// Master seed — every corpus with the same config is bit-identical.
+  std::uint64_t seed = 2023;
+  /// Developer-inconsistency noise: probability that a snippet's directive
+  /// label is flipped (annotated code that isn't parallel-worthy, or
+  /// parallelizable code whose author skipped the pragma). Flipped-positive
+  /// records receive a bare `#pragma omp parallel for`.
+  double label_noise = 0.03;
+};
+
+/// Generates the corpus. Record ids are "omp-<index>".
+corpus::Corpus generate_corpus(const GeneratorConfig& config);
+
+}  // namespace clpp::codegen

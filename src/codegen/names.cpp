@@ -1,0 +1,70 @@
+#include "codegen/names.h"
+
+#include <array>
+
+namespace clpp::codegen {
+
+namespace {
+constexpr std::array kInductionHpc = {"i", "j", "k", "l", "ii", "jj"};
+constexpr std::array kInductionMixed = {"i", "idx", "pos", "step", "it", "p"};
+constexpr std::array kArrayHpc = {"A",   "B",   "C",    "a",    "b",   "c",
+                                  "arr", "vec", "data", "u",    "v",   "w",
+                                  "x",   "y",   "mat",  "grid", "out", "in"};
+constexpr std::array kArrayMixed = {"buf",   "items", "list", "table", "values",
+                                    "cache", "queue", "heap", "field", "bytes"};
+constexpr std::array kScalarHpc = {"t", "tmp", "val", "s", "d", "q", "h", "z"};
+constexpr std::array kScalarMixed = {"ret",  "flag", "state", "err",
+                                     "code", "key",  "cur",   "next_val"};
+constexpr std::array kAccumulator = {"sum",  "total", "acc",  "prod", "norm",
+                                     "dot",  "mean",  "sigma", "energy", "res"};
+constexpr std::array kBoundHpc = {"n", "N", "len", "size", "m", "M", "dim", "count"};
+constexpr std::array kBoundMixed = {"n", "limit", "max_items", "nelems", "sz"};
+constexpr std::array kComputeFn = {"compute_flux",  "update_cell", "advance",
+                                   "body_force",    "evolve",      "relax_point",
+                                   "apply_kernel",  "transform",   "integrate",
+                                   "eval_rhs",      "smooth_step", "project"};
+constexpr std::array kSerial = {"node", "ptr", "cur",  "head", "fp",  "file",
+                                "f",    "str", "tok",  "ctx",  "conn", "req",
+                                "resp"};
+}  // namespace
+
+std::string NamePool::unique(std::string candidate) {
+  if (used_.insert(candidate).second) return candidate;
+  for (int suffix = 2;; ++suffix) {
+    std::string numbered = candidate + std::to_string(suffix);
+    if (used_.insert(numbered).second) return numbered;
+  }
+}
+
+std::string NamePool::draw(std::span<const char* const> hpc,
+                           std::span<const char* const> mixed) {
+  // The naming-convention signal of §5.1: HPC-style snippets use the HPC
+  // pool 95% of the time, serial-style ones 5%, mixed ones 50%.
+  double hpc_probability = 0.5;
+  if (style_ == NameStyle::kHpc) hpc_probability = 0.95;
+  if (style_ == NameStyle::kSerial) hpc_probability = 0.05;
+  const auto& pool = rng_->chance(hpc_probability) ? hpc : mixed;
+  return unique(pool[rng_->index(pool.size())]);
+}
+
+std::string NamePool::induction() { return draw(kInductionHpc, kInductionMixed); }
+
+std::string NamePool::array() { return draw(kArrayHpc, kArrayMixed); }
+
+std::string NamePool::scalar() { return draw(kScalarHpc, kScalarMixed); }
+
+std::string NamePool::accumulator() {
+  return unique(kAccumulator[rng_->index(kAccumulator.size())]);
+}
+
+std::string NamePool::bound() { return draw(kBoundHpc, kBoundMixed); }
+
+std::string NamePool::compute_function() {
+  return unique(kComputeFn[rng_->index(kComputeFn.size())]);
+}
+
+std::string NamePool::serial_name() {
+  return unique(kSerial[rng_->index(kSerial.size())]);
+}
+
+}  // namespace clpp::codegen

@@ -1,0 +1,211 @@
+#include "core/advisor.h"
+
+#include <fstream>
+
+#include "analysis/depend.h"
+#include "frontend/parser.h"
+#include "nn/checkpoint.h"
+#include "support/json.h"
+#include "tensor/io.h"
+
+namespace clpp::core {
+
+ParallelAdvisor::ParallelAdvisor(std::unique_ptr<PragFormer> directive_model,
+                                 std::unique_ptr<PragFormer> private_model,
+                                 std::unique_ptr<PragFormer> reduction_model,
+                                 tokenize::Vocabulary vocabulary,
+                                 tokenize::Representation rep, std::size_t max_len)
+    : directive_model_(std::move(directive_model)),
+      private_model_(std::move(private_model)),
+      reduction_model_(std::move(reduction_model)),
+      vocab_(std::move(vocabulary)),
+      rep_(rep),
+      max_len_(max_len) {
+  CLPP_CHECK(directive_model_ && private_model_ && reduction_model_);
+}
+
+void ParallelAdvisor::set_schedule_model(std::unique_ptr<PragFormer> schedule_model) {
+  schedule_model_ = std::move(schedule_model);
+}
+
+float ParallelAdvisor::score(const PragFormer& model, const std::string& code) const {
+  const auto tokens = tokenize::tokenize(code, rep_);
+  const auto encoded = vocab_.encode(tokens, max_len_);
+  nn::TokenBatch batch;
+  batch.batch = 1;
+  batch.seq = encoded.size();
+  batch.ids = encoded;
+  batch.lengths = {static_cast<int>(encoded.size())};
+  // predict_proba is stateful (caches activations) but logically const here.
+  return const_cast<PragFormer&>(model).predict_proba(batch)[0];
+}
+
+Advice ParallelAdvisor::advise(const std::string& code) const {
+  Advice advice;
+  advice.p_directive = score(*directive_model_, code);
+  advice.needs_directive = advice.p_directive > 0.5f;
+  if (advice.needs_directive) {
+    advice.p_private = score(*private_model_, code);
+    advice.p_reduction = score(*reduction_model_, code);
+    advice.needs_private = advice.p_private > 0.5f;
+    advice.needs_reduction = advice.p_reduction > 0.5f;
+    if (schedule_model_) {
+      advice.p_dynamic = score(*schedule_model_, code);
+      advice.wants_dynamic_schedule = advice.p_dynamic > 0.5f;
+    }
+
+    // Ask the dependence analyzer to *name* the clause variables.
+    frontend::OmpDirective directive;
+    directive.parallel = true;
+    directive.for_loop = true;
+    if (advice.wants_dynamic_schedule)
+      directive.schedule = frontend::ScheduleKind::kDynamic;
+    try {
+      const frontend::NodePtr unit = frontend::parse_snippet(code);
+      const frontend::Node* loop = s2s::find_target_loop(*unit);
+      if (loop) {
+        analysis::SideEffectOracle oracle(*unit);
+        analysis::AnalyzerOptions options;
+        options.assume_unknown_calls_pure = true;  // the model already decided
+        options.bail_on_struct_access = false;
+        options.recognize_minmax_reduction = true;
+        const analysis::LoopVerdict verdict =
+            analysis::DependenceAnalyzer(oracle, options).analyze(*loop);
+        if (advice.needs_private) directive.private_vars = verdict.private_candidates;
+        if (advice.needs_reduction) directive.reductions = verdict.reductions;
+      }
+    } catch (const ParseError&) {
+      // Unparseable code still gets the bare suggestion below.
+    }
+    advice.suggestion = directive.to_string();
+  }
+
+  const s2s::ComPar compar;
+  const s2s::ComParResult result = compar.process_source(code);
+  if (result.predicts_directive())
+    advice.compar_suggestion = result.combined.directive->to_string();
+  return advice;
+}
+
+namespace {
+
+constexpr char kAdvisorMagic[] = "CLPPADV1";
+
+Json config_to_json(const PragFormerConfig& config) {
+  Json obj = Json::object();
+  obj["vocab_size"] = Json{config.encoder.vocab_size};
+  obj["max_seq"] = Json{config.encoder.max_seq};
+  obj["dim"] = Json{config.encoder.dim};
+  obj["heads"] = Json{config.encoder.heads};
+  obj["layers"] = Json{config.encoder.layers};
+  obj["ffn_dim"] = Json{config.encoder.ffn_dim};
+  obj["dropout"] = Json{static_cast<double>(config.encoder.dropout)};
+  obj["head_hidden"] = Json{config.head_hidden};
+  obj["head_dropout"] = Json{static_cast<double>(config.head_dropout)};
+  return obj;
+}
+
+PragFormerConfig config_from_json(const Json& obj) {
+  PragFormerConfig config;
+  config.encoder.vocab_size = static_cast<std::size_t>(obj.at("vocab_size").as_int());
+  config.encoder.max_seq = static_cast<std::size_t>(obj.at("max_seq").as_int());
+  config.encoder.dim = static_cast<std::size_t>(obj.at("dim").as_int());
+  config.encoder.heads = static_cast<std::size_t>(obj.at("heads").as_int());
+  config.encoder.layers = static_cast<std::size_t>(obj.at("layers").as_int());
+  config.encoder.ffn_dim = static_cast<std::size_t>(obj.at("ffn_dim").as_int());
+  config.encoder.dropout = static_cast<float>(obj.at("dropout").as_double());
+  config.head_hidden = static_cast<std::size_t>(obj.at("head_hidden").as_int());
+  config.head_dropout = static_cast<float>(obj.at("head_dropout").as_double());
+  return config;
+}
+
+void write_model(std::ostream& out, PragFormer& model) {
+  write_string(out, config_to_json(model.config()).dump());
+  const auto params = model.parameters();
+  write_u64(out, params.size());
+  for (const nn::Parameter* p : params) {
+    write_string(out, p->name);
+    write_tensor(out, p->value);
+  }
+}
+
+std::unique_ptr<PragFormer> read_model(std::istream& in) {
+  const PragFormerConfig config = config_from_json(Json::parse(read_string(in)));
+  // Weights are fully overwritten below; the init RNG seed is irrelevant.
+  Rng rng(0);
+  auto model = std::make_unique<PragFormer>(config, rng);
+  const std::uint64_t count = read_u64(in);
+  std::map<std::string, Tensor> checkpoint;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    checkpoint.emplace(std::move(name), read_tensor(in));
+  }
+  const auto params = model->parameters();
+  const std::size_t restored = nn::restore_parameters(checkpoint, params, true);
+  CLPP_CHECK_MSG(restored == params.size(), "advisor checkpoint incomplete");
+  return model;
+}
+
+}  // namespace
+
+void ParallelAdvisor::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open advisor file for writing: " + path);
+  write_string(out, kAdvisorMagic);
+  write_string(out, tokenize::representation_name(rep_));
+  write_u64(out, max_len_);
+  write_u64(out, schedule_model_ ? 1 : 0);
+  const auto& tokens = vocab_.tokens();
+  write_u64(out, tokens.size());
+  for (const std::string& token : tokens) write_string(out, token);
+  write_model(out, *directive_model_);
+  write_model(out, *private_model_);
+  write_model(out, *reduction_model_);
+  if (schedule_model_) write_model(out, *schedule_model_);
+  if (!out) throw IoError("advisor write failed: " + path);
+}
+
+ParallelAdvisor ParallelAdvisor::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open advisor file: " + path);
+  if (read_string(in) != kAdvisorMagic)
+    throw ParseError("not a CLPP advisor file: " + path);
+  const tokenize::Representation rep =
+      tokenize::representation_from(read_string(in));
+  const std::size_t max_len = static_cast<std::size_t>(read_u64(in));
+  const bool has_schedule = read_u64(in) != 0;
+  const std::uint64_t token_count = read_u64(in);
+  if (token_count > 10'000'000) throw ParseError("implausible vocabulary size");
+  std::vector<std::string> tokens;
+  tokens.reserve(token_count);
+  for (std::uint64_t i = 0; i < token_count; ++i) tokens.push_back(read_string(in));
+  tokenize::Vocabulary vocab = tokenize::Vocabulary::from_tokens(std::move(tokens));
+
+  auto directive = read_model(in);
+  auto private_model = read_model(in);
+  auto reduction = read_model(in);
+  ParallelAdvisor advisor(std::move(directive), std::move(private_model),
+                          std::move(reduction), std::move(vocab), rep, max_len);
+  if (has_schedule) advisor.set_schedule_model(read_model(in));
+  return advisor;
+}
+
+Explanation ParallelAdvisor::explain(const std::string& code) const {
+  return explain_prediction(*directive_model_, vocab_, rep_, max_len_, code);
+}
+
+ParallelAdvisor ParallelAdvisor::train(PipelineConfig config) {
+  Pipeline pipeline(std::move(config));
+  TaskRun directive = pipeline.train_task(corpus::Task::kDirective);
+  TaskRun private_run = pipeline.train_task(corpus::Task::kPrivate);
+  TaskRun reduction = pipeline.train_task(corpus::Task::kReduction);
+  TaskRun schedule = pipeline.train_task(corpus::Task::kSchedule);
+  ParallelAdvisor advisor(std::move(directive.model), std::move(private_run.model),
+                          std::move(reduction.model), pipeline.vocabulary(),
+                          pipeline.config().representation,
+                          pipeline.config().max_len);
+  advisor.set_schedule_model(std::move(schedule.model));
+  return advisor;
+}
+
+}  // namespace clpp::core

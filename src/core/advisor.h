@@ -1,0 +1,81 @@
+// ParallelAdvisor: the user-facing API of the library.
+//
+// Combines the three trained PragFormer classifiers (directive / private /
+// reduction) with the dependence analyzer to produce an actionable
+// suggestion: the classifiers decide *whether* a directive and clauses are
+// needed (the paper's contribution); the analyzer names the variables for
+// the clauses when it can (the deterministic machinery the paper keeps for
+// directive construction in its future-work pipeline).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/explain.h"
+#include "core/pipeline.h"
+
+namespace clpp::core {
+
+/// Advice for one code snippet.
+struct Advice {
+  float p_directive = 0.0f;
+  float p_private = 0.0f;    // meaningful when needs_directive
+  float p_reduction = 0.0f;  // meaningful when needs_directive
+  float p_dynamic = 0.0f;    // meaningful when a schedule model is attached
+  bool needs_directive = false;
+  bool needs_private = false;
+  bool needs_reduction = false;
+  bool wants_dynamic_schedule = false;
+  /// Suggested pragma line, empty when no directive is advised.
+  std::string suggestion;
+  /// What the ComPar S2S ensemble would do on the same snippet, for
+  /// comparison (empty when it fails or declines).
+  std::string compar_suggestion;
+};
+
+/// Bundles three trained models and a vocabulary into an advisor.
+class ParallelAdvisor {
+ public:
+  /// Takes ownership of the trained models. All three must share the
+  /// representation/vocab/max_len of `pipeline_config`.
+  ParallelAdvisor(std::unique_ptr<PragFormer> directive_model,
+                  std::unique_ptr<PragFormer> private_model,
+                  std::unique_ptr<PragFormer> reduction_model,
+                  tokenize::Vocabulary vocabulary, tokenize::Representation rep,
+                  std::size_t max_len);
+
+  /// Attaches an optional fourth classifier predicting schedule(dynamic)
+  /// (the paper's §6 "scheduling construct" future work).
+  void set_schedule_model(std::unique_ptr<PragFormer> schedule_model);
+
+  /// Analyzes one snippet. Throws ParseError only for AST representations
+  /// on unparseable input; the default Text representation accepts any
+  /// lexable code.
+  Advice advise(const std::string& code) const;
+
+  /// Convenience: trains a full advisor (directive + private + reduction +
+  /// schedule models) from a fresh pipeline.
+  static ParallelAdvisor train(PipelineConfig config);
+
+  /// Persists the advisor (all models, vocabulary, representation) to one
+  /// binary file; `load` restores an identical advisor.
+  void save(const std::string& path) const;
+  static ParallelAdvisor load(const std::string& path);
+
+  /// Attention-map explanation of the directive prediction for `code`.
+  Explanation explain(const std::string& code) const;
+
+ private:
+  float score(const PragFormer& model, const std::string& code) const;
+
+  mutable std::unique_ptr<PragFormer> directive_model_;
+  mutable std::unique_ptr<PragFormer> private_model_;
+  mutable std::unique_ptr<PragFormer> reduction_model_;
+  mutable std::unique_ptr<PragFormer> schedule_model_;  // optional
+  tokenize::Vocabulary vocab_;
+  tokenize::Representation rep_;
+  std::size_t max_len_;
+};
+
+}  // namespace clpp::core

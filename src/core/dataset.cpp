@@ -1,0 +1,70 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace clpp::core {
+
+std::vector<std::vector<std::string>> tokenize_records(
+    const corpus::Corpus& corpus, std::span<const std::size_t> indices,
+    tokenize::Representation rep) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices)
+    out.push_back(tokenize::tokenize(corpus.at(i).code, rep));
+  return out;
+}
+
+EncodedDataset encode_dataset(const corpus::Corpus& corpus,
+                              std::span<const std::size_t> indices, corpus::Task task,
+                              tokenize::Representation rep,
+                              const tokenize::Vocabulary& vocab, std::size_t max_len) {
+  EncodedDataset dataset;
+  dataset.sequences.reserve(indices.size());
+  dataset.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    const corpus::Record& record = corpus.at(i);
+    std::vector<std::string> tokens;
+    try {
+      tokens = tokenize::tokenize(record.code, rep);
+    } catch (const ParseError&) {
+      continue;  // drop unparseable records (AST representations only)
+    }
+    dataset.sequences.push_back(vocab.encode(tokens, max_len));
+    dataset.labels.push_back(static_cast<std::int32_t>(corpus::label_of(record, task)));
+  }
+  return dataset;
+}
+
+nn::TokenBatch pack_batch(const EncodedDataset& dataset,
+                          std::span<const std::size_t> indices, std::size_t max_seq) {
+  CLPP_CHECK_MSG(!indices.empty(), "empty batch");
+  nn::TokenBatch batch;
+  batch.batch = indices.size();
+  std::size_t longest = 1;
+  for (std::size_t i : indices) {
+    CLPP_CHECK_MSG(i < dataset.size(), "batch index out of range");
+    longest = std::max(longest, std::min(dataset.sequences[i].size(), max_seq));
+  }
+  batch.seq = longest;
+  batch.ids.assign(batch.batch * batch.seq, tokenize::Vocabulary::kPad);
+  batch.lengths.resize(batch.batch);
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const auto& seq = dataset.sequences[indices[row]];
+    const std::size_t len = std::min(seq.size(), max_seq);
+    batch.lengths[row] = static_cast<int>(len);
+    std::copy_n(seq.begin(), len, batch.ids.begin() + row * batch.seq);
+  }
+  return batch;
+}
+
+std::vector<std::int32_t> batch_labels(const EncodedDataset& dataset,
+                                       std::span<const std::size_t> indices) {
+  std::vector<std::int32_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(dataset.labels[i]);
+  return out;
+}
+
+}  // namespace clpp::core

@@ -1,0 +1,46 @@
+// Encoded datasets: corpus records -> token-id sequences + labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "nn/batch.h"
+#include "tokenize/representation.h"
+#include "tokenize/vocabulary.h"
+
+namespace clpp::core {
+
+/// A task dataset ready for model consumption.
+struct EncodedDataset {
+  std::vector<std::vector<std::int32_t>> sequences;  // each starts with <cls>
+  std::vector<std::int32_t> labels;                  // {0, 1}
+
+  std::size_t size() const { return sequences.size(); }
+};
+
+/// Tokenizes corpus records (by index) under `rep` and encodes them with
+/// `vocab`, pairing each with its task label. Records that fail to
+/// tokenize under AST representations are skipped (real pipelines drop
+/// unparseable snippets too) — with our generator this should not happen.
+EncodedDataset encode_dataset(const corpus::Corpus& corpus,
+                              std::span<const std::size_t> indices, corpus::Task task,
+                              tokenize::Representation rep,
+                              const tokenize::Vocabulary& vocab, std::size_t max_len);
+
+/// Tokenized (but not yet id-encoded) documents for vocabulary building.
+std::vector<std::vector<std::string>> tokenize_records(
+    const corpus::Corpus& corpus, std::span<const std::size_t> indices,
+    tokenize::Representation rep);
+
+/// Packs `indices` rows of `dataset` into a padded TokenBatch (pad id 0),
+/// clamping sequence length to `max_seq`.
+nn::TokenBatch pack_batch(const EncodedDataset& dataset,
+                          std::span<const std::size_t> indices, std::size_t max_seq);
+
+/// Labels of `indices` rows (parallel to pack_batch).
+std::vector<std::int32_t> batch_labels(const EncodedDataset& dataset,
+                                       std::span<const std::size_t> indices);
+
+}  // namespace clpp::core

@@ -1,0 +1,46 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace clpp::core {
+
+void BinaryMetrics::add(bool predicted, bool actual) {
+  if (predicted && actual) ++tp;
+  else if (predicted && !actual) ++fp;
+  else if (!predicted && actual) ++fn;
+  else ++tn;
+}
+
+std::string BinaryMetrics::summary() const {
+  std::ostringstream os;
+  os << "P=" << fixed(precision(), 2) << " R=" << fixed(recall(), 2)
+     << " F1=" << fixed(f1(), 2) << " acc=" << fixed(accuracy(), 2) << " (tp=" << tp
+     << " fp=" << fp << " tn=" << tn << " fn=" << fn << ")";
+  return os.str();
+}
+
+BinaryMetrics compute_metrics(std::span<const int> predictions,
+                              std::span<const int> labels) {
+  CLPP_CHECK_MSG(predictions.size() == labels.size(),
+                 "predictions/labels size mismatch");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    m.add(predictions[i] != 0, labels[i] != 0);
+  return m;
+}
+
+BinaryMetrics compute_metrics_proba(std::span<const float> probabilities,
+                                    std::span<const std::int32_t> labels,
+                                    float threshold) {
+  CLPP_CHECK_MSG(probabilities.size() == labels.size(),
+                 "probabilities/labels size mismatch");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < probabilities.size(); ++i)
+    m.add(probabilities[i] > threshold, labels[i] != 0);
+  return m;
+}
+
+}  // namespace clpp::core

@@ -1,0 +1,42 @@
+// Binary classification metrics (precision / recall / F1, §5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace clpp::core {
+
+/// Confusion-matrix counts and the derived metrics the paper reports.
+struct BinaryMetrics {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double precision() const { return tp + fp == 0 ? 0.0 : double(tp) / double(tp + fp); }
+  double recall() const { return tp + fn == 0 ? 0.0 : double(tp) / double(tp + fn); }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double accuracy() const {
+    return total() == 0 ? 0.0 : double(tp + tn) / double(total());
+  }
+
+  /// Adds one (prediction, truth) observation.
+  void add(bool predicted, bool actual);
+
+  /// One-line summary for logs.
+  std::string summary() const;
+};
+
+/// Metrics from parallel prediction/label arrays (values in {0, 1}).
+BinaryMetrics compute_metrics(std::span<const int> predictions,
+                              std::span<const int> labels);
+
+/// Metrics from probabilities at the paper's 0.5 threshold.
+BinaryMetrics compute_metrics_proba(std::span<const float> probabilities,
+                                    std::span<const std::int32_t> labels,
+                                    float threshold = 0.5f);
+
+}  // namespace clpp::core

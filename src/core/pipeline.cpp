@@ -1,0 +1,144 @@
+#include "core/pipeline.h"
+
+#include <numeric>
+
+namespace clpp::core {
+
+using corpus::Task;
+
+BinaryMetrics TaskRun::test_metrics() const {
+  CLPP_CHECK_MSG(model != nullptr, "task has no trained model");
+  return evaluate_metrics(*model, test);
+}
+
+Pipeline::Pipeline(PipelineConfig config)
+    : config_(std::move(config)), corpus_(codegen::generate_corpus(config_.generator)) {
+  // Vocabulary is built on the *training* records of the directive task
+  // (Table 6's "train vocab"), under the configured representation.
+  const corpus::Split& split = split_for(Task::kDirective);
+  const auto docs = tokenize_records(corpus_, split.train, config_.representation);
+  vocab_ = tokenize::Vocabulary::build(docs);
+}
+
+const corpus::Split& Pipeline::split_for(Task task) {
+  auto it = splits_.find(task);
+  if (it != splits_.end()) return it->second;
+  // Derive a task-specific but run-deterministic split seed.
+  Rng rng(config_.split_seed * 1000003ULL + static_cast<std::uint64_t>(task));
+  return splits_.emplace(task, corpus::make_split(corpus_, task, rng)).first->second;
+}
+
+const std::map<std::string, Tensor>& Pipeline::mlm_checkpoint() {
+  if (mlm_checkpoint_) return *mlm_checkpoint_;
+
+  Rng rng(config_.model_seed ^ 0x11117777ULL);
+  nn::EncoderConfig cfg = config_.encoder;
+  cfg.vocab_size = vocab_.size();
+  cfg.max_seq = config_.max_len;
+  nn::TransformerEncoder encoder(cfg, rng);
+
+  // Pretrain on every snippet in the corpus — MLM is self-supervised, so
+  // using unlabeled validation/test *code* mirrors DeepSCC's setting of
+  // pretraining on a large unlabeled source corpus.
+  std::vector<std::vector<std::int32_t>> sequences;
+  sequences.reserve(corpus_.size());
+  for (const auto& record : corpus_.records()) {
+    const auto tokens = tokenize::tokenize(record.code, config_.representation);
+    auto encoded = vocab_.encode(tokens, config_.max_len);
+    if (encoded.size() >= 2) sequences.push_back(std::move(encoded));
+  }
+  nn::MlmVocabInfo vocab_info{.mask_id = tokenize::Vocabulary::kMask,
+                              .special_below = tokenize::Vocabulary::kSpecialCount,
+                              .vocab_size = vocab_.size()};
+  pretrain_mlm(encoder, sequences, vocab_info, config_.mlm, rng);
+
+  std::vector<nn::Parameter*> params;
+  encoder.collect_parameters(params);
+  std::map<std::string, Tensor> checkpoint;
+  for (const nn::Parameter* p : params) checkpoint.emplace(p->name, p->value);
+  mlm_checkpoint_ = std::move(checkpoint);
+  return *mlm_checkpoint_;
+}
+
+TaskRun Pipeline::train_task(Task task, std::size_t epochs_override) {
+  const corpus::Split& split = split_for(task);
+
+  TaskRun run;
+  run.split = split;
+  run.train = encode_dataset(corpus_, split.train, task, config_.representation, vocab_,
+                             config_.max_len);
+  run.validation = encode_dataset(corpus_, split.validation, task,
+                                  config_.representation, vocab_, config_.max_len);
+  run.test = encode_dataset(corpus_, split.test, task, config_.representation, vocab_,
+                            config_.max_len);
+
+  PragFormerConfig model_config;
+  model_config.encoder = config_.encoder;
+  model_config.encoder.vocab_size = vocab_.size();
+  model_config.encoder.max_seq = config_.max_len;
+
+  Rng rng(config_.model_seed + static_cast<std::uint64_t>(task) * 97);
+  run.model = std::make_unique<PragFormer>(model_config, rng);
+  if (config_.mlm_pretrain) run.model->load_pretrained_encoder(mlm_checkpoint());
+
+  TrainConfig train_config = config_.train;
+  if (epochs_override > 0) train_config.epochs = epochs_override;
+  run.curves =
+      train_classifier(*run.model, run.train, run.validation, train_config, rng);
+  return run;
+}
+
+BinaryMetrics Pipeline::bow_metrics(Task task) {
+  const corpus::Split& split = split_for(task);
+  const auto featurize = [&](std::span<const std::size_t> indices,
+                             std::vector<baselines::SparseVector>& xs,
+                             std::vector<std::int32_t>& ys) {
+    for (std::size_t i : indices) {
+      const auto tokens =
+          tokenize::tokenize(corpus_.at(i).code, config_.representation);
+      xs.push_back(baselines::bow_features(tokens, vocab_));
+      ys.push_back(static_cast<std::int32_t>(corpus::label_of(corpus_.at(i), task)));
+    }
+  };
+
+  std::vector<baselines::SparseVector> train_x, test_x;
+  std::vector<std::int32_t> train_y, test_y;
+  featurize(split.train, train_x, train_y);
+  featurize(split.test, test_x, test_y);
+
+  baselines::LogisticRegression model(vocab_.size());
+  Rng rng(config_.model_seed ^ 0xB0B0ULL);
+  model.train(train_x, train_y, baselines::LogisticConfig{}, rng);
+
+  BinaryMetrics metrics;
+  for (std::size_t i = 0; i < test_x.size(); ++i)
+    metrics.add(model.predict(test_x[i]) != 0, test_y[i] != 0);
+  return metrics;
+}
+
+ComParEval Pipeline::compar_metrics(Task task) {
+  const corpus::Split& split = split_for(task);
+  const s2s::ComPar compar;
+  ComParEval eval;
+  eval.total = split.test.size();
+  for (std::size_t i : split.test) {
+    const corpus::Record& record = corpus_.at(i);
+    const s2s::ComParResult result = compar.process_source(record.code);
+    if (result.compile_failed()) ++eval.compile_failures;
+    bool predicted = false;
+    switch (task) {
+      case Task::kDirective: predicted = result.predicts_directive(); break;
+      case Task::kPrivate: predicted = result.predicts_private(); break;
+      case Task::kReduction: predicted = result.predicts_reduction(); break;
+      case Task::kSchedule:
+        predicted = result.combined.parallelized() &&
+                    result.combined.directive->schedule ==
+                        frontend::ScheduleKind::kDynamic;
+        break;
+    }
+    eval.metrics.add(predicted, corpus::label_of(record, task) != 0);
+  }
+  return eval;
+}
+
+}  // namespace clpp::core

@@ -1,0 +1,91 @@
+// End-to-end experiment pipeline: corpus -> vocab -> (MLM) -> PragFormer,
+// plus the BoW and ComPar competitors, evaluated the way §5 does.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baselines/bow.h"
+#include "codegen/generator.h"
+#include "core/trainer.h"
+#include "nn/mlm.h"
+#include "s2s/compar.h"
+
+namespace clpp::core {
+
+/// Everything one experiment run needs to be reproducible.
+struct PipelineConfig {
+  codegen::GeneratorConfig generator;               // corpus shape
+  tokenize::Representation representation = tokenize::Representation::kText;
+  std::size_t max_len = 110;                        // §4.3: longest snippet
+  nn::EncoderConfig encoder{.vocab_size = 0,        // filled from the vocab
+                            .max_seq = 110,
+                            .dim = 64,
+                            .heads = 4,
+                            .layers = 2,
+                            .ffn_dim = 128,
+                            .dropout = 0.1f};
+  TrainConfig train{.epochs = 10, .batch_size = 32, .lr = 5e-4f};
+  bool mlm_pretrain = true;                         // DeepSCC stand-in
+  nn::MlmConfig mlm{.epochs = 2, .batch_size = 32, .lr = 5e-4f};
+  std::uint64_t split_seed = 7;
+  std::uint64_t model_seed = 13;
+};
+
+/// Trained model + datasets + curves for one task.
+struct TaskRun {
+  EncodedDataset train;
+  EncodedDataset validation;
+  EncodedDataset test;
+  corpus::Split split;  // indices into the corpus, aligned with datasets
+  std::unique_ptr<PragFormer> model;
+  std::vector<EpochCurve> curves;
+
+  BinaryMetrics test_metrics() const;
+};
+
+/// ComPar evaluation outcome for one task (§5.2 fallback-negative policy).
+struct ComParEval {
+  BinaryMetrics metrics;
+  std::size_t compile_failures = 0;
+  std::size_t total = 0;
+};
+
+/// The experiment pipeline. Construction generates the corpus and builds
+/// the vocabulary on the training split of the directive task; everything
+/// downstream shares both.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  const PipelineConfig& config() const { return config_; }
+  const corpus::Corpus& corpus() const { return corpus_; }
+  const tokenize::Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Pretrains an MLM encoder checkpoint over the full (unlabeled) corpus;
+  /// cached after the first call. Returns the parameter map.
+  const std::map<std::string, Tensor>& mlm_checkpoint();
+
+  /// Trains PragFormer for `task`; `epochs_override` > 0 replaces the
+  /// configured epoch count (used by the representation study).
+  TaskRun train_task(corpus::Task task, std::size_t epochs_override = 0);
+
+  /// BoW + logistic baseline for `task` (same splits as train_task).
+  BinaryMetrics bow_metrics(corpus::Task task);
+
+  /// ComPar on the test split of `task`, compile failures counting as
+  /// negative predictions (§5.2).
+  ComParEval compar_metrics(corpus::Task task);
+
+  /// The split used for `task` (deterministic per pipeline).
+  const corpus::Split& split_for(corpus::Task task);
+
+ private:
+  PipelineConfig config_;
+  corpus::Corpus corpus_;
+  tokenize::Vocabulary vocab_;
+  std::map<corpus::Task, corpus::Split> splits_;
+  std::optional<std::map<std::string, Tensor>> mlm_checkpoint_;
+};
+
+}  // namespace clpp::core

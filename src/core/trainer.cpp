@@ -1,0 +1,133 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "nn/checkpoint.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace clpp::core {
+
+std::vector<EpochCurve> train_classifier(
+    PragFormer& model, const EncodedDataset& train, const EncodedDataset& validation,
+    const TrainConfig& config, Rng& rng,
+    const std::function<void(const EpochCurve&)>& on_epoch) {
+  CLPP_CHECK_MSG(train.size() > 0, "empty training set");
+  CLPP_CHECK_MSG(config.epochs > 0 && config.batch_size > 0, "bad train config");
+
+  const std::size_t max_seq = model.config().encoder.max_seq;
+  std::vector<nn::Parameter*> params = model.parameters();
+  nn::AdamW optimizer(nn::AdamWConfig{.lr = config.lr});
+
+  const std::size_t steps_per_epoch =
+      (train.size() + config.batch_size - 1) / config.batch_size;
+  const std::size_t total_steps = steps_per_epoch * config.epochs;
+  const std::size_t warmup =
+      static_cast<std::size_t>(config.warmup_fraction * total_steps);
+  const nn::WarmupLinearSchedule schedule(config.lr, warmup,
+                                          std::max<std::size_t>(total_steps, warmup + 1));
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochCurve> curves;
+  std::map<std::string, Tensor> best_snapshot;
+  float best_val_loss = std::numeric_limits<float>::infinity();
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, order.size() - start);
+      const std::span<const std::size_t> idx{order.data() + start, count};
+      const nn::TokenBatch batch = pack_batch(train, idx, max_seq);
+      const std::vector<std::int32_t> labels = batch_labels(train, idx);
+
+      nn::zero_gradients(params);
+      Tensor out = model.logits(batch, /*train=*/true);
+      nn::SoftmaxCrossEntropy loss;
+      loss_sum += loss.forward(out, labels);
+      ++batches;
+      model.backward(loss.backward());
+      nn::clip_gradient_norm(params, config.clip_norm);
+      optimizer.set_learning_rate(schedule.lr_at(step++));
+      optimizer.step(params);
+    }
+
+    EpochCurve curve;
+    curve.epoch = epoch;
+    curve.train_loss = batches ? static_cast<float>(loss_sum / batches) : 0.0f;
+    if (validation.size() > 0) {
+      const auto [vloss, vacc] = evaluate_loss_accuracy(model, validation);
+      curve.val_loss = vloss;
+      curve.val_accuracy = vacc;
+    }
+    curves.push_back(curve);
+    if (on_epoch) on_epoch(curve);
+
+    if (config.select_best_epoch && validation.size() > 0 &&
+        curve.val_loss < best_val_loss) {
+      best_val_loss = curve.val_loss;
+      best_snapshot.clear();
+      for (const nn::Parameter* p : params) best_snapshot.emplace(p->name, p->value);
+    }
+  }
+  if (config.select_best_epoch && !best_snapshot.empty())
+    nn::restore_parameters(best_snapshot, params, /*strict=*/true);
+  return curves;
+}
+
+std::pair<float, float> evaluate_loss_accuracy(PragFormer& model,
+                                               const EncodedDataset& dataset,
+                                               std::size_t batch_size) {
+  CLPP_CHECK(dataset.size() > 0);
+  const std::size_t max_seq = model.config().encoder.max_seq;
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, order.size() - start);
+    const std::span<const std::size_t> idx{order.data() + start, count};
+    const nn::TokenBatch batch = pack_batch(dataset, idx, max_seq);
+    const std::vector<std::int32_t> labels = batch_labels(dataset, idx);
+    Tensor out = model.logits(batch, /*train=*/false);
+    nn::SoftmaxCrossEntropy loss;
+    loss_sum += loss.forward(out, labels);
+    ++batches;
+    const auto probs = nn::positive_probabilities(out);
+    for (std::size_t i = 0; i < probs.size(); ++i)
+      correct += (probs[i] > 0.5f) == (labels[i] != 0);
+  }
+  return {static_cast<float>(loss_sum / batches),
+          static_cast<float>(correct) / static_cast<float>(dataset.size())};
+}
+
+std::vector<float> predict_dataset(PragFormer& model, const EncodedDataset& dataset,
+                                   std::size_t batch_size) {
+  const std::size_t max_seq = model.config().encoder.max_seq;
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<float> out;
+  out.reserve(dataset.size());
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, order.size() - start);
+    const std::span<const std::size_t> idx{order.data() + start, count};
+    const nn::TokenBatch batch = pack_batch(dataset, idx, max_seq);
+    for (float p : model.predict_proba(batch)) out.push_back(p);
+  }
+  return out;
+}
+
+BinaryMetrics evaluate_metrics(PragFormer& model, const EncodedDataset& dataset,
+                               std::size_t batch_size) {
+  const std::vector<float> probs = predict_dataset(model, dataset, batch_size);
+  return compute_metrics_proba(probs, dataset.labels);
+}
+
+}  // namespace clpp::core

@@ -1,0 +1,55 @@
+// PragFormer training loop with per-epoch curves (Figures 3-5).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/metrics.h"
+#include "core/pragformer.h"
+
+namespace clpp::core {
+
+/// Fine-tuning hyperparameters (§4.3: AdamW + dropout).
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  float lr = 5e-4f;
+  float clip_norm = 1.0f;
+  float warmup_fraction = 0.1f;  // of total steps
+  /// §5.1: "since validation loss begins to rise after 7-9 epochs, we
+  /// choose to use the models trained up to those points." When true, the
+  /// parameters from the epoch with the lowest validation loss are
+  /// restored after training (requires a non-empty validation set).
+  bool select_best_epoch = false;
+};
+
+/// Per-epoch statistics — exactly the series of Figures 3, 4, and 5.
+struct EpochCurve {
+  std::size_t epoch = 0;
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  float val_accuracy = 0.0f;
+};
+
+/// Trains `model` on `train`, evaluating on `validation` each epoch.
+/// `on_epoch` (optional) observes progress. Deterministic given `rng`.
+std::vector<EpochCurve> train_classifier(
+    PragFormer& model, const EncodedDataset& train, const EncodedDataset& validation,
+    const TrainConfig& config, Rng& rng,
+    const std::function<void(const EpochCurve&)>& on_epoch = nullptr);
+
+/// Loss + accuracy of `model` on a dataset (eval mode, batched).
+std::pair<float, float> evaluate_loss_accuracy(PragFormer& model,
+                                               const EncodedDataset& dataset,
+                                               std::size_t batch_size = 64);
+
+/// P(positive) for every row of `dataset` (eval mode, batched).
+std::vector<float> predict_dataset(PragFormer& model, const EncodedDataset& dataset,
+                                   std::size_t batch_size = 64);
+
+/// Metrics of `model` on `dataset` at the 0.5 threshold.
+BinaryMetrics evaluate_metrics(PragFormer& model, const EncodedDataset& dataset,
+                               std::size_t batch_size = 64);
+
+}  // namespace clpp::core

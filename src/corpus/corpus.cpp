@@ -1,0 +1,119 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/strings.h"
+
+namespace clpp::corpus {
+
+const Record& Corpus::at(std::size_t i) const {
+  CLPP_CHECK_MSG(i < records_.size(), "corpus index out of range");
+  return records_[i];
+}
+
+CorpusStats Corpus::stats() const {
+  CorpusStats s;
+  s.total = records_.size();
+  for (const Record& r : records_) {
+    if (!r.has_directive) {
+      ++s.without_directive;
+      continue;
+    }
+    ++s.with_directive;
+    if (r.schedule == frontend::ScheduleKind::kDynamic) ++s.schedule_dynamic;
+    else ++s.schedule_static;
+    if (r.label_reduction) ++s.reduction;
+    if (r.label_private) ++s.private_clause;
+  }
+  return s;
+}
+
+void Corpus::save_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open corpus file for writing: " + path);
+  for (const Record& r : records_) out << r.to_json().dump() << '\n';
+  if (!out) throw IoError("corpus write failed: " + path);
+}
+
+Corpus Corpus::load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open corpus file: " + path);
+  Corpus corpus;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    try {
+      corpus.add(Record::from_json(Json::parse(line)));
+    } catch (const ParseError& e) {
+      throw ParseError("corpus " + path + " line " + std::to_string(line_no) + ": " +
+                       e.what());
+    }
+  }
+  return corpus;
+}
+
+std::string task_name(Task task) {
+  switch (task) {
+    case Task::kDirective: return "directive";
+    case Task::kPrivate: return "private";
+    case Task::kReduction: return "reduction";
+    case Task::kSchedule: return "schedule";
+  }
+  return "unknown";
+}
+
+int label_of(const Record& record, Task task) {
+  switch (task) {
+    case Task::kDirective: return record.has_directive ? 1 : 0;
+    case Task::kPrivate: return record.label_private ? 1 : 0;
+    case Task::kReduction: return record.label_reduction ? 1 : 0;
+    case Task::kSchedule:
+      return record.schedule == frontend::ScheduleKind::kDynamic ? 1 : 0;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> task_population(const Corpus& corpus, Task task) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (task == Task::kDirective || corpus.at(i).has_directive) out.push_back(i);
+  }
+  return out;
+}
+
+Split make_split(const Corpus& corpus, Task task, Rng& rng, double train_fraction,
+                 double validation_fraction) {
+  CLPP_CHECK_MSG(train_fraction > 0 && validation_fraction > 0 &&
+                     train_fraction + 2 * validation_fraction <= 1.0 + 1e-9,
+                 "invalid split fractions");
+  // Stratified: shuffle each label class separately, then cut.
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i : task_population(corpus, task))
+    (label_of(corpus.at(i), task) ? positives : negatives).push_back(i);
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+
+  Split split;
+  auto cut = [&](std::vector<std::size_t>& items) {
+    const std::size_t n = items.size();
+    const std::size_t n_train = static_cast<std::size_t>(n * train_fraction);
+    const std::size_t n_val = static_cast<std::size_t>(n * validation_fraction);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < n_train) split.train.push_back(items[i]);
+      else if (i < n_train + n_val) split.validation.push_back(items[i]);
+      else split.test.push_back(items[i]);
+    }
+  };
+  cut(positives);
+  cut(negatives);
+  rng.shuffle(split.train);
+  rng.shuffle(split.validation);
+  rng.shuffle(split.test);
+  return split;
+}
+
+}  // namespace clpp::corpus

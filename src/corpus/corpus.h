@@ -1,0 +1,79 @@
+// Corpus container, statistics (Table 3), persistence, and splits (§3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/record.h"
+#include "support/rng.h"
+
+namespace clpp::corpus {
+
+/// Statistics of Table 3 of the paper.
+struct CorpusStats {
+  std::size_t total = 0;
+  std::size_t with_directive = 0;
+  std::size_t without_directive = 0;
+  std::size_t schedule_static = 0;
+  std::size_t schedule_dynamic = 0;
+  std::size_t reduction = 0;
+  std::size_t private_clause = 0;
+};
+
+/// The Open-OMP corpus equivalent: an ordered collection of records.
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::vector<Record> records) : records_(std::move(records)) {}
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  const Record& at(std::size_t i) const;
+  void add(Record record) { records_.push_back(std::move(record)); }
+
+  /// Table 3 statistics.
+  CorpusStats stats() const;
+
+  /// JSONL persistence.
+  void save_jsonl(const std::string& path) const;
+  static Corpus load_jsonl(const std::string& path);
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Index-based train/validation/test split.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+  std::vector<std::size_t> test;
+
+  std::size_t total() const { return train.size() + validation.size() + test.size(); }
+};
+
+/// Which task a dataset serves. The paper builds directive (RQ1) and the
+/// two clause datasets (RQ2); schedule prediction is listed as future work
+/// (§6: "fine-tune the OpenMP directives by inserting the scheduling
+/// construct") and implemented here as a fourth task.
+enum class Task {
+  kDirective,  // RQ1: does this loop need a directive? (all records)
+  kPrivate,    // RQ2: does this parallelized loop need private? (positives only)
+  kReduction,  // RQ2: ... need reduction? (positives only)
+  kSchedule,   // future work: schedule(dynamic) vs static (positives only)
+};
+
+std::string task_name(Task task);
+
+/// Binary label of `record` under `task`.
+int label_of(const Record& record, Task task);
+
+/// Indices of records participating in `task` (directive task: all;
+/// clause tasks: only records with a directive).
+std::vector<std::size_t> task_population(const Corpus& corpus, Task task);
+
+/// Randomly splits `population` into 75% / 12.5% / 12.5%, stratified by the
+/// task label so each side keeps the corpus' label distribution (§3.2).
+Split make_split(const Corpus& corpus, Task task, Rng& rng,
+                 double train_fraction = 0.75, double validation_fraction = 0.125);
+
+}  // namespace clpp::corpus

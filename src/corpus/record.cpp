@@ -1,0 +1,47 @@
+#include "corpus/record.h"
+
+namespace clpp::corpus {
+
+frontend::OmpDirective Record::directive() const {
+  CLPP_CHECK_MSG(has_directive, "record " << id << " has no directive");
+  return frontend::parse_omp_pragma(directive_text);
+}
+
+void Record::refresh_labels() {
+  if (!has_directive) {
+    label_private = false;
+    label_reduction = false;
+    schedule = frontend::ScheduleKind::kNone;
+    return;
+  }
+  const frontend::OmpDirective d = directive();
+  label_private = d.has_private();
+  label_reduction = d.has_reduction();
+  // The paper's Table 3 counts every directive as static or dynamic;
+  // unspecified schedule means the static default.
+  schedule = d.schedule == frontend::ScheduleKind::kNone ? frontend::ScheduleKind::kStatic
+                                                         : d.schedule;
+}
+
+Json Record::to_json() const {
+  Json obj = Json::object();
+  obj["id"] = Json{id};
+  obj["family"] = Json{family};
+  obj["code"] = Json{code};
+  obj["has_directive"] = Json{has_directive};
+  if (has_directive) obj["directive"] = Json{directive_text};
+  return obj;
+}
+
+Record Record::from_json(const Json& json) {
+  Record r;
+  r.id = json.at("id").as_string();
+  r.family = json.get_string("family", "unknown");
+  r.code = json.at("code").as_string();
+  r.has_directive = json.get_bool("has_directive", false);
+  if (r.has_directive) r.directive_text = json.at("directive").as_string();
+  r.refresh_labels();
+  return r;
+}
+
+}  // namespace clpp::corpus

@@ -1,0 +1,44 @@
+// Corpus records: one labeled code snippet (§3.1 of the paper).
+//
+// A record mirrors the three files of an Open-OMP entry: the code segment
+// (loop plus any helper function implementations found with it), the
+// OpenMP directive (when present), and the AST (regenerable from the code
+// via clpp::frontend, so we store the code and parse on demand).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "frontend/pragma.h"
+#include "support/json.h"
+
+namespace clpp::corpus {
+
+/// One labeled snippet.
+struct Record {
+  std::string id;          // stable unique id within the corpus
+  std::string family;      // generator template family (provenance)
+  std::string code;        // C source of the snippet (no directive line)
+  bool has_directive = false;
+  std::string directive_text;  // canonical "#pragma omp ..." when labeled
+
+  /// Clause/schedule labels derived from the directive (false/static when
+  /// no directive).
+  bool label_private = false;
+  bool label_reduction = false;
+  frontend::ScheduleKind schedule = frontend::ScheduleKind::kNone;
+
+  /// Parses `directive_text` (convenience; throws if absent).
+  frontend::OmpDirective directive() const;
+
+  /// Re-derives the clause/schedule labels from `directive_text`.
+  void refresh_labels();
+
+  /// JSONL (de)serialization.
+  Json to_json() const;
+  static Record from_json(const Json& json);
+
+  bool operator==(const Record&) const = default;
+};
+
+}  // namespace clpp::corpus

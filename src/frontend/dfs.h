@@ -1,0 +1,23 @@
+// DFS serialization of the AST (paper §4.2, Tables 2 and 5).
+//
+// The paper linearizes pycparser ASTs by a depth-first traversal, one node
+// label per line ("For:", "Assignment: =", "ID: i", "Constant: int, 0").
+// `dfs_lines` reproduces the indented textual form; `dfs_tokens` yields the
+// token stream fed to the model's tokenizer (each label split into its
+// constituent symbols, e.g. "Assignment:" "=" and "Constant:" "int" "0").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace clpp::frontend {
+
+/// Indented one-node-per-line rendering (Table 2 of the paper).
+std::string dfs_lines(const Node& root);
+
+/// Flat token sequence for model ingestion (AST representation of §4.2).
+std::vector<std::string> dfs_tokens(const Node& root);
+
+}  // namespace clpp::frontend

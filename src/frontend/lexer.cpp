@@ -1,0 +1,248 @@
+#include "frontend/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace clpp::frontend {
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end-of-input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kCharLiteral: return "char literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kPunct: return "punctuation";
+    case TokenKind::kPragma: return "pragma";
+  }
+  return "unknown";
+}
+
+bool is_c_keyword(std::string_view word) {
+  static constexpr std::array kKeywords = {
+      "auto",     "break",    "case",     "char",   "const",    "continue",
+      "default",  "do",       "double",   "else",   "enum",     "extern",
+      "float",    "for",      "goto",     "if",     "inline",   "int",
+      "long",     "register", "restrict", "return", "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch", "typedef",  "union",
+      "unsigned", "void",     "volatile", "while",  "size_t"};
+  for (std::string_view k : kKeywords)
+    if (k == word) return true;
+  return false;
+}
+
+namespace {
+
+/// Multi-character operators, longest first so maximal munch works.
+constexpr std::array<std::string_view, 19> kMultiPunct = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%="};
+constexpr std::array<std::string_view, 6> kMultiPunct2 = {"&=", "|=", "^=",
+                                                          "##", "::", "->"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_whitespace_and_comments();
+      if (at_end()) break;
+      tokens.push_back(next_token());
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", line_, column_});
+    return tokens;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("lex error at " + std::to_string(line_) + ":" +
+                     std::to_string(column_) + ": " + why);
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) fail("unterminated block comment");
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token next_token() {
+    const int line = line_;
+    const int col = column_;
+    const char c = peek();
+
+    if (c == '#') return preprocessor_line(line, col);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return identifier(line, col);
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+      return number(line, col);
+    if (c == '"') return string_literal(line, col);
+    if (c == '\'') return char_literal(line, col);
+    return punct(line, col);
+  }
+
+  Token preprocessor_line(int line, int col) {
+    // Consume until an unescaped newline.
+    std::string text;
+    advance();  // '#'
+    while (!at_end() && peek() != '\n') {
+      if (peek() == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(advance());
+    }
+    const std::string trimmed{clpp::trim(text)};
+    if (starts_with(trimmed, "pragma"))
+      return Token{TokenKind::kPragma, trimmed, line, col};
+    // Other preprocessor directives are skipped by re-entering the loop.
+    skip_whitespace_and_comments();
+    if (at_end()) return Token{TokenKind::kEnd, "", line_, column_};
+    return next_token();
+  }
+
+  Token identifier(int line, int col) {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_'))
+      text.push_back(advance());
+    const TokenKind kind =
+        is_c_keyword(text) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    return Token{kind, std::move(text), line, col};
+  }
+
+  Token number(int line, int col) {
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      text.push_back(advance());
+      text.push_back(advance());
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+      if (peek() == '.') {
+        is_float = true;
+        text.push_back(advance());
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+          text.push_back(advance());
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        text.push_back(advance());
+        if (peek() == '+' || peek() == '-') text.push_back(advance());
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad exponent");
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+          text.push_back(advance());
+      }
+    }
+    // Suffixes (u, l, f) are consumed but not recorded in the value text.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+           peek() == 'f' || peek() == 'F') {
+      if (peek() == 'f' || peek() == 'F') is_float = true;
+      advance();
+    }
+    return Token{is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
+                 std::move(text), line, col};
+  }
+
+  Token string_literal(int line, int col) {
+    std::string text;
+    advance();  // opening quote
+    while (!at_end() && peek() != '"') {
+      if (peek() == '\\') text.push_back(advance());
+      if (at_end()) break;
+      if (peek() == '\n') fail("newline in string literal");
+      text.push_back(advance());
+    }
+    if (at_end()) fail("unterminated string literal");
+    advance();  // closing quote
+    return Token{TokenKind::kStringLiteral, std::move(text), line, col};
+  }
+
+  Token char_literal(int line, int col) {
+    std::string text;
+    advance();  // opening quote
+    while (!at_end() && peek() != '\'') {
+      if (peek() == '\\') text.push_back(advance());
+      if (at_end()) break;
+      text.push_back(advance());
+    }
+    if (at_end()) fail("unterminated char literal");
+    advance();
+    if (text.empty()) fail("empty char literal");
+    return Token{TokenKind::kCharLiteral, std::move(text), line, col};
+  }
+
+  Token punct(int line, int col) {
+    const std::string_view rest = src_.substr(pos_);
+    for (std::string_view op : kMultiPunct) {
+      if (starts_with(rest, op)) {
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        return Token{TokenKind::kPunct, std::string(op), line, col};
+      }
+    }
+    for (std::string_view op : kMultiPunct2) {
+      if (starts_with(rest, op)) {
+        for (std::size_t i = 0; i < op.size(); ++i) advance();
+        return Token{TokenKind::kPunct, std::string(op), line, col};
+      }
+    }
+    const char c = advance();
+    static constexpr std::string_view kSingles = "+-*/%=<>!&|^~?:;,.()[]{}";
+    if (kSingles.find(c) == std::string_view::npos)
+      fail(std::string("unexpected character '") + c + "'");
+    return Token{TokenKind::kPunct, std::string(1, c), line, col};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer{source}.run(); }
+
+}  // namespace clpp::frontend

@@ -1,0 +1,23 @@
+// Lexer for the C subset.
+//
+// Handles identifiers/keywords, numeric/char/string literals, all C
+// operators, line and block comments, and preprocessor lines. `#pragma`
+// lines are preserved as kPragma tokens (they carry OpenMP directives);
+// all other preprocessor lines (#include, #define, ...) are skipped, which
+// matches how pycparser-based pipelines preprocess snippets.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace clpp::frontend {
+
+/// Tokenizes `source`; throws ParseError with line/column on bad input.
+std::vector<Token> lex(std::string_view source);
+
+/// True if `word` is a keyword of the subset.
+bool is_c_keyword(std::string_view word);
+
+}  // namespace clpp::frontend

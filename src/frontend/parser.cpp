@@ -1,0 +1,671 @@
+#include "frontend/parser.h"
+
+#include <array>
+#include <set>
+
+#include "frontend/lexer.h"
+#include "support/error.h"
+
+namespace clpp::frontend {
+
+namespace {
+
+/// Names treated as type names in addition to keywords (common typedefs in
+/// HPC snippets).
+const std::set<std::string, std::less<>>& known_typedefs() {
+  static const std::set<std::string, std::less<>> kTypes = {
+      "size_t", "ssize_t", "FILE",     "uint8_t",  "uint16_t", "uint32_t",
+      "uint64_t", "int8_t", "int16_t", "int32_t",  "int64_t",  "bool",
+      "ptrdiff_t"};
+  return kTypes;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  NodePtr program() {
+    auto unit = make_node(NodeKind::kTranslationUnit);
+    while (!peek().is(TokenKind::kEnd)) unit->children.push_back(external_item());
+    return unit;
+  }
+
+  NodePtr snippet() { return program(); }
+
+  NodePtr single_expression() {
+    NodePtr e = expression();
+    expect_end();
+    return e;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool accept_punct(std::string_view spelling) {
+    if (peek().is_punct(spelling)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_keyword(std::string_view word) {
+    if (peek().is_keyword(word)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  const Token& expect_punct(std::string_view spelling) {
+    if (!peek().is_punct(spelling)) fail("expected '" + std::string(spelling) + "'");
+    return advance();
+  }
+
+  void expect_end() {
+    if (!peek().is(TokenKind::kEnd)) fail("trailing tokens after expression");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    const Token& t = peek();
+    throw ParseError("parse error at " + std::to_string(t.line) + ":" +
+                     std::to_string(t.column) + ": " + why + " (found " +
+                     token_kind_name(t.kind) + " '" + t.text + "')");
+  }
+
+  // --- type recognition ----------------------------------------------------
+
+  bool starts_type(std::size_t ahead = 0) const {
+    const Token& t = peek(ahead);
+    if (t.kind == TokenKind::kKeyword) {
+      static constexpr std::array kTypeWords = {
+          "void", "char", "short", "int",      "long",   "float",  "double",
+          "signed", "unsigned", "const", "static", "struct", "union", "enum",
+          "register", "volatile", "extern", "inline", "size_t"};
+      for (std::string_view w : kTypeWords)
+        if (t.text == w) return true;
+      return false;
+    }
+    return t.kind == TokenKind::kIdentifier && known_typedefs().count(t.text) > 0;
+  }
+
+  /// Consumes type specifiers and pointer stars; returns the type spelling.
+  std::string parse_type() {
+    std::string type;
+    bool any = false;
+    while (starts_type()) {
+      const Token& t = advance();
+      if (t.text == "struct" || t.text == "union" || t.text == "enum") {
+        if (!type.empty()) type += ' ';
+        type += t.text;
+        if (peek().is(TokenKind::kIdentifier)) {
+          type += ' ';
+          type += advance().text;
+        }
+        any = true;
+        continue;
+      }
+      if (!type.empty()) type += ' ';
+      type += t.text;
+      any = true;
+    }
+    if (!any) fail("expected a type");
+    while (peek().is_punct("*")) {
+      advance();
+      type += '*';
+    }
+    return type;
+  }
+
+  // --- external items -------------------------------------------------------
+
+  NodePtr external_item() {
+    const Token& t = peek();
+    if (t.is(TokenKind::kPragma)) {
+      auto pragma = make_node(NodeKind::kPragma, advance().text);
+      pragma->line = t.line;
+      return pragma;
+    }
+    if (starts_type()) return declaration_or_function();
+    return statement();  // snippet mode: bare statements allowed at top level
+  }
+
+  /// Parses after a type has been recognized: either a function definition
+  /// / prototype or a (possibly multi-declarator) declaration.
+  NodePtr declaration_or_function() {
+    const int line = peek().line;
+    std::string base_type = parse_type();
+
+    // `struct X { ... };` definition without declarator.
+    if ((base_type.rfind("struct", 0) == 0 || base_type.rfind("union", 0) == 0) &&
+        peek().is_punct("{")) {
+      auto def = make_node(NodeKind::kDecl, base_type, "struct-def");
+      def->line = line;
+      advance();  // '{'
+      while (!peek().is_punct("}")) {
+        if (peek().is(TokenKind::kEnd)) fail("unterminated struct body");
+        def->children.push_back(declarator_list(parse_type()));
+        expect_punct(";");
+      }
+      advance();  // '}'
+      accept_punct(";");
+      return def;
+    }
+
+    if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
+    const std::string name = advance().text;
+
+    if (peek().is_punct("(")) return function_rest(base_type, name, line);
+
+    NodePtr decl = declarator_rest(base_type, name, line);
+    if (peek().is_punct(",")) {
+      // Multi-declarator declaration: wrap in an ExprList of Decls so the
+      // statement position holds a single node.
+      auto list = make_node(NodeKind::kExprList);
+      list->line = line;
+      list->children.push_back(std::move(decl));
+      while (accept_punct(",")) {
+        std::string ptr_type = base_type;
+        while (accept_punct("*")) ptr_type += '*';
+        if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
+        const std::string next_name = advance().text;
+        list->children.push_back(declarator_rest(ptr_type, next_name, line));
+      }
+      expect_punct(";");
+      return list;
+    }
+    expect_punct(";");
+    return decl;
+  }
+
+  /// Declaration list sharing one base type, used for struct members.
+  NodePtr declarator_list(const std::string& base_type) {
+    const int line = peek().line;
+    std::string type = base_type;
+    while (accept_punct("*")) type += '*';
+    if (!peek().is(TokenKind::kIdentifier)) fail("expected member name");
+    const std::string name = advance().text;
+    return declarator_rest(type, name, line, /*allow_init=*/false);
+  }
+
+  /// Array dimensions and optional initializer after the declarator name.
+  NodePtr declarator_rest(std::string type, const std::string& name, int line,
+                          bool allow_init = true) {
+    auto decl = make_node(NodeKind::kDecl, name);
+    decl->line = line;
+    while (accept_punct("[")) {
+      type += "[]";
+      if (peek().is_punct("]")) {
+        decl->children.push_back(make_node(NodeKind::kEmpty));
+      } else {
+        decl->children.push_back(expression());
+      }
+      expect_punct("]");
+    }
+    decl->aux = std::move(type);
+    if (allow_init && accept_punct("=")) {
+      decl->children.push_back(initializer());
+    }
+    return decl;
+  }
+
+  /// `{1, 2, 3}` initializers become ExprList; otherwise an assignment expr.
+  NodePtr initializer() {
+    if (!peek().is_punct("{")) return assignment_expression();
+    advance();
+    auto list = make_node(NodeKind::kExprList);
+    if (!peek().is_punct("}")) {
+      list->children.push_back(initializer());
+      while (accept_punct(",")) {
+        if (peek().is_punct("}")) break;  // trailing comma
+        list->children.push_back(initializer());
+      }
+    }
+    expect_punct("}");
+    return list;
+  }
+
+  NodePtr function_rest(const std::string& return_type, const std::string& name,
+                        int line) {
+    expect_punct("(");
+    auto params = make_node(NodeKind::kExprList);
+    if (!peek().is_punct(")")) {
+      if (peek().is_keyword("void") && peek(1).is_punct(")")) {
+        advance();
+      } else {
+        params->children.push_back(parameter());
+        while (accept_punct(",")) params->children.push_back(parameter());
+      }
+    }
+    expect_punct(")");
+
+    auto fn = make_node(NodeKind::kFuncDef, name, return_type);
+    fn->line = line;
+    fn->children.push_back(std::move(params));
+    if (accept_punct(";")) {
+      // Prototype: record as a FuncDef with no body (aux keeps return type).
+      fn->children.push_back(make_node(NodeKind::kEmpty));
+      return fn;
+    }
+    fn->children.push_back(compound());
+    return fn;
+  }
+
+  NodePtr parameter() {
+    const int line = peek().line;
+    std::string type = parse_type();
+    std::string name;
+    if (peek().is(TokenKind::kIdentifier)) name = advance().text;
+    auto decl = make_node(NodeKind::kDecl, name);
+    decl->line = line;
+    while (accept_punct("[")) {
+      type += "[]";
+      if (!peek().is_punct("]")) decl->children.push_back(expression());
+      expect_punct("]");
+    }
+    decl->aux = std::move(type);
+    return decl;
+  }
+
+  // --- statements ------------------------------------------------------------
+
+  NodePtr compound() {
+    const int line = peek().line;
+    expect_punct("{");
+    auto block = make_node(NodeKind::kCompound);
+    block->line = line;
+    while (!peek().is_punct("}")) {
+      if (peek().is(TokenKind::kEnd)) fail("unterminated block");
+      block->children.push_back(block_item());
+    }
+    advance();
+    return block;
+  }
+
+  NodePtr block_item() {
+    if (peek().is(TokenKind::kPragma)) {
+      auto pragma = make_node(NodeKind::kPragma, peek().text);
+      pragma->line = advance().line;
+      return pragma;
+    }
+    if (starts_type()) return declaration_or_function();
+    return statement();
+  }
+
+  NodePtr statement() {
+    const Token& t = peek();
+    const int line = t.line;
+    if (t.is_punct("{")) return compound();
+    if (t.is_punct(";")) {
+      advance();
+      auto e = make_node(NodeKind::kEmpty);
+      e->line = line;
+      return e;
+    }
+    if (t.is(TokenKind::kPragma)) {
+      auto pragma = make_node(NodeKind::kPragma, advance().text);
+      pragma->line = line;
+      return pragma;
+    }
+    if (t.is_keyword("if")) return if_statement();
+    if (t.is_keyword("for")) return for_statement();
+    if (t.is_keyword("while")) return while_statement();
+    if (t.is_keyword("do")) return do_statement();
+    if (t.is_keyword("return")) {
+      advance();
+      auto ret = make_node(NodeKind::kReturn);
+      ret->line = line;
+      if (!peek().is_punct(";")) ret->children.push_back(expression());
+      expect_punct(";");
+      return ret;
+    }
+    if (t.is_keyword("break")) {
+      advance();
+      expect_punct(";");
+      auto n = make_node(NodeKind::kBreak);
+      n->line = line;
+      return n;
+    }
+    if (t.is_keyword("continue")) {
+      advance();
+      expect_punct(";");
+      auto n = make_node(NodeKind::kContinue);
+      n->line = line;
+      return n;
+    }
+    if (t.is_keyword("goto")) {
+      advance();
+      if (!peek().is(TokenKind::kIdentifier)) fail("expected label after goto");
+      auto n = make_node(NodeKind::kGoto, advance().text);
+      n->line = line;
+      expect_punct(";");
+      return n;
+    }
+    // Label: identifier ':' (not inside a ternary).
+    if (t.is(TokenKind::kIdentifier) && peek(1).is_punct(":")) {
+      auto label = make_node(NodeKind::kLabel, advance().text);
+      label->line = line;
+      advance();  // ':'
+      label->children.push_back(statement());
+      return label;
+    }
+    // Expression statement.
+    auto stmt = make_node(NodeKind::kExprStmt);
+    stmt->line = line;
+    stmt->children.push_back(comma_expression());
+    expect_punct(";");
+    return stmt;
+  }
+
+  NodePtr if_statement() {
+    const int line = advance().line;  // 'if'
+    expect_punct("(");
+    auto node = make_node(NodeKind::kIf);
+    node->line = line;
+    node->children.push_back(comma_expression());
+    expect_punct(")");
+    node->children.push_back(statement());
+    if (accept_keyword("else")) node->children.push_back(statement());
+    return node;
+  }
+
+  NodePtr for_statement() {
+    const int line = advance().line;  // 'for'
+    expect_punct("(");
+    auto node = make_node(NodeKind::kFor);
+    node->line = line;
+    // init
+    if (peek().is_punct(";")) {
+      advance();
+      node->children.push_back(make_node(NodeKind::kEmpty));
+    } else if (starts_type()) {
+      std::string type = parse_type();
+      if (!peek().is(TokenKind::kIdentifier)) fail("expected loop variable name");
+      const std::string name = advance().text;
+      node->children.push_back(declarator_rest(type, name, line));
+      expect_punct(";");
+    } else {
+      node->children.push_back(comma_expression());
+      expect_punct(";");
+    }
+    // cond
+    if (peek().is_punct(";")) {
+      node->children.push_back(make_node(NodeKind::kEmpty));
+    } else {
+      node->children.push_back(comma_expression());
+    }
+    expect_punct(";");
+    // next
+    if (peek().is_punct(")")) {
+      node->children.push_back(make_node(NodeKind::kEmpty));
+    } else {
+      node->children.push_back(comma_expression());
+    }
+    expect_punct(")");
+    node->children.push_back(statement());
+    return node;
+  }
+
+  NodePtr while_statement() {
+    const int line = advance().line;  // 'while'
+    expect_punct("(");
+    auto node = make_node(NodeKind::kWhile);
+    node->line = line;
+    node->children.push_back(comma_expression());
+    expect_punct(")");
+    node->children.push_back(statement());
+    return node;
+  }
+
+  NodePtr do_statement() {
+    const int line = advance().line;  // 'do'
+    auto node = make_node(NodeKind::kDoWhile);
+    node->line = line;
+    node->children.push_back(statement());
+    if (!accept_keyword("while")) fail("expected 'while' after do body");
+    expect_punct("(");
+    node->children.push_back(comma_expression());
+    expect_punct(")");
+    expect_punct(";");
+    return node;
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  /// expr (',' expr)* — multiple expressions become an ExprList.
+  NodePtr comma_expression() {
+    NodePtr first = expression();
+    if (!peek().is_punct(",")) return first;
+    auto list = make_node(NodeKind::kExprList);
+    list->children.push_back(std::move(first));
+    while (accept_punct(",")) list->children.push_back(expression());
+    return list;
+  }
+
+  NodePtr expression() { return assignment_expression(); }
+
+  NodePtr assignment_expression() {
+    NodePtr lhs = ternary_expression();
+    static constexpr std::array kAssignOps = {"=",  "+=", "-=",  "*=",  "/=", "%=",
+                                              "&=", "|=", "^=", "<<=", ">>="};
+    for (std::string_view op : kAssignOps) {
+      if (peek().is_punct(op)) {
+        const int line = advance().line;
+        auto node = make_node(NodeKind::kAssignment, std::string(op));
+        node->line = line;
+        node->children.push_back(std::move(lhs));
+        node->children.push_back(assignment_expression());  // right-assoc
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  NodePtr ternary_expression() {
+    NodePtr cond = binary_expression(0);
+    if (!accept_punct("?")) return cond;
+    auto node = make_node(NodeKind::kTernaryOp);
+    node->children.push_back(std::move(cond));
+    node->children.push_back(comma_expression());
+    expect_punct(":");
+    node->children.push_back(ternary_expression());
+    return node;
+  }
+
+  /// Precedence-climbing over C's binary operator table.
+  NodePtr binary_expression(int min_level) {
+    struct Level {
+      int level;
+      std::string_view op;
+    };
+    static constexpr std::array<Level, 18> kOps = {{
+        {0, "||"}, {1, "&&"}, {2, "|"},  {3, "^"},  {4, "&"},  {5, "=="},
+        {5, "!="}, {6, "<"},  {6, ">"},  {6, "<="}, {6, ">="}, {7, "<<"},
+        {7, ">>"}, {8, "+"},  {8, "-"},  {9, "*"},  {9, "/"},  {9, "%"},
+    }};
+    NodePtr lhs = unary_expression();
+    while (true) {
+      int matched_level = -1;
+      std::string_view matched_op;
+      for (const Level& entry : kOps) {
+        if (entry.level >= min_level && peek().is_punct(entry.op)) {
+          matched_level = entry.level;
+          matched_op = entry.op;
+          break;
+        }
+      }
+      if (matched_level < 0) return lhs;
+      const int line = advance().line;
+      auto node = make_node(NodeKind::kBinaryOp, std::string(matched_op));
+      node->line = line;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(binary_expression(matched_level + 1));
+      lhs = std::move(node);
+    }
+  }
+
+  bool looks_like_cast() const {
+    return peek().is_punct("(") && starts_type(1);
+  }
+
+  NodePtr unary_expression() {
+    const Token& t = peek();
+    const int line = t.line;
+    if (t.is_punct("++") || t.is_punct("--")) {
+      advance();
+      auto node = make_node(NodeKind::kUnaryOp, t.text);
+      node->line = line;
+      node->children.push_back(unary_expression());
+      return node;
+    }
+    static constexpr std::array kPrefix = {"+", "-", "!", "~", "*", "&"};
+    for (std::string_view op : kPrefix) {
+      if (t.is_punct(op)) {
+        advance();
+        auto node = make_node(NodeKind::kUnaryOp, std::string(op));
+        node->line = line;
+        node->children.push_back(unary_expression());
+        return node;
+      }
+    }
+    if (t.is_keyword("sizeof")) {
+      advance();
+      auto node = make_node(NodeKind::kSizeof);
+      node->line = line;
+      if (peek().is_punct("(") && starts_type(1)) {
+        advance();
+        std::string type = parse_type();
+        while (accept_punct("[")) {  // sizeof(int[4]) — rare but cheap
+          type += "[]";
+          if (!peek().is_punct("]")) expression();
+          expect_punct("]");
+        }
+        expect_punct(")");
+        node->text = type;
+      } else {
+        node->children.push_back(unary_expression());
+      }
+      return node;
+    }
+    if (looks_like_cast()) {
+      advance();  // '('
+      std::string type = parse_type();
+      expect_punct(")");
+      auto node = make_node(NodeKind::kCast, type);
+      node->line = line;
+      node->children.push_back(unary_expression());
+      return node;
+    }
+    return postfix_expression();
+  }
+
+  NodePtr postfix_expression() {
+    NodePtr node = primary_expression();
+    while (true) {
+      const Token& t = peek();
+      if (t.is_punct("[")) {
+        advance();
+        auto ref = make_node(NodeKind::kArrayRef);
+        ref->line = t.line;
+        ref->children.push_back(std::move(node));
+        ref->children.push_back(comma_expression());
+        expect_punct("]");
+        node = std::move(ref);
+      } else if (t.is_punct("(")) {
+        advance();
+        auto call = make_node(NodeKind::kFuncCall);
+        call->line = t.line;
+        call->children.push_back(std::move(node));
+        auto args = make_node(NodeKind::kExprList);
+        if (!peek().is_punct(")")) {
+          args->children.push_back(expression());
+          while (accept_punct(",")) args->children.push_back(expression());
+        }
+        expect_punct(")");
+        call->children.push_back(std::move(args));
+        node = std::move(call);
+      } else if (t.is_punct(".") || t.is_punct("->")) {
+        advance();
+        if (!peek().is(TokenKind::kIdentifier)) fail("expected member name");
+        auto ref = make_node(NodeKind::kStructRef, t.text);
+        ref->line = t.line;
+        ref->children.push_back(std::move(node));
+        ref->children.push_back(make_id(advance().text));
+        node = std::move(ref);
+      } else if (t.is_punct("++") || t.is_punct("--")) {
+        advance();
+        auto op = make_node(NodeKind::kUnaryOp, "p" + t.text);  // pycparser: p++
+        op->line = t.line;
+        op->children.push_back(std::move(node));
+        node = std::move(op);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  NodePtr primary_expression() {
+    const Token& t = peek();
+    const int line = t.line;
+    switch (t.kind) {
+      case TokenKind::kIdentifier: {
+        auto node = make_id(advance().text);
+        node->line = line;
+        return node;
+      }
+      case TokenKind::kIntLiteral: {
+        auto node = make_node(NodeKind::kConstant, advance().text, "int");
+        node->line = line;
+        return node;
+      }
+      case TokenKind::kFloatLiteral: {
+        auto node = make_node(NodeKind::kConstant, advance().text, "float");
+        node->line = line;
+        return node;
+      }
+      case TokenKind::kCharLiteral: {
+        auto node = make_node(NodeKind::kConstant, advance().text, "char");
+        node->line = line;
+        return node;
+      }
+      case TokenKind::kStringLiteral: {
+        auto node = make_node(NodeKind::kConstant, advance().text, "string");
+        node->line = line;
+        return node;
+      }
+      case TokenKind::kPunct:
+        if (t.text == "(") {
+          advance();
+          NodePtr inner = comma_expression();
+          expect_punct(")");
+          return inner;
+        }
+        break;
+      default:
+        break;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NodePtr parse_program(std::string_view source) { return Parser{source}.program(); }
+
+NodePtr parse_snippet(std::string_view source) { return Parser{source}.snippet(); }
+
+NodePtr parse_expression(std::string_view source) {
+  return Parser{source}.single_expression();
+}
+
+}  // namespace clpp::frontend

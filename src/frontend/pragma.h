@@ -1,0 +1,77 @@
+// Structured representation and parsing of OpenMP directives.
+//
+// Covers the directive/clause surface the paper's corpus uses (Table 3):
+// `parallel`, `for`, `parallel for`, schedule(static|dynamic|guided[,chunk]),
+// private/firstprivate/lastprivate/shared lists, reduction(op:list),
+// nowait, collapse(n), num_threads(n), critical, atomic, barrier, single,
+// master. Unknown clauses are preserved verbatim in `unknown_clauses`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace clpp::frontend {
+
+enum class ScheduleKind { kNone, kStatic, kDynamic, kGuided, kAuto, kRuntime };
+
+enum class ReductionOp { kAdd, kSub, kMul, kMin, kMax, kAnd, kOr, kBitAnd, kBitOr, kBitXor };
+
+/// One reduction clause entry: operator + variable name.
+struct Reduction {
+  ReductionOp op;
+  std::string variable;
+
+  bool operator==(const Reduction&) const = default;
+};
+
+/// A parsed `#pragma omp ...` directive.
+struct OmpDirective {
+  bool parallel = false;    // has `parallel`
+  bool for_loop = false;    // has `for`
+  bool critical = false;
+  bool atomic = false;
+  bool barrier = false;
+  bool single = false;
+  bool master = false;
+  bool simd = false;
+  bool nowait = false;
+  ScheduleKind schedule = ScheduleKind::kNone;
+  int schedule_chunk = 0;  // 0 = unspecified
+  int collapse = 0;        // 0 = unspecified
+  std::string num_threads;  // expression text; empty = unspecified
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<std::string> lastprivate_vars;
+  std::vector<std::string> shared_vars;
+  std::vector<Reduction> reductions;
+  std::vector<std::string> unknown_clauses;
+
+  /// True if this is a worksharing-loop directive (`omp for` in any form) —
+  /// the corpus inclusion criterion of §3.1.2.
+  bool is_loop_directive() const { return for_loop; }
+
+  bool has_private() const { return !private_vars.empty(); }
+  bool has_reduction() const { return !reductions.empty(); }
+
+  /// Canonical `#pragma omp ...` rendering.
+  std::string to_string() const;
+
+  bool operator==(const OmpDirective&) const = default;
+};
+
+/// Parses pragma text (with or without the leading "#"/"pragma").
+/// Throws ParseError when the text is not an OpenMP pragma at all;
+/// malformed clause bodies land in `unknown_clauses` rather than throwing,
+/// mirroring how compilers skip unknown clauses.
+OmpDirective parse_omp_pragma(std::string_view text);
+
+/// True if `text` is an OpenMP pragma ("[#]pragma omp ...").
+bool is_omp_pragma(std::string_view text);
+
+std::string schedule_name(ScheduleKind kind);
+std::string reduction_op_name(ReductionOp op);
+ReductionOp reduction_op_from(std::string_view symbol);
+
+}  // namespace clpp::frontend

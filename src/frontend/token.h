@@ -1,0 +1,41 @@
+// Lexical tokens of the C subset understood by clpp::frontend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clpp::frontend {
+
+/// Token categories. Punctuation/operators carry their spelling in `text`.
+enum class TokenKind {
+  kEnd,         // end of input
+  kIdentifier,  // names (including type names; the parser disambiguates)
+  kKeyword,     // reserved words of the subset
+  kIntLiteral,
+  kFloatLiteral,
+  kCharLiteral,
+  kStringLiteral,
+  kPunct,   // operators and punctuation, spelled in `text`
+  kPragma,  // a whole "#pragma ..." line, text without the leading '#'
+};
+
+/// One lexical token with source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_punct(std::string_view spelling) const {
+    return kind == TokenKind::kPunct && text == spelling;
+  }
+  bool is_keyword(std::string_view word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+};
+
+/// Human-readable kind name (diagnostics).
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace clpp::frontend

@@ -1,0 +1,36 @@
+// Token batch representation shared by the encoder and trainers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace clpp::nn {
+
+/// A padded batch of token-id sequences.
+///
+/// `ids` is row-major [batch, seq]; positions >= lengths[b] hold the pad id
+/// and are excluded from attention and pooling.
+struct TokenBatch {
+  std::size_t batch = 0;
+  std::size_t seq = 0;
+  std::vector<std::int32_t> ids;
+  std::vector<int> lengths;
+
+  std::int32_t id(std::size_t b, std::size_t s) const { return ids[b * seq + s]; }
+
+  /// Validates internal consistency; throws InvalidArgument when broken.
+  void validate(std::size_t vocab_size) const {
+    CLPP_CHECK_MSG(ids.size() == batch * seq, "TokenBatch: ids size mismatch");
+    CLPP_CHECK_MSG(lengths.size() == batch, "TokenBatch: lengths size mismatch");
+    for (int len : lengths)
+      CLPP_CHECK_MSG(len >= 1 && static_cast<std::size_t>(len) <= seq,
+                     "TokenBatch: length " << len << " out of [1," << seq << "]");
+    for (std::int32_t tok : ids)
+      CLPP_CHECK_MSG(tok >= 0 && static_cast<std::size_t>(tok) < vocab_size,
+                     "TokenBatch: token id " << tok << " outside vocab " << vocab_size);
+  }
+};
+
+}  // namespace clpp::nn

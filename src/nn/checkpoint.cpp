@@ -1,0 +1,56 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+
+#include "tensor/io.h"
+
+namespace clpp::nn {
+
+void save_checkpoint(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open checkpoint for writing: " + path);
+  write_u64(out, params.size());
+  for (const Parameter* p : params) {
+    write_string(out, p->name);
+    write_tensor(out, p->value);
+  }
+  if (!out) throw IoError("checkpoint write failed: " + path);
+}
+
+std::map<std::string, Tensor> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint for reading: " + path);
+  const std::uint64_t count = read_u64(in);
+  if (count > 1'000'000) throw ParseError("implausible checkpoint entry count");
+  std::map<std::string, Tensor> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    Tensor value = read_tensor(in);
+    if (!out.emplace(std::move(name), std::move(value)).second)
+      throw ParseError("duplicate parameter name in checkpoint: " + path);
+  }
+  return out;
+}
+
+std::size_t restore_parameters(const std::map<std::string, Tensor>& checkpoint,
+                               const std::vector<Parameter*>& params, bool strict) {
+  std::size_t restored = 0;
+  for (Parameter* p : params) {
+    auto it = checkpoint.find(p->name);
+    if (it == checkpoint.end()) {
+      if (strict) throw ParseError("checkpoint missing parameter: " + p->name);
+      continue;
+    }
+    if (it->second.shape() != p->value.shape()) {
+      if (strict)
+        throw ParseError("checkpoint shape mismatch for " + p->name + ": expected " +
+                         p->value.shape_str() + ", found " + it->second.shape_str());
+      continue;
+    }
+    p->value = it->second;
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace clpp::nn

@@ -1,0 +1,60 @@
+// Layer abstraction with explicit forward/backward.
+//
+// CLPP's NN substrate uses layer-wise manual backpropagation rather than a
+// taped autograd: each layer caches exactly the activations its gradient
+// needs, which keeps memory predictable and the code auditable. A layer
+// holds *one* in-flight activation set — callers must pair each forward
+// with at most one backward before the next forward (the trainer does).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace clpp::nn {
+
+/// A named trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::size_t numel() const { return value.numel(); }
+};
+
+/// Base class for differentiable modules operating on rank-2 activations
+/// shaped [rows, features] (rows is typically batch*seq).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `train` enables stochastic behaviour
+  /// (dropout); evaluation passes must use train=false.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must follow a forward() on the same activation.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends pointers to this layer's parameters (default: none).
+  virtual void collect_parameters(std::vector<Parameter*>& out);
+};
+
+/// Collects parameters from a layer into a fresh vector.
+std::vector<Parameter*> parameters_of(Layer& layer);
+
+/// Total number of scalar parameters.
+std::size_t parameter_count(const std::vector<Parameter*>& params);
+
+/// Sets every parameter gradient to zero.
+void zero_gradients(const std::vector<Parameter*>& params);
+
+}  // namespace clpp::nn

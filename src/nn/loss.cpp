@@ -1,0 +1,64 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "support/error.h"
+#include "tensor/ops.h"
+
+namespace clpp::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   std::span<const std::int32_t> labels) {
+  CLPP_CHECK_MSG(logits.rank() == 2, "loss expects [N, C] logits");
+  CLPP_CHECK_MSG(labels.size() == logits.rows(), "one label per logit row required");
+  probs_ = logits;
+  softmax_rows(probs_);
+  labels_.assign(labels.begin(), labels.end());
+
+  const std::size_t classes = logits.cols();
+  double total = 0.0;
+  active_ = 0;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const std::int32_t y = labels_[i];
+    if (y == kIgnore) continue;
+    CLPP_CHECK_MSG(y >= 0 && static_cast<std::size_t>(y) < classes,
+                   "label " << y << " outside [0," << classes << ")");
+    ++active_;
+    const float p = probs_(i, static_cast<std::size_t>(y));
+    total -= std::log(std::max(p, 1e-12f));
+  }
+  return active_ == 0 ? 0.0f : static_cast<float>(total / static_cast<double>(active_));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  CLPP_CHECK_MSG(!probs_.empty(), "loss backward without forward");
+  Tensor grad({probs_.rows(), probs_.cols()});
+  if (active_ == 0) return grad;
+  const float inv = 1.0f / static_cast<float>(active_);
+  for (std::size_t i = 0; i < probs_.rows(); ++i) {
+    const std::int32_t y = labels_[i];
+    if (y == kIgnore) continue;
+    const float* p = probs_.row(i);
+    float* g = grad.row(i);
+    for (std::size_t c = 0; c < probs_.cols(); ++c) g[c] = p[c] * inv;
+    g[static_cast<std::size_t>(y)] -= inv;
+  }
+  return grad;
+}
+
+std::vector<float> positive_probabilities(const Tensor& logits) {
+  CLPP_CHECK_MSG(logits.rank() == 2 && logits.cols() == 2,
+                 "positive_probabilities expects [N, 2] logits");
+  std::vector<float> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float a = logits(i, 0);
+    const float b = logits(i, 1);
+    const float m = std::max(a, b);
+    const float ea = std::exp(a - m);
+    const float eb = std::exp(b - m);
+    out[i] = eb / (ea + eb);
+  }
+  return out;
+}
+
+}  // namespace clpp::nn

@@ -1,0 +1,41 @@
+// Classification losses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace clpp::nn {
+
+/// Mean softmax cross-entropy over rows of `logits` [N, C].
+///
+/// Labels with value kIgnore contribute neither loss nor gradient (used by
+/// the MLM objective, where only masked positions are predicted). For the
+/// binary tasks of the paper (C = 2), this reduces exactly to the BCE of
+/// Eq. 1 applied to the positive-class softmax probability.
+class SoftmaxCrossEntropy {
+ public:
+  static constexpr std::int32_t kIgnore = -1;
+
+  /// Computes the mean loss; caches probabilities for backward.
+  /// Returns 0 when every label is ignored.
+  float forward(const Tensor& logits, std::span<const std::int32_t> labels);
+
+  /// Gradient of the mean loss w.r.t. logits: (softmax - onehot) / n_active.
+  Tensor backward() const;
+
+  /// Row-wise probabilities from the last forward (softmax of logits).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int32_t> labels_;
+  std::size_t active_ = 0;
+};
+
+/// Probability assigned to class 1 for each row of binary `logits` [N, 2].
+std::vector<float> positive_probabilities(const Tensor& logits);
+
+}  // namespace clpp::nn

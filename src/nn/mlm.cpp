@@ -1,0 +1,134 @@
+#include "nn/mlm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace clpp::nn {
+
+MaskedBatch mask_tokens(const TokenBatch& batch, const MlmVocabInfo& vocab, Rng& rng,
+                        float mask_prob) {
+  CLPP_CHECK_MSG(vocab.vocab_size > 0, "vocab_size must be set");
+  CLPP_CHECK_MSG(mask_prob > 0.0f && mask_prob < 1.0f, "mask_prob in (0,1) required");
+  MaskedBatch out;
+  out.inputs = batch;
+  out.targets.assign(batch.ids.size(), -1);
+  for (std::size_t b = 0; b < batch.batch; ++b) {
+    const std::size_t len = static_cast<std::size_t>(batch.lengths[b]);
+    for (std::size_t s = 0; s < len; ++s) {
+      const std::size_t idx = b * batch.seq + s;
+      const std::int32_t original = batch.ids[idx];
+      if (original < vocab.special_below) continue;
+      if (!rng.chance(mask_prob)) continue;
+      out.targets[idx] = original;
+      const double r = rng.uniform();
+      if (r < 0.8) {
+        out.inputs.ids[idx] = vocab.mask_id;
+      } else if (r < 0.9) {
+        out.inputs.ids[idx] = static_cast<std::int32_t>(
+            rng.range(vocab.special_below,
+                      static_cast<std::int64_t>(vocab.vocab_size) - 1));
+      }  // else keep the original token
+    }
+  }
+  return out;
+}
+
+namespace {
+
+TokenBatch make_batch(const std::vector<std::vector<std::int32_t>>& sequences,
+                      std::span<const std::size_t> indices, std::size_t max_seq) {
+  TokenBatch batch;
+  batch.batch = indices.size();
+  std::size_t longest = 1;
+  for (std::size_t i : indices)
+    longest = std::max(longest, std::min(sequences[i].size(), max_seq));
+  batch.seq = longest;
+  batch.ids.assign(batch.batch * batch.seq, 0);
+  batch.lengths.resize(batch.batch);
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const auto& seq = sequences[indices[row]];
+    const std::size_t len = std::min(seq.size(), max_seq);
+    batch.lengths[row] = static_cast<int>(len);
+    std::copy_n(seq.begin(), len, batch.ids.begin() + row * batch.seq);
+  }
+  return batch;
+}
+
+}  // namespace
+
+std::vector<MlmEpochStats> pretrain_mlm(
+    TransformerEncoder& encoder, const std::vector<std::vector<std::int32_t>>& sequences,
+    const MlmVocabInfo& vocab, const MlmConfig& config, Rng& rng,
+    const std::function<void(const MlmEpochStats&)>& on_epoch) {
+  CLPP_CHECK_MSG(!sequences.empty(), "MLM pretraining requires sequences");
+  for (const auto& seq : sequences)
+    CLPP_CHECK_MSG(seq.size() >= 2, "MLM sequences must have length >= 2");
+
+  const std::size_t dim = encoder.config().dim;
+  Linear head("mlm.head", dim, vocab.vocab_size, rng);
+
+  std::vector<Parameter*> params;
+  encoder.collect_parameters(params);
+  head.collect_parameters(params);
+  AdamW optimizer(AdamWConfig{.lr = config.lr});
+
+  std::vector<std::size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<MlmEpochStats> stats;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t loss_batches = 0;
+    std::size_t correct = 0;
+    std::size_t masked_total = 0;
+
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, order.size() - start);
+      TokenBatch batch = make_batch(
+          sequences, std::span<const std::size_t>{order.data() + start, count},
+          encoder.config().max_seq);
+      MaskedBatch masked = mask_tokens(batch, vocab, rng, config.mask_prob);
+      if (std::all_of(masked.targets.begin(), masked.targets.end(),
+                      [](std::int32_t t) { return t < 0; }))
+        continue;  // nothing was masked in this batch; skip
+
+      zero_gradients(params);
+      Tensor hidden = encoder.forward(masked.inputs, /*train=*/true);
+      Tensor logits = head.forward(hidden, /*train=*/true);
+
+      SoftmaxCrossEntropy loss;
+      const float batch_loss = loss.forward(logits, masked.targets);
+      loss_sum += batch_loss;
+      ++loss_batches;
+
+      const Tensor& probs = loss.probabilities();
+      for (std::size_t i = 0; i < masked.targets.size(); ++i) {
+        if (masked.targets[i] < 0) continue;
+        ++masked_total;
+        if (argmax(probs.row_span(i)) == static_cast<std::size_t>(masked.targets[i]))
+          ++correct;
+      }
+
+      Tensor grad = loss.backward();
+      grad = head.backward(grad);
+      encoder.backward(grad);
+      clip_gradient_norm(params, config.clip_norm);
+      optimizer.step(params);
+    }
+
+    MlmEpochStats s;
+    s.epoch = epoch;
+    s.loss = loss_batches ? static_cast<float>(loss_sum / loss_batches) : 0.0f;
+    s.masked_accuracy =
+        masked_total ? static_cast<float>(correct) / static_cast<float>(masked_total)
+                     : 0.0f;
+    stats.push_back(s);
+    if (on_epoch) on_epoch(s);
+  }
+  return stats;
+}
+
+}  // namespace clpp::nn

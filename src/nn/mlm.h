@@ -1,0 +1,64 @@
+// Masked-language-model pretraining (the DeepSCC stand-in, DESIGN.md §1).
+//
+// The paper initializes PragFormer from DeepSCC, a RoBERTa fine-tuned on
+// source code with the MLM objective. We reproduce the ingredient at small
+// scale: pretrain our encoder with MLM over the unlabeled snippet corpus,
+// then transfer the encoder parameters into the classifier by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/batch.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+
+namespace clpp::nn {
+
+/// Output of the BERT-style masking procedure.
+struct MaskedBatch {
+  TokenBatch inputs;                  // ids with masked positions replaced
+  std::vector<std::int32_t> targets;  // original id at masked positions, else -1
+};
+
+/// Token-id layout conventions required by mask_tokens.
+struct MlmVocabInfo {
+  std::int32_t mask_id = 0;       // the [MASK] token
+  std::int32_t special_below = 0; // ids < special_below are never masked
+  std::size_t vocab_size = 0;     // for random replacement draws
+};
+
+/// Applies the BERT masking recipe to `batch`: each non-pad, non-special
+/// position is selected with probability `mask_prob`; selected positions
+/// become [MASK] 80% of the time, a random token 10%, unchanged 10%.
+MaskedBatch mask_tokens(const TokenBatch& batch, const MlmVocabInfo& vocab, Rng& rng,
+                        float mask_prob = 0.15f);
+
+/// MLM pretraining configuration.
+struct MlmConfig {
+  std::size_t epochs = 3;
+  std::size_t batch_size = 16;
+  float lr = 3e-4f;
+  float mask_prob = 0.15f;
+  float clip_norm = 1.0f;
+};
+
+/// Per-epoch pretraining metrics.
+struct MlmEpochStats {
+  std::size_t epoch = 0;
+  float loss = 0.0f;
+  float masked_accuracy = 0.0f;
+};
+
+/// Pretrains `encoder` in place with MLM over `sequences` (already-encoded
+/// token id vectors, each length >= 2). Returns per-epoch stats.
+/// `on_epoch`, when set, is invoked after each epoch (progress reporting).
+std::vector<MlmEpochStats> pretrain_mlm(
+    TransformerEncoder& encoder, const std::vector<std::vector<std::int32_t>>& sequences,
+    const MlmVocabInfo& vocab, const MlmConfig& config, Rng& rng,
+    const std::function<void(const MlmEpochStats&)>& on_epoch = nullptr);
+
+}  // namespace clpp::nn

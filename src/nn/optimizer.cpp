@@ -1,0 +1,84 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace clpp::nn {
+
+AdamW::AdamW(AdamWConfig config) : config_(config) {
+  CLPP_CHECK_MSG(config_.lr > 0, "learning rate must be positive");
+  CLPP_CHECK_MSG(config_.beta1 >= 0 && config_.beta1 < 1, "beta1 in [0,1) required");
+  CLPP_CHECK_MSG(config_.beta2 >= 0 && config_.beta2 < 1, "beta2 in [0,1) required");
+}
+
+void AdamW::step(const std::vector<Parameter*>& params) {
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const Parameter* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+  }
+  CLPP_CHECK_MSG(m_.size() == params.size(),
+                 "parameter list changed size between optimizer steps");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter& p = *params[pi];
+    CLPP_CHECK_MSG(m_[pi].shape() == p.value.shape(),
+                   "parameter " << p.name << " changed shape between steps");
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::size_t n = p.value.numel();
+    // LayerNorm/bias parameters (rank 1) are conventionally exempt from
+    // weight decay; decaying them hurts small models disproportionately.
+    const float decay = p.value.rank() >= 2 ? config_.weight_decay : 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= config_.lr * (mhat / (std::sqrt(vhat) + config_.eps) + decay * w[i]);
+    }
+  }
+}
+
+double clip_gradient_norm(const std::vector<Parameter*>& params, double max_norm) {
+  CLPP_CHECK(max_norm > 0);
+  double total = 0.0;
+  for (const Parameter* p : params) total += squared_norm(p->grad);
+  const double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) scale_inplace(p->grad, scale);
+  }
+  return norm;
+}
+
+WarmupLinearSchedule::WarmupLinearSchedule(float base_lr, std::size_t warmup_steps,
+                                           std::size_t total_steps, float floor_fraction)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      floor_fraction_(floor_fraction) {
+  CLPP_CHECK(base_lr > 0);
+  CLPP_CHECK(total_steps_ > warmup_steps_);
+  CLPP_CHECK(floor_fraction_ >= 0.0f && floor_fraction_ <= 1.0f);
+}
+
+float WarmupLinearSchedule::lr_at(std::size_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_)
+    return base_lr_ * static_cast<float>(step + 1) / static_cast<float>(warmup_steps_);
+  if (step >= total_steps_) return base_lr_ * floor_fraction_;
+  const float progress = static_cast<float>(step - warmup_steps_) /
+                         static_cast<float>(total_steps_ - warmup_steps_);
+  return base_lr_ * (1.0f - (1.0f - floor_fraction_) * progress);
+}
+
+}  // namespace clpp::nn

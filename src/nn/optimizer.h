@@ -1,0 +1,65 @@
+// AdamW optimizer with decoupled weight decay (paper §4.3) and utilities.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace clpp::nn {
+
+/// AdamW hyperparameters.
+struct AdamWConfig {
+  float lr = 3e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+/// AdamW: Adam moments on gradients, weight decay applied directly to the
+/// weights (Loshchilov & Hutter). State is lazily allocated on first step
+/// and bound to the parameter list by position, which must not change.
+class AdamW {
+ public:
+  explicit AdamW(AdamWConfig config = {});
+
+  /// Applies one update using the gradients currently accumulated in
+  /// `params`; does not zero them.
+  void step(const std::vector<Parameter*>& params);
+
+  /// Current learning rate (mutable for schedules).
+  float learning_rate() const { return config_.lr; }
+  void set_learning_rate(float lr) { config_.lr = lr; }
+
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  AdamWConfig config_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_gradient_norm(const std::vector<Parameter*>& params, double max_norm);
+
+/// Linear warmup followed by linear decay to `floor_fraction` of the base
+/// LR at `total_steps` — the fine-tuning schedule used in practice with
+/// AdamW on transformers.
+class WarmupLinearSchedule {
+ public:
+  WarmupLinearSchedule(float base_lr, std::size_t warmup_steps, std::size_t total_steps,
+                       float floor_fraction = 0.1f);
+
+  /// LR for (0-based) optimization step `step`.
+  float lr_at(std::size_t step) const;
+
+ private:
+  float base_lr_;
+  std::size_t warmup_steps_;
+  std::size_t total_steps_;
+  float floor_fraction_;
+};
+
+}  // namespace clpp::nn

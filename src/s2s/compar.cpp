@@ -1,0 +1,72 @@
+#include "s2s/compar.h"
+
+namespace clpp::s2s {
+
+ComPar::ComPar()
+    : ComPar(std::vector<CompilerProfile>{cetus_profile(), autopar_profile(),
+                                          par4all_profile()}) {}
+
+ComPar::ComPar(std::vector<CompilerProfile> profiles) {
+  CLPP_CHECK_MSG(!profiles.empty(), "ComPar needs at least one member compiler");
+  members_.reserve(profiles.size());
+  for (CompilerProfile& p : profiles) members_.emplace_back(std::move(p));
+}
+
+int ComPar::directive_score(const S2SResult& result) {
+  if (!result.parallelized()) return 0;
+  int score = 1;
+  const frontend::OmpDirective& d = *result.directive;
+  if (!d.private_vars.empty()) score += 1;
+  if (!d.reductions.empty()) score += 2;
+  if (d.schedule != frontend::ScheduleKind::kNone) score += 1;
+  return score;
+}
+
+ComParResult ComPar::process(const frontend::Node& unit) const {
+  ComParResult out;
+  int best_score = 0;
+  const S2SResult* best = nullptr;
+  bool any_compiled = false;
+  bool any_no_directive = false;
+
+  for (const S2SCompiler& compiler : members_) {
+    S2SResult result = compiler.process(unit);
+    if (!result.failed()) any_compiled = true;
+    if (result.status == S2SResult::Status::kNoDirective) any_no_directive = true;
+    out.members.emplace_back(compiler.profile().name, std::move(result));
+  }
+  for (const auto& [name, result] : out.members) {
+    const int score = directive_score(result);
+    if (score > best_score) {
+      best_score = score;
+      best = &result;
+    }
+  }
+
+  if (best) {
+    out.combined = *best;
+  } else if (any_compiled) {
+    out.combined.status = S2SResult::Status::kNoDirective;
+    if (any_no_directive)
+      out.combined.notes.push_back("no member produced a directive");
+  } else {
+    out.combined.status = S2SResult::Status::kFailed;
+    out.combined.notes.push_back("all member compilers failed");
+  }
+  return out;
+}
+
+ComParResult ComPar::process_source(const std::string& source) const {
+  frontend::NodePtr unit;
+  try {
+    unit = frontend::parse_snippet(source);
+  } catch (const ParseError& e) {
+    ComParResult out;
+    out.combined.status = S2SResult::Status::kFailed;
+    out.combined.notes.push_back(std::string("frontend parse failure: ") + e.what());
+    return out;
+  }
+  return process(*unit);
+}
+
+}  // namespace clpp::s2s

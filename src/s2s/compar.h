@@ -1,0 +1,58 @@
+// ComPar: the multi-compiler ensemble of Mosseri et al. [52].
+//
+// Runs every member S2S compiler on the snippet and combines their outputs
+// into the "best" directive, exactly as the paper's comparison system does:
+// prefer any member that parallelizes; among those, prefer richer clause
+// information (reductions > privatization > bare). The ensemble *fails*
+// only when every member fails — the paper reports 526/3547 such cases and
+// evaluates them with a fall-back-negative strategy, which clpp::core
+// replicates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "s2s/compiler.h"
+
+namespace clpp::s2s {
+
+/// Ensemble result: the combined outcome plus each member's verdict.
+struct ComParResult {
+  S2SResult combined;
+  std::vector<std::pair<std::string, S2SResult>> members;
+
+  /// Binary views used by the paper's evaluation (§5.2, §5.3).
+  bool predicts_directive() const { return combined.parallelized(); }
+  bool predicts_private() const {
+    return combined.parallelized() && combined.directive->has_private();
+  }
+  bool predicts_reduction() const {
+    return combined.parallelized() && combined.directive->has_reduction();
+  }
+  bool compile_failed() const { return combined.failed(); }
+};
+
+/// The ComPar ensemble.
+class ComPar {
+ public:
+  /// Default ensemble: Cetus + AutoPar + Par4All personalities.
+  ComPar();
+  /// Custom ensemble.
+  explicit ComPar(std::vector<CompilerProfile> profiles);
+
+  /// Runs all members on a parsed snippet and combines.
+  ComParResult process(const frontend::Node& unit) const;
+
+  /// Convenience: parse + process; a snippet that fails to parse counts as
+  /// a compile failure of the whole ensemble.
+  ComParResult process_source(const std::string& source) const;
+
+  const std::vector<S2SCompiler>& members() const { return members_; }
+
+ private:
+  static int directive_score(const S2SResult& result);
+
+  std::vector<S2SCompiler> members_;
+};
+
+}  // namespace clpp::s2s

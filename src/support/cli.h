@@ -1,0 +1,63 @@
+// Minimal command-line argument parser used by benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` styles.
+// Unknown arguments raise InvalidArgument so typos never silently fall back
+// to defaults in an experiment run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clpp {
+
+/// Declarative CLI parser: declare options, then parse(argc, argv).
+class ArgParser {
+ public:
+  /// `program` and `blurb` are used by help().
+  ArgParser(std::string program, std::string blurb);
+
+  /// Declares a string option with a default value.
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  /// Declares an integer option with a default value.
+  void add_int(const std::string& name, std::int64_t default_value, std::string help);
+  /// Declares a floating-point option with a default value.
+  void add_double(const std::string& name, double default_value, std::string help);
+  /// Declares a boolean flag (false unless present; `--name=false` accepted).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parses argv; throws InvalidArgument on unknown names or bad values.
+  /// Returns false if `--help` was requested (help text printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage/help text.
+  std::string help() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kFlag };
+  struct Option {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string blurb_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace clpp

@@ -1,0 +1,68 @@
+// Error handling primitives for CLPP.
+//
+// Policy (C++ Core Guidelines E.2/E.3): exceptions signal programming or
+// configuration errors discovered at API boundaries; hot inner loops use
+// plain status returns. CLPP_CHECK is for preconditions that remain enabled
+// in release builds (they guard user-visible API misuse, not internal
+// invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace clpp {
+
+/// Base exception for all CLPP errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed input data (source code, corpus files, checkpoints).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (missing files, truncated checkpoints).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "CLPP_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace clpp
+
+/// Precondition check that stays enabled in release builds.
+#define CLPP_CHECK(expr)                                                        \
+  do {                                                                          \
+    if (!(expr)) ::clpp::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                                     std::string{});            \
+  } while (false)
+
+/// Precondition check with an explanatory message (streamed expression allowed).
+#define CLPP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::clpp::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                          os_.str());                  \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace clpp {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      bins_(bins, 0),
+      min_seen_(std::numeric_limits<double>::infinity()),
+      max_seen_(-std::numeric_limits<double>::infinity()) {
+  CLPP_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  CLPP_CHECK_MSG(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  const double clamped = std::clamp(value, lo_, hi_);
+  const double frac = (clamped - lo_) / (hi_ - lo_);
+  std::size_t bin = static_cast<std::size_t>(frac * static_cast<double>(bins_.size()));
+  bin = std::min(bin, bins_.size() - 1);
+  ++bins_[bin];
+  ++count_;
+  sum_ += value;
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::min() const { return count_ ? min_seen_ : 0.0; }
+double Histogram::max() const { return count_ ? max_seen_ : 0.0; }
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  CLPP_CHECK_MSG(count_ > 0, "quantile of an empty histogram");
+  CLPP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(bins_[b]);
+    if (next >= target && bins_[b] > 0) {
+      const double within = (target - cumulative) / static_cast<double>(bins_[b]);
+      return lo_ + (static_cast<double>(b) + within) * bin_width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : bins_) peak = std::max(peak, c);
+  const double bin_width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const double bin_lo = lo_ + static_cast<double>(b) * bin_width;
+    const std::size_t bar = bins_[b] * width / peak;
+    os << pad_left(fixed(bin_lo, 1), 9) << " | " << repeated("#", bar) << ' '
+       << bins_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace clpp

@@ -1,0 +1,49 @@
+// Simple fixed-bin histogram with quantile queries and ASCII rendering.
+//
+// Used for corpus diagnostics (snippet length distributions drive the
+// max_len choice of §4.3: the paper picked 110 because it was the longest
+// snippet) and available to benches for latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clpp {
+
+/// Accumulates double-valued samples into `bins` equal-width bins over
+/// [lo, hi]; samples outside the range clamp to the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins = 20);
+
+  void add(double value);
+  /// Adds every element of `values`.
+  void add_all(const std::vector<double>& values);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Value at quantile q in [0, 1], linearly interpolated within a bin.
+  /// Requires at least one sample.
+  double quantile(double q) const;
+
+  /// Per-bin counts (diagnostics / tests).
+  const std::vector<std::size_t>& bins() const { return bins_; }
+
+  /// Terminal rendering: one row per bin with a proportional bar.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> bins_;
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_seen_;
+  double max_seen_;
+};
+
+}  // namespace clpp

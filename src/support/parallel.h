@@ -1,0 +1,42 @@
+// OpenMP-backed parallel loop helpers.
+//
+// CLPP dogfoods the shared-memory parallelism it studies: GEMM and batched
+// inference use these helpers, which degrade gracefully to serial execution
+// when the compiler has no OpenMP support.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace clpp {
+
+/// Number of threads the parallel helpers will use.
+inline int hardware_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs body(i) for i in [0, n); iterations must be independent.
+/// `grain` suppresses parallelization for loops too small to amortize the
+/// fork-join overhead — exactly the RQ1 trade-off the paper studies.
+template <typename Body>
+void parallel_for(std::size_t n, const Body& body, std::size_t grain = 1024) {
+#if defined(_OPENMP)
+  if (n >= grain && omp_get_max_threads() > 1) {
+    const std::int64_t count = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::size_t>(i));
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace clpp

@@ -1,0 +1,87 @@
+#include "support/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace clpp {
+
+namespace {
+constexpr const char* kMarks = "*o+x#@%&";
+}
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label, std::string y_label,
+                     int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      height_(height) {
+  CLPP_CHECK(height_ >= 4);
+}
+
+void AsciiPlot::add_series(std::string name, std::vector<double> ys) {
+  CLPP_CHECK_MSG(!ys.empty(), "plot series must be non-empty");
+  if (!series_.empty())
+    CLPP_CHECK_MSG(ys.size() == series_.front().ys.size(),
+                   "all plot series must have equal length");
+  series_.push_back(PlotSeries{std::move(name), std::move(ys)});
+}
+
+std::string AsciiPlot::str() const {
+  CLPP_CHECK_MSG(!series_.empty(), "plot has no series");
+  const std::size_t n = series_.front().ys.size();
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& s : series_)
+    for (double y : s.ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  // 2 columns per x step keeps markers readable.
+  const std::size_t width = std::max<std::size_t>(2 * n, 8);
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(width, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char mark = kMarks[si % 8];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y = series_[si].ys[i];
+      const double frac = (y - lo) / (hi - lo);
+      const int row = static_cast<int>(std::lround((height_ - 1) * (1.0 - frac)));
+      const std::size_t col = 2 * i;
+      grid[static_cast<std::size_t>(row)][col] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  const std::size_t label_w = 9;
+  for (int r = 0; r < height_; ++r) {
+    const double y = hi - (hi - lo) * r / (height_ - 1);
+    std::string label = (r == 0 || r == height_ - 1 || r == height_ / 2)
+                            ? fixed(y, 3)
+                            : std::string{};
+    os << pad_left(label, label_w) << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << pad_left("", label_w) << " +" << repeated("-", width) << "  " << x_label_ << "\n";
+  os << pad_left("", label_w + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string tick = (i % 5 == 0) ? std::to_string(i + 1) : std::string{};
+    os << pad_right(tick, 2).substr(0, 2);
+  }
+  os << "\n  legend (" << y_label_ << "): ";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    if (si) os << ", ";
+    os << kMarks[si % 8] << "=" << series_[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace clpp

@@ -1,0 +1,36 @@
+// ASCII line plot for figure reproductions (Figs 3-5 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clpp {
+
+/// One named series of (x, y) points; x values are shared per plot.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> ys;
+};
+
+/// Renders multiple series over a shared integer x-axis as an ASCII chart,
+/// plus a per-series legend. Used by benches to visualize epoch curves in
+/// the terminal; exact values also go to CSV for external plotting.
+class AsciiPlot {
+ public:
+  /// `height` is the number of text rows for the y-axis.
+  AsciiPlot(std::string title, std::string x_label, std::string y_label, int height = 16);
+
+  /// Adds a series; all series must have equal length (checked at render).
+  void add_series(std::string name, std::vector<double> ys);
+
+  std::string str() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int height_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace clpp

@@ -1,0 +1,147 @@
+// Deterministic pseudo-random number generation for CLPP.
+//
+// All randomness in the library (corpus generation, dataset splits, weight
+// init, dropout masks, batch shuffling) flows from instances of clpp::Rng so
+// that every experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors;
+// both are tiny, fast, and have no global state (unlike std::rand).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace clpp {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; equal seeds produce equal streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  /// Re-seeds in place (state is fully determined by `seed`).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    CLPP_CHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Lemire's multiply-shift rejection-free mapping is fine here: corpus
+    // spans are tiny relative to 2^64, so modulo bias is < 2^-40.
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    CLPP_CHECK(n > 0);
+    return static_cast<std::size_t>((*this)() % n);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (no state cached; two uniforms per draw).
+  float normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                              std::cos(2.0 * std::numbers::pi * u2));
+  }
+
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    CLPP_CHECK(!items.empty());
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>{items});
+  }
+
+  /// Draws an index according to non-negative weights (need not sum to 1).
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng split() { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+inline std::size_t Rng::weighted(std::span<const double> weights) {
+  CLPP_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    CLPP_CHECK_MSG(w >= 0, "weights must be non-negative");
+    total += w;
+  }
+  CLPP_CHECK_MSG(total > 0, "at least one weight must be positive");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last item
+}
+
+}  // namespace clpp

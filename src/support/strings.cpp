@@ -1,0 +1,112 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace clpp {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string replace_all(std::string text, std::string_view from, std::string_view to) {
+  if (from.empty()) return text;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+std::string to_lower(std::string text) {
+  for (char& c : text) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return text;
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string repeated(std::string_view unit, std::size_t count) {
+  std::string out;
+  out.reserve(unit.size() * count);
+  for (std::size_t i = 0; i < count; ++i) out.append(unit);
+  return out;
+}
+
+std::string pad_left(std::string text, std::size_t width) {
+  if (text.size() < width) text.insert(0, width - text.size(), ' ');
+  return text;
+}
+
+std::string pad_right(std::string text, std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+std::string with_commas(long long n) {
+  const bool neg = n < 0;
+  std::string digits = std::to_string(neg ? -n : n);
+  std::string out;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace clpp

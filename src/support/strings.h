@@ -1,0 +1,49 @@
+// Small string utilities shared across CLPP modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clpp {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits `text` on any run of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string text);
+
+/// Formats a double with `digits` significant decimal places (fixed).
+std::string fixed(double value, int digits);
+
+/// Repeats `unit` `count` times.
+std::string repeated(std::string_view unit, std::size_t count);
+
+/// Left-pads `text` with spaces to `width` (no-op when already wider).
+std::string pad_left(std::string text, std::size_t width);
+
+/// Right-pads `text` with spaces to `width` (no-op when already wider).
+std::string pad_right(std::string text, std::size_t width);
+
+/// Renders `n` with thousands separators ("28374" -> "28,374").
+std::string with_commas(long long n);
+
+}  // namespace clpp

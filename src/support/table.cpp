@@ -1,0 +1,45 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace clpp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int digits) { return fixed(value, digits); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool left_first) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' '
+         << ((i == 0 && left_first) ? pad_right(cell, widths[i]) : pad_left(cell, widths[i]))
+         << " |";
+    }
+    os << '\n';
+  };
+  emit(header_, true);
+  os << '|';
+  for (std::size_t w : widths) os << repeated("-", w + 2) << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+}  // namespace clpp

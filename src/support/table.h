@@ -1,0 +1,31 @@
+// ASCII table renderer: benches print the paper's tables through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clpp {
+
+/// Renders aligned ASCII tables with a header rule, e.g.
+///
+///   |                | Precision | Recall |   F1 |
+///   |----------------|-----------|--------|------|
+///   | PragFormer     |      0.84 |   0.85 | 0.84 |
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats helper: fixed-precision number cell.
+  static std::string num(double value, int digits = 2);
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clpp

@@ -1,0 +1,78 @@
+#include "tensor/io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace clpp {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'L', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_raw(std::ostream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!out) throw IoError("tensor write failed");
+}
+
+void read_raw(std::istream& in, void* p, std::size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in.gcount()) != n)
+    throw IoError("tensor read failed (truncated stream)");
+}
+}  // namespace
+
+void write_u64(std::ostream& out, std::uint64_t v) { write_raw(out, &v, sizeof v); }
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  read_raw(in, &v, sizeof v);
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  if (!s.empty()) write_raw(out, s.data(), s.size());
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > (1ULL << 30)) throw ParseError("checkpoint string length implausible");
+  std::string s(n, '\0');
+  if (n) read_raw(in, s.data(), n);
+  return s;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_raw(out, kMagic, sizeof kMagic);
+  std::uint32_t version = kVersion;
+  write_raw(out, &version, sizeof version);
+  std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
+  write_raw(out, &rank, sizeof rank);
+  for (std::size_t d : t.shape()) write_u64(out, d);
+  if (t.numel()) write_raw(out, t.data(), t.numel() * sizeof(float));
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  read_raw(in, magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw ParseError("bad tensor magic (not a CLPP checkpoint)");
+  std::uint32_t version = 0;
+  read_raw(in, &version, sizeof version);
+  if (version != kVersion) throw ParseError("unsupported tensor version");
+  std::uint32_t rank = 0;
+  read_raw(in, &rank, sizeof rank);
+  if (rank > 3) throw ParseError("tensor rank > 3 in checkpoint");
+  std::vector<std::size_t> shape(rank);
+  for (auto& d : shape) {
+    d = static_cast<std::size_t>(read_u64(in));
+    if (d == 0 || d > (1ULL << 32)) throw ParseError("implausible tensor dimension");
+  }
+  Tensor t(shape.empty() ? std::vector<std::size_t>{1} : shape);
+  if (shape.empty()) t = Tensor();
+  if (t.numel()) read_raw(in, t.data(), t.numel() * sizeof(float));
+  return t;
+}
+
+}  // namespace clpp

@@ -1,0 +1,28 @@
+// Binary tensor (de)serialization for model checkpoints.
+//
+// Format (little-endian, as written by the host):
+//   magic "CLPT"  u32 version  u32 rank  u64 dims[rank]  f32 data[numel]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace clpp {
+
+/// Writes `t` to `out`; throws IoError on stream failure.
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Reads a tensor; throws IoError / ParseError on truncated or bad data.
+Tensor read_tensor(std::istream& in);
+
+/// Writes a length-prefixed string (used by checkpoint metadata).
+void write_string(std::ostream& out, const std::string& s);
+std::string read_string(std::istream& in);
+
+/// POD helpers.
+void write_u64(std::ostream& out, std::uint64_t v);
+std::uint64_t read_u64(std::istream& in);
+
+}  // namespace clpp

@@ -1,0 +1,117 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace clpp {
+
+namespace {
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+  std::size_t n = shape.empty() ? 0 : 1;
+  for (std::size_t d : shape) {
+    CLPP_CHECK_MSG(d > 0, "tensor dimensions must be positive");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {
+  CLPP_CHECK_MSG(shape_.size() <= 3, "tensors of rank > 3 are not supported");
+  recompute_strides();
+}
+
+void Tensor::recompute_strides() {
+  stride0_ = 1;
+  for (std::size_t i = 1; i < shape_.size(); ++i) stride0_ *= shape_[i];
+  for (std::size_t i = 0; i < 3; ++i) dims_[i] = i < shape_.size() ? shape_[i] : 1;
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<std::size_t> shape, std::vector<float> values) {
+  Tensor t(std::move(shape));
+  CLPP_CHECK_MSG(values.size() == t.numel(),
+                 "value count " << values.size() << " does not match shape "
+                                << t.shape_str());
+  t.data_ = std::move(values);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  CLPP_CHECK_MSG(i < shape_.size(), "dim " << i << " out of range for " << shape_str());
+  return shape_[i];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  CLPP_CHECK_MSG(rank() == 2, "at(i,j) requires rank 2, have " << shape_str());
+  CLPP_CHECK_MSG(i < shape_[0] && j < shape_[1],
+                 "index (" << i << "," << j << ") out of range for " << shape_str());
+  return (*this)(i, j);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  Tensor t(std::move(shape));
+  CLPP_CHECK_MSG(t.numel() == numel(), "reshape " << shape_str() << " -> "
+                                                  << t.shape_str() << " changes size");
+  t.data_ = data_;
+  return t;
+}
+
+float Tensor::sum() const {
+  // Kahan summation: loss curves are compared across representations, so the
+  // reduction must not drift with element count.
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const { return empty() ? 0.0f : sum() / static_cast<float>(numel()); }
+
+float Tensor::min() const {
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::min(m, v);
+  return empty() ? 0.0f : m;
+}
+
+float Tensor::max() const {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::max(m, v);
+  return empty() ? 0.0f : m;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace clpp

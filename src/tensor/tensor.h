@@ -1,0 +1,111 @@
+// Dense row-major float tensor.
+//
+// The NN substrate (clpp::nn) works almost exclusively with rank-2 tensors
+// shaped [rows, cols] where rows is typically batch*seq; rank-1 and rank-3
+// are supported for embeddings and attention intermediates. The class is a
+// plain value type (deep copy) with contiguous storage, which keeps the
+// manual-backprop layer code simple and cache-friendly.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace clpp {
+
+/// Dense row-major float tensor of rank 1..3.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Convenience constructors.
+  static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// Wraps explicit values; `values.size()` must equal the shape's element count.
+  static Tensor from(std::vector<std::size_t> shape, std::vector<float> values);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Dimension `i` of the shape (bounds-checked).
+  std::size_t dim(std::size_t i) const;
+  /// Rows/cols of a rank-2 tensor.
+  std::size_t rows() const { return dim(0); }
+  std::size_t cols() const { return dim(rank() - 1); }
+
+  /// Raw storage access.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return data_; }
+  std::span<const float> values() const { return data_; }
+
+  /// Element access (checked in debug via vector::operator[] semantics;
+  /// `at` variants check always).
+  float& operator()(std::size_t i) { return data_[i]; }
+  float operator()(std::size_t i) const { return data_[i]; }
+  float& operator()(std::size_t i, std::size_t j) { return data_[i * stride0_ + j]; }
+  float operator()(std::size_t i, std::size_t j) const { return data_[i * stride0_ + j]; }
+  float& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * dims_[1] + j) * dims_[2] + k];
+  }
+  float operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * dims_[1] + j) * dims_[2] + k];
+  }
+
+  /// Always-checked element access for tests and cold paths.
+  float at(std::size_t i, std::size_t j) const;
+
+  /// Pointer to the start of row `i` of a rank>=2 tensor.
+  float* row(std::size_t i) { return data_.data() + i * stride0_; }
+  const float* row(std::size_t i) const { return data_.data() + i * stride0_; }
+  std::span<float> row_span(std::size_t i) { return {row(i), stride0_}; }
+  std::span<const float> row_span(std::size_t i) const { return {row(i), stride0_}; }
+
+  /// Sets every element to `value`.
+  void fill(float value);
+  /// Sets every element to 0.
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the storage with a new shape of equal element count.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  /// Returns a deep copy (explicit, for call sites that want to show intent).
+  Tensor clone() const { return *this; }
+
+  /// Sum / mean / min / max over all elements (0 for empty tensors).
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+
+  /// True when shapes are equal and all elements differ by <= tol.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Human-readable "[2x3]" shape string for error messages.
+  std::string shape_str() const;
+
+ private:
+  void recompute_strides();
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+  // Cached for hot rank-2/3 access paths.
+  std::size_t stride0_ = 0;
+  std::size_t dims_[3] = {0, 0, 0};
+};
+
+}  // namespace clpp

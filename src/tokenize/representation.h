@@ -1,0 +1,40 @@
+// The four code representations of §4.2 (Table 5 of the paper).
+//
+//   Text    — the lexical token stream of the raw source;
+//   R-Text  — same, with identifiers replaced by canonical names
+//             (var0/arr0/fn0 indexed per snippet);
+//   AST     — the DFS linearization of the pycparser-style AST;
+//   R-AST   — the DFS linearization with replaced identifiers.
+//
+// Identifier replacement keeps C keywords and well-known library functions
+// (printf, malloc, sqrt, ...) intact: those are part of the language, not
+// of the developer's naming idiosyncrasies the replacement is meant to
+// normalize.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clpp::tokenize {
+
+enum class Representation { kText, kRText, kAst, kRAst };
+
+std::string representation_name(Representation rep);
+Representation representation_from(const std::string& name);
+
+/// All four representations, in paper order.
+const std::vector<Representation>& all_representations();
+
+/// Tokenizes `code` under `rep`. AST representations parse the snippet
+/// (throwing ParseError on malformed code); Text representations only lex.
+/// Numeric literals above 100 become the "<num>" bucket and string/char
+/// literal bodies become "<str>"/"<chr>" so the vocabulary stays closed.
+std::vector<std::string> tokenize(const std::string& code, Representation rep);
+
+/// The identifier replacement map used for a snippet under R-Text/R-AST:
+/// original name -> canonical (var0, arr1, fn0, ...). Exposed for tests
+/// and for explaining model inputs.
+std::map<std::string, std::string> replacement_map(const std::string& code);
+
+}  // namespace clpp::tokenize

@@ -1,0 +1,85 @@
+#include "tokenize/vocabulary.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace clpp::tokenize {
+
+Vocabulary Vocabulary::build(const std::vector<std::vector<std::string>>& documents,
+                             std::size_t min_count) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& doc : documents)
+    for (const std::string& token : doc) ++counts[token];
+
+  std::vector<std::pair<std::string, std::size_t>> items(counts.begin(), counts.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Vocabulary vocab;
+  vocab.id_to_token_ = {"<pad>", "<cls>", "<unk>", "<mask>"};
+  for (const auto& [token, count] : items) {
+    if (count < min_count) continue;
+    vocab.id_to_token_.push_back(token);
+  }
+  for (std::size_t i = 0; i < vocab.id_to_token_.size(); ++i)
+    vocab.token_to_id_[vocab.id_to_token_[i]] = static_cast<std::int32_t>(i);
+  return vocab;
+}
+
+Vocabulary Vocabulary::from_tokens(std::vector<std::string> id_to_token) {
+  CLPP_CHECK_MSG(id_to_token.size() >= static_cast<std::size_t>(kSpecialCount),
+                 "persisted vocabulary too small");
+  CLPP_CHECK_MSG(id_to_token[0] == "<pad>" && id_to_token[1] == "<cls>" &&
+                     id_to_token[2] == "<unk>" && id_to_token[3] == "<mask>",
+                 "persisted vocabulary misses the special tokens");
+  Vocabulary vocab;
+  vocab.id_to_token_ = std::move(id_to_token);
+  for (std::size_t i = 0; i < vocab.id_to_token_.size(); ++i) {
+    const bool inserted =
+        vocab.token_to_id_
+            .emplace(vocab.id_to_token_[i], static_cast<std::int32_t>(i))
+            .second;
+    CLPP_CHECK_MSG(inserted, "duplicate token in persisted vocabulary: "
+                                 << vocab.id_to_token_[i]);
+  }
+  return vocab;
+}
+
+std::int32_t Vocabulary::id_of(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocabulary::token_of(std::int32_t id) const {
+  CLPP_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < id_to_token_.size(),
+                 "token id " << id << " out of range");
+  return id_to_token_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::int32_t> Vocabulary::encode(const std::vector<std::string>& tokens,
+                                             std::size_t max_len) const {
+  CLPP_CHECK_MSG(max_len >= 1, "max_len must be at least 1");
+  std::vector<std::int32_t> out;
+  out.reserve(std::min(tokens.size() + 1, max_len));
+  out.push_back(kCls);
+  for (const std::string& token : tokens) {
+    if (out.size() >= max_len) break;
+    out.push_back(id_of(token));
+  }
+  return out;
+}
+
+std::size_t Vocabulary::count_oov_types(
+    const std::vector<std::vector<std::string>>& documents) const {
+  std::set<std::string> oov;
+  for (const auto& doc : documents)
+    for (const std::string& token : doc)
+      if (!contains(token)) oov.insert(token);
+  return oov.size();
+}
+
+}  // namespace clpp::tokenize

@@ -1,0 +1,57 @@
+// Token vocabulary with special symbols and fixed-length encoding.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clpp::tokenize {
+
+/// Token -> id mapping with the special tokens PragFormer's encoder needs.
+/// Ids: 0 <pad>, 1 <cls>, 2 <unk>, 3 <mask>, then corpus tokens by
+/// decreasing frequency (ties broken lexicographically, for determinism).
+class Vocabulary {
+ public:
+  static constexpr std::int32_t kPad = 0;
+  static constexpr std::int32_t kCls = 1;
+  static constexpr std::int32_t kUnk = 2;
+  static constexpr std::int32_t kMask = 3;
+  static constexpr std::int32_t kSpecialCount = 4;
+
+  /// Builds from tokenized documents; tokens below `min_count` are dropped
+  /// (they will encode as <unk>).
+  static Vocabulary build(const std::vector<std::vector<std::string>>& documents,
+                          std::size_t min_count = 1);
+
+  std::size_t size() const { return id_to_token_.size(); }
+
+  /// Id of `token`, or kUnk when absent.
+  std::int32_t id_of(const std::string& token) const;
+  /// True when `token` is in the vocabulary.
+  bool contains(const std::string& token) const { return token_to_id_.count(token) > 0; }
+  /// Token text of `id` (checked).
+  const std::string& token_of(std::int32_t id) const;
+
+  /// Encodes a token sequence: <cls> followed by token ids, truncated to
+  /// `max_len` total. Result length is in [1, max_len].
+  std::vector<std::int32_t> encode(const std::vector<std::string>& tokens,
+                                   std::size_t max_len) const;
+
+  /// Number of distinct tokens in `documents` missing from this vocabulary
+  /// (the "OOV types" column of Table 6).
+  std::size_t count_oov_types(const std::vector<std::vector<std::string>>& documents) const;
+
+  /// Full id -> token table (specials first); used for persistence.
+  const std::vector<std::string>& tokens() const { return id_to_token_; }
+
+  /// Reconstructs a vocabulary from a persisted token table. The first
+  /// four entries must be the special tokens in canonical order.
+  static Vocabulary from_tokens(std::vector<std::string> id_to_token);
+
+ private:
+  std::map<std::string, std::int32_t> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace clpp::tokenize

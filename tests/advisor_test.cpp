@@ -1,0 +1,134 @@
+// Tests for the ParallelAdvisor API: end-to-end advice, the schedule
+// extension task, and save/load persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/advisor.h"
+
+namespace clpp::core {
+namespace {
+
+PipelineConfig tiny_config() {
+  PipelineConfig config;
+  config.generator.size = 700;
+  config.generator.seed = 99;
+  config.encoder.dim = 32;
+  config.encoder.heads = 4;
+  config.encoder.layers = 1;
+  config.encoder.ffn_dim = 48;
+  config.max_len = 64;
+  config.train.epochs = 4;
+  config.mlm_pretrain = false;
+  return config;
+}
+
+/// One trained advisor shared by all tests in this file (training is the
+/// expensive part; the assertions are cheap).
+const ParallelAdvisor& advisor() {
+  static const ParallelAdvisor instance = ParallelAdvisor::train(tiny_config());
+  return instance;
+}
+
+TEST(Advisor, ProbabilitiesAreProbabilities) {
+  const Advice advice = advisor().advise("for (i = 0; i < n; i++) a[i] = b[i];");
+  for (float p : {advice.p_directive, advice.p_private, advice.p_reduction,
+                  advice.p_dynamic}) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Advisor, SuggestionOnlyWhenDirectiveNeeded) {
+  const Advice yes = advisor().advise("for (i = 0; i < n; i++) c[i] = a[i] + b[i];");
+  if (yes.needs_directive) {
+    EXPECT_NE(yes.suggestion.find("#pragma omp parallel for"), std::string::npos);
+  } else {
+    EXPECT_TRUE(yes.suggestion.empty());
+  }
+  const Advice no = advisor().advise(
+      "for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;");
+  if (!no.needs_directive) {
+    EXPECT_TRUE(no.suggestion.empty());
+  }
+}
+
+TEST(Advisor, ScheduleModelIsAttachedByTrain) {
+  // train() wires the 4th (schedule) model; p_dynamic must react to input
+  // (not stay at the default 0).
+  const Advice a = advisor().advise("for (i = 0; i < n; i++) a[i] = 0;");
+  const Advice b = advisor().advise(
+      "for (i = 0; i < n; i++) { if (a[i] > 0.5) a[i] = evolve(a[i]); }");
+  const bool any_nonzero = a.p_dynamic != 0.0f || b.p_dynamic != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Advisor, AdviceIsDeterministicInEvalMode) {
+  const char* code = "for (i = 0; i < n; i++) total += a[i];";
+  const Advice first = advisor().advise(code);
+  const Advice second = advisor().advise(code);
+  EXPECT_EQ(first.p_directive, second.p_directive);
+  EXPECT_EQ(first.suggestion, second.suggestion);
+}
+
+TEST(Advisor, SurvivesUnparseableCode) {
+  // Text representation only lexes; garbage code must not throw.
+  EXPECT_NO_THROW(advisor().advise("for while ( ( ( x y z"));
+}
+
+TEST(Advisor, SaveLoadRoundTripPreservesBehaviour) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clpp_advisor_test.bin").string();
+  advisor().save(path);
+  const ParallelAdvisor restored = ParallelAdvisor::load(path);
+
+  const char* snippets[] = {
+      "for (i = 0; i < n; i++) c[i] = a[i] + b[i];",
+      "for (i = 0; i < n; i++) sum += a[i];",
+      "for (i = 1; i < n; i++) a[i] = a[i - 1];",
+      "for (i = 0; i < n; i++) printf(\"%d\", a[i]);",
+  };
+  for (const char* code : snippets) {
+    const Advice original = advisor().advise(code);
+    const Advice loaded = restored.advise(code);
+    EXPECT_FLOAT_EQ(original.p_directive, loaded.p_directive) << code;
+    EXPECT_FLOAT_EQ(original.p_private, loaded.p_private) << code;
+    EXPECT_FLOAT_EQ(original.p_reduction, loaded.p_reduction) << code;
+    EXPECT_FLOAT_EQ(original.p_dynamic, loaded.p_dynamic) << code;
+    EXPECT_EQ(original.suggestion, loaded.suggestion) << code;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Advisor, LoadRejectsGarbageFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clpp_advisor_garbage.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not an advisor";
+  }
+  EXPECT_THROW(ParallelAdvisor::load(path), Error);
+  std::remove(path.c_str());
+  EXPECT_THROW(ParallelAdvisor::load("/nonexistent/path.bin"), IoError);
+}
+
+TEST(ScheduleTask, LabelsComeFromScheduleKind) {
+  corpus::Record dynamic_record;
+  dynamic_record.id = "d";
+  dynamic_record.code = "for (i = 0; i < n; i++) a[i] = f(i);";
+  dynamic_record.has_directive = true;
+  dynamic_record.directive_text = "#pragma omp parallel for schedule(dynamic)";
+  dynamic_record.refresh_labels();
+  EXPECT_EQ(corpus::label_of(dynamic_record, corpus::Task::kSchedule), 1);
+
+  corpus::Record static_record = dynamic_record;
+  static_record.directive_text = "#pragma omp parallel for";
+  static_record.refresh_labels();
+  EXPECT_EQ(corpus::label_of(static_record, corpus::Task::kSchedule), 0);
+  EXPECT_EQ(corpus::task_name(corpus::Task::kSchedule), "schedule");
+}
+
+}  // namespace
+}  // namespace clpp::core

@@ -1,0 +1,442 @@
+// Tests for the dependence-analysis substrate: access collection, loop
+// canonicalization, affine subscripts, dependence verdicts, side effects.
+#include <gtest/gtest.h>
+
+#include "analysis/accesses.h"
+#include "analysis/depend.h"
+#include "analysis/loopinfo.h"
+#include "analysis/sideeffects.h"
+#include "frontend/parser.h"
+
+namespace clpp::analysis {
+namespace {
+
+using frontend::NodeKind;
+using frontend::NodePtr;
+using frontend::parse_expression;
+using frontend::parse_snippet;
+
+const frontend::Node& first_for(const frontend::Node& unit) {
+  for (const auto& c : unit.children)
+    if (c->kind == NodeKind::kFor) return *c;
+  throw std::runtime_error("no for loop in test snippet");
+}
+
+LoopVerdict analyze_with(const char* code, AnalyzerOptions options = {}) {
+  static std::vector<NodePtr> keep_alive;  // verdicts borrow nothing, but
+                                           // keep units alive for safety
+  keep_alive.push_back(parse_snippet(code));
+  const frontend::Node& unit = *keep_alive.back();
+  SideEffectOracle oracle(unit);
+  DependenceAnalyzer analyzer(oracle, options);
+  return analyzer.analyze(first_for(unit));
+}
+
+// --- access collection -------------------------------------------------------
+
+TEST(Accesses, ReadsAndWrites) {
+  const NodePtr unit = parse_snippet("a[i] = b[i] + c;");
+  const AccessSet set = collect_accesses(*unit);
+  EXPECT_TRUE(set.is_written("a"));
+  EXPECT_FALSE(set.is_read("a"));
+  EXPECT_TRUE(set.is_read("b"));
+  EXPECT_FALSE(set.is_written("b"));
+  EXPECT_TRUE(set.is_read("c"));
+  EXPECT_TRUE(set.is_read("i"));
+}
+
+TEST(Accesses, CompoundAssignmentReadsBeforeWrite) {
+  const NodePtr unit = parse_snippet("s += a[i];");
+  const AccessSet set = collect_accesses(*unit);
+  const auto& all = set.accesses;
+  // First access of s must be the read (program order of s += e).
+  auto it = std::find_if(all.begin(), all.end(),
+                         [](const Access& a) { return a.variable == "s"; });
+  ASSERT_NE(it, all.end());
+  EXPECT_FALSE(it->is_write);
+  EXPECT_TRUE(set.is_written("s"));
+}
+
+TEST(Accesses, IncrementIsReadModifyWrite) {
+  const NodePtr unit = parse_snippet("count++;");
+  const AccessSet set = collect_accesses(*unit);
+  EXPECT_TRUE(set.is_read("count"));
+  EXPECT_TRUE(set.is_written("count"));
+}
+
+TEST(Accesses, MultiDimSubscriptsCollected) {
+  const NodePtr unit = parse_snippet("m[i][j] = 0;");
+  const AccessSet set = collect_accesses(*unit);
+  const auto writes = set.writes_of("m");
+  ASSERT_EQ(writes.size(), 1u);
+  EXPECT_EQ(writes[0]->subscripts.size(), 2u);
+  EXPECT_TRUE(writes[0]->is_array);
+}
+
+TEST(Accesses, PointerDerefWriteIsHazard) {
+  const NodePtr unit = parse_snippet("*p = 1;");
+  EXPECT_TRUE(collect_accesses(*unit).hazards.pointer_deref_write);
+}
+
+TEST(Accesses, StructWriteIsHazard) {
+  const NodePtr unit = parse_snippet("node->value = 1;");
+  const AccessSet set = collect_accesses(*unit);
+  EXPECT_TRUE(set.hazards.struct_access);
+  EXPECT_TRUE(set.hazards.pointer_deref_write);
+}
+
+TEST(Accesses, AddressTakenIsHazard) {
+  const NodePtr unit = parse_snippet("f(&x);");
+  EXPECT_TRUE(collect_accesses(*unit).hazards.address_taken);
+}
+
+TEST(Accesses, CalleesRecorded) {
+  const NodePtr unit = parse_snippet("y = f(g(x));");
+  const auto& called = collect_accesses(*unit).hazards.called_functions;
+  ASSERT_EQ(called.size(), 2u);
+  EXPECT_EQ(called[0], "f");
+  EXPECT_EQ(called[1], "g");
+}
+
+// --- canonical loops ------------------------------------------------------------
+
+TEST(Canonical, BasicUpwardLoop) {
+  const NodePtr unit = parse_snippet("for (i = 0; i < n; i++) ;");
+  const auto loop = canonicalize(first_for(*unit));
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->induction, "i");
+  EXPECT_EQ(loop->relation, "<");
+  EXPECT_EQ(loop->step, 1);
+  EXPECT_EQ(loop->direction, LoopDirection::kUp);
+}
+
+TEST(Canonical, DeclaredInductionAndStride) {
+  const NodePtr unit = parse_snippet("for (int i = 2; i <= 100; i += 2) ;");
+  const auto loop = canonicalize(first_for(*unit));
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_TRUE(loop->declared_in_init);
+  EXPECT_EQ(loop->step, 2);
+  ASSERT_TRUE(loop->static_trip_count().has_value());
+  EXPECT_EQ(*loop->static_trip_count(), 50);
+}
+
+TEST(Canonical, DownwardLoop) {
+  const NodePtr unit = parse_snippet("for (i = n - 1; i >= 0; i--) ;");
+  const auto loop = canonicalize(first_for(*unit));
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->direction, LoopDirection::kDown);
+  EXPECT_EQ(loop->step, -1);
+}
+
+TEST(Canonical, ReversedComparison) {
+  const NodePtr unit = parse_snippet("for (i = 0; n > i; i = i + 1) ;");
+  const auto loop = canonicalize(first_for(*unit));
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->relation, "<");
+  EXPECT_EQ(loop->step, 1);
+}
+
+TEST(Canonical, RejectsNonCanonicalForms) {
+  for (const char* code :
+       {"for (;;) ;",                          // no pieces at all
+        "for (i = 0; i != n; i++) ;",          // '!=' relation
+        "for (i = 0; i < n; i *= 2) ;",        // multiplicative step
+        "for (i = 0; i < n; j++) ;",           // step on another variable
+        "for (i = 0; i < n; i--) ;",           // step away from bound
+        "for (p = head; p; p = p->next) ;"}) { // pointer walk
+    const NodePtr unit = parse_snippet(code);
+    EXPECT_FALSE(canonicalize(first_for(*unit)).has_value()) << code;
+  }
+}
+
+TEST(Canonical, StaticTripCountZeroForEmptyRange) {
+  const NodePtr unit = parse_snippet("for (i = 10; i < 10; i++) ;");
+  const auto loop = canonicalize(first_for(*unit));
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(loop->static_trip_count().value_or(-1), 0);
+}
+
+TEST(Canonical, EarlyExitDetection) {
+  const NodePtr a = parse_snippet("for (i = 0; i < n; i++) { if (x) break; }");
+  EXPECT_TRUE(has_early_exit(first_for(*a).child(3)));
+  const NodePtr b = parse_snippet(
+      "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) { if (x) break; } }");
+  EXPECT_FALSE(has_early_exit(first_for(*b).child(3)))
+      << "break in a nested loop does not escape the outer body";
+  const NodePtr c = parse_snippet("for (i = 0; i < n; i++) { return; }");
+  EXPECT_TRUE(has_early_exit(first_for(*c).child(3)));
+}
+
+// --- affine subscripts -------------------------------------------------------------
+
+TEST(Affine, RecognizesCommonForms) {
+  const NodePtr i = parse_expression("i");
+  EXPECT_EQ(analyze_subscript(*i, "i"),
+            (Affine{Affine::Kind::kAffine, 1, 0, {}}));
+  const NodePtr ip1 = parse_expression("i + 1");
+  EXPECT_EQ(analyze_subscript(*ip1, "i"),
+            (Affine{Affine::Kind::kAffine, 1, 1, {}}));
+  const NodePtr im2 = parse_expression("i - 2");
+  EXPECT_EQ(analyze_subscript(*im2, "i"),
+            (Affine{Affine::Kind::kAffine, 1, -2, {}}));
+  const NodePtr two_i = parse_expression("2 * i + 3");
+  EXPECT_EQ(analyze_subscript(*two_i, "i"),
+            (Affine{Affine::Kind::kAffine, 2, 3, {}}));
+  const NodePtr c = parse_expression("7");
+  EXPECT_EQ(analyze_subscript(*c, "i"),
+            (Affine{Affine::Kind::kAffine, 0, 7, {}}));
+}
+
+TEST(Affine, InvariantAndComplex) {
+  const NodePtr j = parse_expression("j");
+  EXPECT_EQ(analyze_subscript(*j, "i").kind, Affine::Kind::kInvariant);
+  const NodePtr nm1 = parse_expression("n - 1");
+  EXPECT_EQ(analyze_subscript(*nm1, "i").kind, Affine::Kind::kInvariant);
+  const NodePtr ii = parse_expression("i * i");
+  EXPECT_EQ(analyze_subscript(*ii, "i").kind, Affine::Kind::kComplex);
+  const NodePtr idx = parse_expression("index[i]");
+  EXPECT_EQ(analyze_subscript(*idx, "i").kind, Affine::Kind::kComplex);
+}
+
+TEST(Affine, LinearizedTwoD) {
+  // G[(i * NL) + j]: coeff symbolic -> complex (conservative).
+  const NodePtr e = parse_expression("(i * NL) + j");
+  EXPECT_EQ(analyze_subscript(*e, "i").kind, Affine::Kind::kComplex);
+}
+
+TEST(DimRelationTest, Cases) {
+  const Affine i{Affine::Kind::kAffine, 1, 0, {}};
+  const Affine im1{Affine::Kind::kAffine, 1, -1, {}};
+  const Affine c0{Affine::Kind::kAffine, 0, 0, {}};
+  const Affine c1{Affine::Kind::kAffine, 0, 1, {}};
+  const Affine inv_j{Affine::Kind::kInvariant, 0, 0, "j"};
+  const Affine inv_k{Affine::Kind::kInvariant, 0, 0, "k"};
+  EXPECT_EQ(compare_dimension(i, i), DimRelation::kSameIterationOnly);
+  EXPECT_EQ(compare_dimension(i, im1), DimRelation::kCarried);
+  EXPECT_EQ(compare_dimension(c0, c1), DimRelation::kDisjoint);
+  EXPECT_EQ(compare_dimension(c0, c0), DimRelation::kCarried);
+  EXPECT_EQ(compare_dimension(inv_j, inv_j), DimRelation::kCarried);
+  EXPECT_EQ(compare_dimension(inv_j, inv_k), DimRelation::kUnknown);
+  EXPECT_EQ(compare_dimension(i, inv_j), DimRelation::kUnknown);
+}
+
+// --- whole-loop verdicts -------------------------------------------------------------
+
+TEST(Verdict, IndependentElementwiseLoopParallelizes) {
+  const auto v = analyze_with("for (i = 0; i < n; i++) a[i] = b[i] + c[i];");
+  EXPECT_TRUE(v.canonical);
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.dependences.empty());
+}
+
+TEST(Verdict, LoopCarriedRecurrenceRejected) {
+  const auto v = analyze_with("for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;");
+  EXPECT_FALSE(v.parallelizable);
+  ASSERT_FALSE(v.dependences.empty());
+  EXPECT_EQ(v.dependences[0].variable, "a");
+}
+
+TEST(Verdict, ReadOnlyOffsetIsFine) {
+  // a[i] = b[i-1]: write and read touch different arrays.
+  const auto v = analyze_with("for (i = 1; i < n; i++) a[i] = b[i - 1] + 1;");
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Verdict, WriteReadSameArrayDisjointOffsets) {
+  // a[2*i] = a[2*i + 1]: distance 1 not divisible by 2 -> disjoint.
+  const auto v = analyze_with("for (i = 0; i < n; i++) a[2 * i] = a[2 * i + 1];");
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Verdict, SumReductionRecognized) {
+  const auto v = analyze_with("for (i = 0; i < n; i++) sum += a[i];");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.reductions.size(), 1u);
+  EXPECT_EQ(v.reductions[0].variable, "sum");
+  EXPECT_EQ(v.reductions[0].op, frontend::ReductionOp::kAdd);
+}
+
+TEST(Verdict, ExplicitFormReduction) {
+  const auto v = analyze_with("for (i = 0; i < n; i++) p = p * a[i];");
+  ASSERT_EQ(v.reductions.size(), 1u);
+  EXPECT_EQ(v.reductions[0].op, frontend::ReductionOp::kMul);
+}
+
+TEST(Verdict, MinMaxReductionNeedsKnob) {
+  const char* code =
+      "for (i = 0; i < n; i++) { if (a[i] > m) m = a[i]; }";
+  const auto strict = analyze_with(code);
+  EXPECT_FALSE(strict.parallelizable)
+      << "without the knob the conditional max is a carried scalar dep";
+  AnalyzerOptions opts;
+  opts.recognize_minmax_reduction = true;
+  const auto relaxed = analyze_with(code, opts);
+  EXPECT_TRUE(relaxed.parallelizable);
+  ASSERT_EQ(relaxed.reductions.size(), 1u);
+  EXPECT_EQ(relaxed.reductions[0].op, frontend::ReductionOp::kMax);
+}
+
+TEST(Verdict, ReductionDisabledByKnob) {
+  AnalyzerOptions opts;
+  opts.recognize_reduction = false;
+  const auto v = analyze_with("for (i = 0; i < n; i++) sum += a[i];", opts);
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, ScalarTempPrivatizable) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) { t = a[i] * 2; b[i] = t + 1; }");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.private_candidates.size(), 1u);
+  EXPECT_EQ(v.private_candidates[0], "t");
+}
+
+TEST(Verdict, UseBeforeDefScalarIsCarried) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, NestedLoopIndexPrivatized) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i][j] = 0;");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_EQ(v.private_candidates.size(), 1u);
+  EXPECT_EQ(v.private_candidates[0], "j");
+}
+
+TEST(Verdict, InnerSharedRowWriteIsCarried) {
+  // Every outer iteration writes all of row[j]: outer not parallel.
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) for (j = 0; j < m; j++) row[j] += a[i][j];");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, IoCallRejected) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) fprintf(f, \"%d\\n\", arr[i]);");
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_FALSE(v.bailed);  // compiled, judged unprofitable/incorrect
+}
+
+TEST(Verdict, MallocRejected) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) p = malloc(16);");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, UnknownCallBailsConservatively) {
+  const auto v = analyze_with("for (i = 0; i < n; i++) Calc(i);");
+  EXPECT_TRUE(v.bailed);
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, UnknownCallAllowedWhenAggressive) {
+  AnalyzerOptions opts;
+  opts.assume_unknown_calls_pure = true;
+  const auto v = analyze_with("for (i = 0; i < n; i++) Calc(i);", opts);
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Verdict, PureWhitelistedCallAccepted) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) b[i] = sqrt(a[i]);");
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Verdict, LocalPureFunctionAnalyzed) {
+  const auto v = analyze_with(
+      "double square(double x) { return x * x; }\n"
+      "for (i = 0; i < n; i++) b[i] = square(a[i]);");
+  EXPECT_TRUE(v.parallelizable);
+}
+
+TEST(Verdict, LocalImpureFunctionRejected) {
+  const auto v = analyze_with(
+      "int counter;\n"
+      "int bump(int x) { counter += x; return counter; }\n"
+      "for (i = 0; i < n; i++) b[i] = bump(a[i]);");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(Verdict, TripCountThreshold) {
+  AnalyzerOptions opts;
+  opts.min_trip_count = 8;
+  const auto small = analyze_with("for (i = 0; i < 4; i++) a[i] = 0;", opts);
+  EXPECT_FALSE(small.parallelizable);
+  const auto big = analyze_with("for (i = 0; i < 1000; i++) a[i] = 0;", opts);
+  EXPECT_TRUE(big.parallelizable);
+}
+
+TEST(Verdict, DynamicScheduleHint) {
+  AnalyzerOptions opts;
+  opts.suggest_dynamic_schedule = true;
+  const auto v = analyze_with(
+      "int MoreCalc(int i) { return i * 2; }\n"
+      "int Calc2(int i) { return i + 1; }\n"
+      "for (i = 0; i <= N; i++) if (MoreCalc(i)) x[i] = Calc2(i);", opts);
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_EQ(v.schedule_hint, frontend::ScheduleKind::kDynamic);
+}
+
+TEST(Verdict, StructAccessBailsByDefault) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) total += items[i].weight;");
+  EXPECT_TRUE(v.bailed);
+}
+
+TEST(Verdict, EarlyExitRejected) {
+  const auto v = analyze_with(
+      "for (i = 0; i < n; i++) { if (a[i] == key) break; }");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+// --- side effects ------------------------------------------------------------------
+
+TEST(SideEffects, Whitelists) {
+  EXPECT_TRUE(SideEffectOracle::is_whitelisted_pure("sqrt"));
+  EXPECT_TRUE(SideEffectOracle::is_known_io("printf"));
+  EXPECT_TRUE(SideEffectOracle::is_known_alloc("malloc"));
+  EXPECT_FALSE(SideEffectOracle::is_whitelisted_pure("frobnicate"));
+}
+
+TEST(SideEffects, LocalBodyClassification) {
+  const NodePtr unit = parse_snippet(
+      "double triple(double x) { return 3 * x; }\n"
+      "void fill(double *v, int n) { for (int i = 0; i < n; i++) v[i] = 0; }\n"
+      "void log_it(int x) { printf(\"%d\", x); }\n");
+  SideEffectOracle oracle(*unit);
+  EXPECT_EQ(oracle.effect_of("triple"), CallEffect::kPure);
+  EXPECT_EQ(oracle.effect_of("fill"), CallEffect::kWritesArgs);
+  EXPECT_EQ(oracle.effect_of("log_it"), CallEffect::kIo);
+  EXPECT_EQ(oracle.effect_of("mystery"), CallEffect::kUnknown);
+}
+
+TEST(SideEffects, TransitiveThroughLocalCalls) {
+  const NodePtr unit = parse_snippet(
+      "double inner(double x) { return x * 2; }\n"
+      "double outer(double x) { return inner(x) + 1; }\n"
+      "double bad(double x) { printf(\"x\"); return x; }\n"
+      "double worse(double x) { return bad(x); }\n");
+  SideEffectOracle oracle(*unit);
+  EXPECT_EQ(oracle.effect_of("outer"), CallEffect::kPure);
+  EXPECT_EQ(oracle.effect_of("worse"), CallEffect::kIo);
+}
+
+TEST(SideEffects, RecursionDoesNotLoopForever) {
+  const NodePtr unit = parse_snippet(
+      "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }");
+  SideEffectOracle oracle(*unit);
+  // Self-recursive functions cannot be proven pure by our analysis.
+  EXPECT_EQ(oracle.effect_of("fact"), CallEffect::kUnknown);
+}
+
+TEST(SideEffects, WorstEffectOrdering) {
+  EXPECT_EQ(worse(CallEffect::kPure, CallEffect::kIo), CallEffect::kIo);
+  EXPECT_EQ(worse(CallEffect::kUnknown, CallEffect::kIo), CallEffect::kUnknown);
+  EXPECT_EQ(worse(CallEffect::kWritesArgs, CallEffect::kPure),
+            CallEffect::kWritesArgs);
+}
+
+}  // namespace
+}  // namespace clpp::analysis

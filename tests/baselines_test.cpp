@@ -1,0 +1,110 @@
+// Tests for the BoW featurizer and logistic-regression baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/bow.h"
+#include "tokenize/representation.h"
+
+namespace clpp::baselines {
+namespace {
+
+using tokenize::Vocabulary;
+
+TEST(Bow, CountsTokens) {
+  const Vocabulary v = Vocabulary::build({{"for", "i", "a"}});
+  const SparseVector x = bow_features({"for", "i", "i", "a"}, v);
+  ASSERT_EQ(x.size(), 3u);
+  // Sorted by id; find the count of "i".
+  float i_count = 0;
+  for (const auto& [id, count] : x)
+    if (id == v.id_of("i")) i_count = count;
+  EXPECT_FLOAT_EQ(i_count, 2.0f);
+}
+
+TEST(Bow, UnknownTokensCollapseToUnk) {
+  const Vocabulary v = Vocabulary::build({{"a"}});
+  const SparseVector x = bow_features({"zzz", "yyy"}, v);
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_EQ(x[0].first, Vocabulary::kUnk);
+  EXPECT_FLOAT_EQ(x[0].second, 2.0f);
+}
+
+TEST(Bow, OrderInvariance) {
+  const Vocabulary v = Vocabulary::build({{"a", "b", "c"}});
+  EXPECT_EQ(bow_features({"a", "b", "c"}, v), bow_features({"c", "b", "a"}, v));
+}
+
+TEST(Logistic, LearnsLinearlySeparableData) {
+  // y = 1 iff feature 4 present.
+  std::vector<SparseVector> xs;
+  std::vector<std::int32_t> ys;
+  Rng data_rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const bool pos = data_rng.chance(0.5);
+    SparseVector x;
+    x.emplace_back(5, data_rng.uniform(0.0f, 2.0f));  // noise feature
+    if (pos) x.emplace_back(4, 1.0f);
+    std::sort(x.begin(), x.end());
+    xs.push_back(std::move(x));
+    ys.push_back(pos);
+  }
+  LogisticRegression model(8);
+  Rng rng(2);
+  model.train(xs, ys, LogisticConfig{.epochs = 50}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    correct += model.predict(xs[i]) == ys[i];
+  EXPECT_GT(correct, 190u);
+}
+
+TEST(Logistic, LossDecreasesWithTraining) {
+  std::vector<SparseVector> xs = {{{0, 1.0f}}, {{1, 1.0f}}};
+  std::vector<std::int32_t> ys = {0, 1};
+  LogisticRegression model(2);
+  const float before = model.loss(xs, ys);
+  Rng rng(3);
+  model.train(xs, ys, LogisticConfig{.epochs = 100, .lr = 0.5f}, rng);
+  EXPECT_LT(model.loss(xs, ys), before * 0.5f);
+}
+
+TEST(Logistic, CannotLearnOrderSensitivePattern) {
+  // The structural limitation §5.2 exploits: two classes with identical
+  // bags cannot be separated by BoW no matter the training budget.
+  const Vocabulary v = Vocabulary::build({{"t", "=", "a", "[", "i", "]", ";", "b"}});
+  const auto bag1 = bow_features({"t", "=", "a", "[", "i", "]", ";", "b", "[", "i",
+                                  "]", "=", "t", ";"},
+                                 v);
+  const auto bag2 = bow_features({"b", "[", "i", "]", "=", "t", ";", "t", "=", "a",
+                                  "[", "i", "]", ";"},
+                                 v);
+  EXPECT_EQ(bag1, bag2);
+  std::vector<SparseVector> xs = {bag1, bag2};
+  std::vector<std::int32_t> ys = {1, 0};
+  LogisticRegression model(v.size());
+  Rng rng(4);
+  model.train(xs, ys, LogisticConfig{.epochs = 200}, rng);
+  // Identical inputs -> identical outputs; at most one can be right.
+  EXPECT_FLOAT_EQ(model.predict_proba(bag1), model.predict_proba(bag2));
+}
+
+TEST(Logistic, L2ShrinksWeights) {
+  std::vector<SparseVector> xs = {{{0, 1.0f}}, {{0, 0.0f}}};
+  std::vector<std::int32_t> ys = {1, 0};
+  LogisticRegression weak(1);
+  LogisticRegression strong(1);
+  Rng r1(5), r2(5);
+  weak.train(xs, ys, LogisticConfig{.epochs = 200, .l2 = 0.0f}, r1);
+  strong.train(xs, ys, LogisticConfig{.epochs = 200, .l2 = 0.5f}, r2);
+  EXPECT_LT(std::abs(strong.weights()[0]), std::abs(weak.weights()[0]));
+}
+
+TEST(Logistic, RejectsMismatchedInputs) {
+  LogisticRegression model(4);
+  std::vector<SparseVector> xs = {{{0, 1.0f}}};
+  std::vector<std::int32_t> ys = {0, 1};
+  Rng rng(6);
+  EXPECT_THROW(model.train(xs, ys, LogisticConfig{}, rng), InvalidArgument);
+  EXPECT_THROW(model.predict_proba({{7, 1.0f}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace clpp::baselines

@@ -1,0 +1,298 @@
+// Tests for metrics, dataset encoding, the PragFormer model, and the
+// trainer (fast configs; the full experiment shapes live in the benches
+// and in pipeline_test).
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/explain.h"
+#include "core/metrics.h"
+#include "core/pragformer.h"
+#include "core/trainer.h"
+#include "tokenize/representation.h"
+
+namespace clpp::core {
+namespace {
+
+TEST(Metrics, HandComputedExample) {
+  BinaryMetrics m;
+  m.tp = 8;
+  m.fp = 2;
+  m.fn = 4;
+  m.tn = 6;
+  EXPECT_DOUBLE_EQ(m.precision(), 0.8);
+  EXPECT_NEAR(m.recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(m.f1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 14.0 / 20.0);
+}
+
+TEST(Metrics, DegenerateCasesAreZeroNotNan) {
+  BinaryMetrics m;  // all zero
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(Metrics, FromArrays) {
+  const std::vector<int> pred = {1, 1, 0, 0, 1};
+  const std::vector<int> truth = {1, 0, 0, 1, 1};
+  const BinaryMetrics m = compute_metrics(pred, truth);
+  EXPECT_EQ(m.tp, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_EQ(m.tn, 1u);
+}
+
+TEST(Metrics, ProbaThreshold) {
+  const std::vector<float> probs = {0.9f, 0.4f, 0.6f};
+  const std::vector<std::int32_t> labels = {1, 1, 0};
+  const BinaryMetrics m = compute_metrics_proba(probs, labels);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fn, 1u);
+  EXPECT_EQ(m.fp, 1u);
+}
+
+TEST(Metrics, MismatchedSizesRejected) {
+  const std::vector<int> pred = {1};
+  const std::vector<int> truth = {1, 0};
+  EXPECT_THROW(compute_metrics(pred, truth), InvalidArgument);
+}
+
+corpus::Corpus tiny_corpus() {
+  corpus::Corpus corpus;
+  auto add = [&](const std::string& id, const std::string& code, bool directive,
+                 const std::string& text = "#pragma omp parallel for") {
+    corpus::Record r;
+    r.id = id;
+    r.family = "test";
+    r.code = code;
+    r.has_directive = directive;
+    if (directive) r.directive_text = text;
+    r.refresh_labels();
+    corpus.add(std::move(r));
+  };
+  add("p0", "for (i = 0; i < n; i++) a[i] = b[i];", true);
+  add("p1", "for (i = 0; i < n; i++) s += a[i];", true,
+      "#pragma omp parallel for reduction(+: s)");
+  add("n0", "for (i = 0; i < n; i++) printf(\"%d\", a[i]);", false);
+  add("n1", "for (i = 1; i < n; i++) a[i] = a[i - 1];", false);
+  return corpus;
+}
+
+TEST(Dataset, EncodesWithLabels) {
+  const corpus::Corpus corpus = tiny_corpus();
+  const std::vector<std::size_t> idx = {0, 1, 2, 3};
+  const auto docs = tokenize_records(corpus, idx, tokenize::Representation::kText);
+  const auto vocab = tokenize::Vocabulary::build(docs);
+  const EncodedDataset ds = encode_dataset(corpus, idx, corpus::Task::kDirective,
+                                           tokenize::Representation::kText, vocab, 64);
+  ASSERT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.labels, (std::vector<std::int32_t>{1, 1, 0, 0}));
+  for (const auto& seq : ds.sequences) {
+    EXPECT_EQ(seq[0], tokenize::Vocabulary::kCls);
+    EXPECT_LE(seq.size(), 64u);
+  }
+}
+
+TEST(Dataset, ReductionTaskLabels) {
+  const corpus::Corpus corpus = tiny_corpus();
+  const std::vector<std::size_t> idx = {0, 1};  // positives only
+  const auto docs = tokenize_records(corpus, idx, tokenize::Representation::kText);
+  const auto vocab = tokenize::Vocabulary::build(docs);
+  const EncodedDataset ds = encode_dataset(corpus, idx, corpus::Task::kReduction,
+                                           tokenize::Representation::kText, vocab, 64);
+  EXPECT_EQ(ds.labels, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(Dataset, PackBatchGeometry) {
+  EncodedDataset ds;
+  ds.sequences = {{1, 5, 6}, {1, 7}, {1, 8, 9, 10, 11}};
+  ds.labels = {1, 0, 1};
+  const std::vector<std::size_t> idx = {0, 1, 2};
+  const nn::TokenBatch batch = pack_batch(ds, idx, 4);
+  EXPECT_EQ(batch.batch, 3u);
+  EXPECT_EQ(batch.seq, 4u);  // longest clamped to max_seq
+  EXPECT_EQ(batch.lengths, (std::vector<int>{3, 2, 4}));
+  EXPECT_EQ(batch.id(1, 1), 7);
+  EXPECT_EQ(batch.id(1, 2), 0);  // pad
+  EXPECT_EQ(batch_labels(ds, idx), (std::vector<std::int32_t>{1, 0, 1}));
+}
+
+PragFormerConfig small_config(std::size_t vocab) {
+  PragFormerConfig config;
+  config.encoder.vocab_size = vocab;
+  config.encoder.max_seq = 32;
+  config.encoder.dim = 16;
+  config.encoder.heads = 2;
+  config.encoder.layers = 1;
+  config.encoder.ffn_dim = 24;
+  config.encoder.dropout = 0.0f;
+  config.head_dropout = 0.0f;
+  return config;
+}
+
+TEST(PragFormerModel, LogitShapeAndProba) {
+  Rng rng(1);
+  PragFormer model(small_config(20), rng);
+  nn::TokenBatch batch;
+  batch.batch = 2;
+  batch.seq = 4;
+  batch.ids = {1, 5, 6, 0, 1, 7, 0, 0};
+  batch.lengths = {3, 2};
+  const Tensor out = model.logits(batch, false);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 2}));
+  const auto probs = model.predict_proba(batch);
+  ASSERT_EQ(probs.size(), 2u);
+  for (float p : probs) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST(PragFormerModel, ParameterCountIncludesHead) {
+  Rng rng(2);
+  PragFormer model(small_config(20), rng);
+  const auto params = model.parameters();
+  bool has_head = false;
+  for (const auto* p : params) has_head |= p->name.rfind("head.", 0) == 0;
+  EXPECT_TRUE(has_head);
+  // vocab 20 x dim 16 + pos 32x16 + 1 block + head ≈ 3.1k parameters.
+  EXPECT_GT(nn::parameter_count(params), 3000u);
+}
+
+TEST(PragFormerModel, PretrainedEncoderRestores) {
+  Rng rng(3);
+  PragFormer donor(small_config(20), rng);
+  std::map<std::string, Tensor> checkpoint;
+  for (const auto* p : donor.parameters())
+    if (p->name.rfind("encoder.", 0) == 0) checkpoint.emplace(p->name, p->value);
+
+  Rng rng2(999);
+  PragFormer receiver(small_config(20), rng2);
+  const std::size_t restored = receiver.load_pretrained_encoder(checkpoint);
+  EXPECT_EQ(restored, checkpoint.size());
+}
+
+TEST(Trainer, OverfitsTinySeparableTask) {
+  // Positive sequences contain token 5, negatives token 6.
+  EncodedDataset train;
+  Rng data_rng(4);
+  for (int i = 0; i < 64; ++i) {
+    const bool pos = i % 2 == 0;
+    std::vector<std::int32_t> seq = {1};
+    for (int t = 0; t < 6; ++t)
+      seq.push_back(static_cast<std::int32_t>(7 + data_rng.index(8)));
+    seq[1 + data_rng.index(6)] = pos ? 5 : 6;
+    train.sequences.push_back(std::move(seq));
+    train.labels.push_back(pos);
+  }
+  EncodedDataset val = train;
+
+  Rng rng(5);
+  PragFormer model(small_config(16), rng);
+  TrainConfig config;
+  config.epochs = 12;
+  config.batch_size = 16;
+  config.lr = 2e-3f;
+  const auto curves = train_classifier(model, train, val, config, rng);
+  ASSERT_EQ(curves.size(), 12u);
+  EXPECT_GT(curves.back().val_accuracy, 0.95f);
+  EXPECT_LT(curves.back().train_loss, curves.front().train_loss);
+  const BinaryMetrics m = evaluate_metrics(model, val);
+  EXPECT_GT(m.f1(), 0.95);
+}
+
+TEST(Trainer, CurvesHaveOneEntryPerEpoch) {
+  EncodedDataset train;
+  train.sequences = {{1, 5}, {1, 6}};
+  train.labels = {1, 0};
+  Rng rng(6);
+  PragFormer model(small_config(16), rng);
+  TrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 2;
+  const auto curves = train_classifier(model, train, train, config, rng);
+  ASSERT_EQ(curves.size(), 3u);
+  for (std::size_t e = 0; e < curves.size(); ++e) EXPECT_EQ(curves[e].epoch, e);
+}
+
+TEST(Trainer, BestEpochSelectionRestoresBestValidationLoss) {
+  // Tiny noisy task trained well past convergence: without selection the
+  // final model is whatever the last epoch left; with selection it must
+  // score (approximately) the best validation loss seen on any epoch.
+  EncodedDataset train;
+  Rng data_rng(8);
+  for (int i = 0; i < 48; ++i) {
+    const bool pos = i % 2 == 0;
+    std::vector<std::int32_t> seq = {1, pos ? 5 : 6};
+    for (int t = 0; t < 4; ++t)
+      seq.push_back(static_cast<std::int32_t>(7 + data_rng.index(8)));
+    train.sequences.push_back(std::move(seq));
+    // 15% label noise forces genuine overfitting room.
+    train.labels.push_back(data_rng.chance(0.15) ? !pos : pos);
+  }
+  EncodedDataset val = train;
+
+  Rng rng(9);
+  PragFormer model(small_config(16), rng);
+  TrainConfig config;
+  config.epochs = 15;
+  config.batch_size = 16;
+  config.lr = 3e-3f;
+  config.select_best_epoch = true;
+  const auto curves = train_classifier(model, train, val, config, rng);
+  float best = curves.front().val_loss;
+  for (const auto& c : curves) best = std::min(best, c.val_loss);
+  const auto [final_loss, final_acc] = evaluate_loss_accuracy(model, val);
+  (void)final_acc;
+  EXPECT_LE(final_loss, best + 1e-4f);
+}
+
+TEST(Explain, AttentionRowsAreDistributions) {
+  Rng rng(10);
+  PragFormerConfig config = small_config(0);
+  // Build a vocab from the snippet itself so ids are in range.
+  const std::string code = "for (i = 0; i < n; i++) a[i] = b[i] + c[i];";
+  const auto tokens = tokenize::tokenize(code, tokenize::Representation::kText);
+  const auto vocab = tokenize::Vocabulary::build({tokens});
+  config.encoder.vocab_size = vocab.size();
+  PragFormer model(config, rng);
+
+  const Explanation explanation = explain_prediction(
+      model, vocab, tokenize::Representation::kText, 32, code);
+  ASSERT_FALSE(explanation.attention.empty());
+  EXPECT_EQ(explanation.attention.size(), explanation.tokens.size());
+  EXPECT_EQ(explanation.tokens[0], "<cls>");
+  float total = 0.0f;
+  for (const auto& t : explanation.attention) total += t.weight;
+  EXPECT_NEAR(total, 1.0f, 1e-4f);  // head-averaged softmax row
+  EXPECT_GT(explanation.p_positive, 0.0f);
+  EXPECT_LT(explanation.p_positive, 1.0f);
+
+  const auto top = explanation.top_tokens(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].weight, top[1].weight);
+  EXPECT_GE(top[1].weight, top[2].weight);
+  for (const auto& t : top) EXPECT_NE(t.position, 0u);  // <cls> excluded
+
+  const std::string art = explanation.ascii();
+  EXPECT_NE(art.find("p(positive)"), std::string::npos);
+  EXPECT_NE(art.find("#"), std::string::npos);
+}
+
+TEST(Trainer, PredictDatasetMatchesEvaluate) {
+  EncodedDataset data;
+  data.sequences = {{1, 5, 7}, {1, 6}, {1, 9, 9, 9}};
+  data.labels = {1, 0, 1};
+  Rng rng(7);
+  PragFormer model(small_config(16), rng);
+  const auto probs = predict_dataset(model, data);
+  ASSERT_EQ(probs.size(), 3u);
+  const BinaryMetrics via_probs = compute_metrics_proba(probs, data.labels);
+  const BinaryMetrics direct = evaluate_metrics(model, data);
+  EXPECT_EQ(via_probs.tp, direct.tp);
+  EXPECT_EQ(via_probs.fp, direct.fp);
+}
+
+}  // namespace
+}  // namespace clpp::core

@@ -1,0 +1,165 @@
+// Tests for corpus records, statistics, persistence, and splits.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "corpus/corpus.h"
+
+namespace clpp::corpus {
+namespace {
+
+Record make_record(const std::string& id, bool directive, const std::string& text = {}) {
+  Record r;
+  r.id = id;
+  r.family = "test";
+  r.code = "for (i = 0; i < n; i++) a[i] = i;";
+  r.has_directive = directive;
+  r.directive_text =
+      directive ? (text.empty() ? "#pragma omp parallel for" : text) : "";
+  r.refresh_labels();
+  return r;
+}
+
+TEST(Record, LabelsDeriveFromDirective) {
+  const Record r = make_record(
+      "r1", true, "#pragma omp parallel for private(j) reduction(+: sum) schedule(dynamic)");
+  EXPECT_TRUE(r.label_private);
+  EXPECT_TRUE(r.label_reduction);
+  EXPECT_EQ(r.schedule, frontend::ScheduleKind::kDynamic);
+}
+
+TEST(Record, UnspecifiedScheduleCountsAsStatic) {
+  const Record r = make_record("r1", true);
+  EXPECT_EQ(r.schedule, frontend::ScheduleKind::kStatic);
+  EXPECT_FALSE(r.label_private);
+}
+
+TEST(Record, NegativeHasNoLabels) {
+  const Record r = make_record("r1", false);
+  EXPECT_FALSE(r.label_private);
+  EXPECT_FALSE(r.label_reduction);
+  EXPECT_EQ(r.schedule, frontend::ScheduleKind::kNone);
+  EXPECT_THROW(r.directive(), InvalidArgument);
+}
+
+TEST(Record, JsonRoundTrip) {
+  const Record r = make_record(
+      "r42", true, "#pragma omp parallel for schedule(dynamic, 4) private(t)");
+  const Record back = Record::from_json(Json::parse(r.to_json().dump()));
+  EXPECT_EQ(back, r);
+}
+
+TEST(CorpusContainer, StatsMatchTable3Semantics) {
+  Corpus corpus;
+  corpus.add(make_record("1", true, "#pragma omp parallel for"));
+  corpus.add(make_record("2", true, "#pragma omp parallel for schedule(dynamic)"));
+  corpus.add(make_record(
+      "3", true, "#pragma omp parallel for private(j) reduction(+: s)"));
+  corpus.add(make_record("4", false));
+  const CorpusStats s = corpus.stats();
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.with_directive, 3u);
+  EXPECT_EQ(s.without_directive, 1u);
+  EXPECT_EQ(s.schedule_static, 2u);
+  EXPECT_EQ(s.schedule_dynamic, 1u);
+  EXPECT_EQ(s.reduction, 1u);
+  EXPECT_EQ(s.private_clause, 1u);
+  // Table 3 invariant: every directive is counted static or dynamic.
+  EXPECT_EQ(s.schedule_static + s.schedule_dynamic, s.with_directive);
+}
+
+TEST(CorpusContainer, JsonlRoundTrip) {
+  Corpus corpus;
+  for (int i = 0; i < 10; ++i)
+    corpus.add(make_record("rec" + std::to_string(i), i % 2 == 0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clpp_corpus_test.jsonl").string();
+  corpus.save_jsonl(path);
+  const Corpus loaded = Corpus::load_jsonl(path);
+  ASSERT_EQ(loaded.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(loaded.at(i), corpus.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(CorpusContainer, LoadRejectsMalformedLine) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "clpp_bad_corpus.jsonl").string();
+  {
+    std::ofstream out(path);
+    out << "{\"id\": \"x\", \"code\": \"y\"}\n{broken\n";
+  }
+  EXPECT_THROW(Corpus::load_jsonl(path), ParseError);
+  std::remove(path.c_str());
+}
+
+class SplitRatios : public ::testing::TestWithParam<Task> {};
+
+TEST_P(SplitRatios, HoldsRatiosAndPartitions) {
+  Corpus corpus;
+  Rng seed_rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const bool pos = seed_rng.chance(0.46);
+    std::string directive = "#pragma omp parallel for";
+    if (pos && seed_rng.chance(0.45)) directive += " private(j)";
+    if (pos && seed_rng.chance(0.3)) directive += " reduction(+: s)";
+    corpus.add(make_record("r" + std::to_string(i), pos, directive));
+  }
+  Rng rng(7);
+  const Task task = GetParam();
+  const Split split = make_split(corpus, task, rng);
+  const auto population = task_population(corpus, task);
+  EXPECT_EQ(split.total(), population.size());
+
+  // Ratio check: 75 / 12.5 / 12.5 within integer-rounding slack.
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / split.total(), 0.75, 0.01);
+  EXPECT_NEAR(static_cast<double>(split.validation.size()) / split.total(), 0.125,
+              0.01);
+
+  // Partition check: no index appears twice.
+  std::set<std::size_t> seen;
+  for (const auto* part : {&split.train, &split.validation, &split.test})
+    for (std::size_t i : *part) EXPECT_TRUE(seen.insert(i).second);
+
+  // Stratification check: label balance preserved in each side.
+  auto positive_rate = [&](const std::vector<std::size_t>& part) {
+    std::size_t pos = 0;
+    for (std::size_t i : part) pos += label_of(corpus.at(i), task);
+    return static_cast<double>(pos) / part.size();
+  };
+  const double overall = positive_rate(split.train);
+  EXPECT_NEAR(positive_rate(split.validation), overall, 0.05);
+  EXPECT_NEAR(positive_rate(split.test), overall, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, SplitRatios,
+                         ::testing::Values(Task::kDirective, Task::kPrivate,
+                                           Task::kReduction));
+
+TEST(SplitDeterminism, SameSeedSameSplit) {
+  Corpus corpus;
+  for (int i = 0; i < 100; ++i)
+    corpus.add(make_record("r" + std::to_string(i), i % 2 == 0));
+  Rng a(5), b(5);
+  const Split sa = make_split(corpus, Task::kDirective, a);
+  const Split sb = make_split(corpus, Task::kDirective, b);
+  EXPECT_EQ(sa.train, sb.train);
+  EXPECT_EQ(sa.test, sb.test);
+}
+
+TEST(TaskHelpers, PopulationAndLabels) {
+  Corpus corpus;
+  corpus.add(make_record("p", true, "#pragma omp parallel for private(t)"));
+  corpus.add(make_record("n", false));
+  EXPECT_EQ(task_population(corpus, Task::kDirective).size(), 2u);
+  EXPECT_EQ(task_population(corpus, Task::kPrivate).size(), 1u);
+  EXPECT_EQ(label_of(corpus.at(0), Task::kPrivate), 1);
+  EXPECT_EQ(label_of(corpus.at(0), Task::kReduction), 0);
+  EXPECT_EQ(task_name(Task::kReduction), "reduction");
+}
+
+}  // namespace
+}  // namespace clpp::corpus

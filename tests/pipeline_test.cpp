@@ -1,0 +1,128 @@
+// End-to-end pipeline test: on a reduced corpus the paper's headline
+// orderings must hold — PragFormer > BoW > ComPar on the directive task,
+// plus the characteristic ComPar precision/recall asymmetries.
+//
+// This is the repository's canary: if the generator, tokenizer, models, or
+// S2S stack drift, the orderings break here before the benches run.
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/pipeline.h"
+
+namespace clpp::core {
+namespace {
+
+PipelineConfig fast_config() {
+  PipelineConfig config;
+  config.generator.size = 1200;
+  config.generator.seed = 2023;
+  config.encoder.dim = 48;
+  config.encoder.heads = 4;
+  config.encoder.layers = 2;
+  config.encoder.ffn_dim = 96;
+  config.max_len = 80;
+  config.train.epochs = 6;
+  config.train.batch_size = 32;
+  config.train.lr = 7e-4f;
+  config.mlm_pretrain = false;  // keep the canary fast
+  return config;
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static Pipeline& pipeline() {
+    static Pipeline instance(fast_config());
+    return instance;
+  }
+};
+
+TEST_F(PipelineFixture, VocabularyIsReasonablySized) {
+  EXPECT_GT(pipeline().vocabulary().size(), 50u);
+  EXPECT_LT(pipeline().vocabulary().size(), 2000u);
+}
+
+TEST_F(PipelineFixture, DirectiveTaskOrderingHolds) {
+  TaskRun run = pipeline().train_task(corpus::Task::kDirective);
+  const BinaryMetrics prag = run.test_metrics();
+  const BinaryMetrics bow = pipeline().bow_metrics(corpus::Task::kDirective);
+  const ComParEval compar = pipeline().compar_metrics(corpus::Task::kDirective);
+
+  // Paper Table 7 shape: PragFormer > BoW > ComPar by F1.
+  EXPECT_GT(prag.f1(), bow.f1())
+      << "PragFormer " << prag.summary() << " vs BoW " << bow.summary();
+  EXPECT_GT(bow.f1(), compar.metrics.f1())
+      << "BoW " << bow.summary() << " vs ComPar " << compar.metrics.summary();
+  EXPECT_GT(prag.f1(), 0.8);
+
+  // §5.2: a noticeable fraction of snippets defeats ComPar's parsers.
+  EXPECT_GT(compar.compile_failures, compar.total / 20);
+}
+
+TEST_F(PipelineFixture, ReductionTaskComParAsymmetry) {
+  const ComParEval compar = pipeline().compar_metrics(corpus::Task::kReduction);
+  // Table 10 shape: ComPar precision far above its recall. The canary
+  // corpus' clause test split is small (~170 records), so the recall bound
+  // is generous; bench_table9_10_clauses measures it on larger corpora
+  // (typical value ~0.25 vs the paper's 0.16).
+  EXPECT_GT(compar.metrics.precision(), 0.6);
+  EXPECT_LT(compar.metrics.recall(), compar.metrics.precision() - 0.2);
+  EXPECT_LT(compar.metrics.recall(), 0.6);
+}
+
+TEST_F(PipelineFixture, PrivateTaskComParIsWeakBothWays) {
+  const ComParEval compar = pipeline().compar_metrics(corpus::Task::kPrivate);
+  // Table 9 shape: explicit iterator privatization makes ComPar's private
+  // predictions imprecise; overall quality is mediocre. (Recall varies a
+  // lot on this small test split, so the assertion is on precision + F1.)
+  EXPECT_LT(compar.metrics.precision(), 0.75);
+  EXPECT_LT(compar.metrics.f1(), 0.8);
+}
+
+TEST_F(PipelineFixture, ClauseTasksLearnable) {
+  TaskRun priv = pipeline().train_task(corpus::Task::kPrivate);
+  EXPECT_GT(priv.test_metrics().f1(), 0.75);
+  TaskRun red = pipeline().train_task(corpus::Task::kReduction);
+  EXPECT_GT(red.test_metrics().f1(), 0.75);
+}
+
+TEST_F(PipelineFixture, SplitsAreDeterministicPerTask) {
+  const corpus::Split& a = pipeline().split_for(corpus::Task::kDirective);
+  const corpus::Split& b = pipeline().split_for(corpus::Task::kDirective);
+  EXPECT_EQ(a.train, b.train);
+}
+
+TEST(AdvisorTest, AdvisesOnFreshSnippets) {
+  // A canary-sized advisor is noisy on individual borderline snippets, so
+  // the assertion is aggregate: most of a battery of clear-cut loops must
+  // be advised correctly, and suggestions must be well-formed.
+  ParallelAdvisor advisor = ParallelAdvisor::train(fast_config());
+
+  const std::pair<const char*, bool> battery[] = {
+      {"for (i = 0; i < n; i++) c[i] = a[i] + b[i];", true},
+      {"for (i = 0; i < n; i++) y[i] = 2.0 * x[i] + y[i];", true},
+      {"for (i = 0; i < n; i++) sum += a[i];", true},
+      {"for (i = 0; i < n; i++) for (j = 0; j < m; j++) grid[i][j] = 0;", true},
+      {"for (i = 0; i < n; i++) fprintf(fp, \"%d\\n\", buf[i]);", false},
+      {"for (i = 1; i < n; i++) a[i] = a[i - 1] + b[i];", false},
+      {"for (i = 0; i < limit; i++) { cur = cur->next; ret += cur->value; }",
+       false},
+      {"for (i = 0; i < 8; i++) buf[i] = 0;", false},
+  };
+  int correct = 0;
+  for (const auto& [code, expected] : battery) {
+    const Advice advice = advisor.advise(code);
+    correct += advice.needs_directive == expected;
+    // Structural invariants hold regardless of the verdict.
+    if (advice.needs_directive) {
+      EXPECT_NE(advice.suggestion.find("#pragma omp parallel for"),
+                std::string::npos)
+          << code;
+    } else {
+      EXPECT_TRUE(advice.suggestion.empty()) << code;
+    }
+  }
+  EXPECT_GE(correct, 6) << "advisor got only " << correct << "/8 right";
+}
+
+}  // namespace
+}  // namespace clpp::core

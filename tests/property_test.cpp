@@ -1,0 +1,175 @@
+// Corpus-wide property tests: invariants that must hold for *every*
+// generated snippet, exercised over a sizable sample. These catch drift
+// between the generator, the frontend, the tokenizer, and the analyzers —
+// the cross-module contracts the experiments depend on.
+#include <gtest/gtest.h>
+
+#include "analysis/depend.h"
+#include "codegen/generator.h"
+#include "frontend/dfs.h"
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+#include "s2s/compar.h"
+#include "tokenize/representation.h"
+#include "tokenize/vocabulary.h"
+
+namespace clpp {
+namespace {
+
+const corpus::Corpus& sample_corpus() {
+  static const corpus::Corpus corpus = [] {
+    codegen::GeneratorConfig config;
+    config.size = 500;
+    config.seed = 424242;
+    return codegen::generate_corpus(config);
+  }();
+  return corpus;
+}
+
+TEST(CorpusProperty, EveryRecordParsesAndContainsALoop) {
+  for (const auto& record : sample_corpus().records()) {
+    frontend::NodePtr unit;
+    ASSERT_NO_THROW(unit = frontend::parse_snippet(record.code)) << record.code;
+    EXPECT_NE(s2s::find_target_loop(*unit), nullptr) << record.code;
+  }
+}
+
+TEST(CorpusProperty, PrintParseRoundTripIsStable) {
+  // parse(print(parse(code))) must produce the same DFS serialization —
+  // the printer and parser agree on the whole generated language.
+  for (const auto& record : sample_corpus().records()) {
+    const frontend::NodePtr first = frontend::parse_snippet(record.code);
+    const std::string printed = frontend::print_source(*first);
+    frontend::NodePtr second;
+    ASSERT_NO_THROW(second = frontend::parse_snippet(printed))
+        << "printed form failed to parse:\n"
+        << printed;
+    EXPECT_EQ(frontend::dfs_lines(*first), frontend::dfs_lines(*second))
+        << "original:\n"
+        << record.code << "printed:\n"
+        << printed;
+  }
+}
+
+TEST(CorpusProperty, DirectiveTextAlwaysParsesAndMatchesLabels) {
+  for (const auto& record : sample_corpus().records()) {
+    if (!record.has_directive) continue;
+    frontend::OmpDirective directive;
+    ASSERT_NO_THROW(directive = record.directive()) << record.directive_text;
+    EXPECT_TRUE(directive.is_loop_directive()) << record.directive_text;
+    EXPECT_EQ(record.label_private, directive.has_private());
+    EXPECT_EQ(record.label_reduction, directive.has_reduction());
+  }
+}
+
+TEST(CorpusProperty, AllRepresentationsTokenizeEverySnippet) {
+  for (const auto& record : sample_corpus().records()) {
+    for (tokenize::Representation rep : tokenize::all_representations()) {
+      std::vector<std::string> tokens;
+      ASSERT_NO_THROW(tokens = tokenize::tokenize(record.code, rep))
+          << tokenize::representation_name(rep) << ":\n"
+          << record.code;
+      EXPECT_FALSE(tokens.empty());
+      // Labels must never leak into model inputs.
+      for (const std::string& token : tokens) {
+        EXPECT_NE(token, "omp") << record.code;
+        EXPECT_NE(token, "pragma") << record.code;
+      }
+    }
+  }
+}
+
+TEST(CorpusProperty, ReplacedRepresentationsContainNoPoolIdentifiers) {
+  // After replacement, no original HPC-pool array names survive (builtin
+  // library calls excepted).
+  const std::set<std::string> pool = {"vec", "arr", "data", "grid", "mat"};
+  for (const auto& record : sample_corpus().records()) {
+    const auto tokens =
+        tokenize::tokenize(record.code, tokenize::Representation::kRText);
+    for (const std::string& token : tokens) EXPECT_FALSE(pool.count(token)) << token;
+  }
+}
+
+TEST(CorpusProperty, TokenizationIsDeterministic) {
+  const auto& record = sample_corpus().records().front();
+  for (tokenize::Representation rep : tokenize::all_representations())
+    EXPECT_EQ(tokenize::tokenize(record.code, rep),
+              tokenize::tokenize(record.code, rep));
+}
+
+TEST(CorpusProperty, EncodeNeverExceedsMaxLenAndStartsWithCls) {
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& record : sample_corpus().records())
+    docs.push_back(tokenize::tokenize(record.code, tokenize::Representation::kText));
+  const auto vocab = tokenize::Vocabulary::build(docs);
+  for (const auto& doc : docs) {
+    const auto ids = vocab.encode(doc, 48);
+    EXPECT_LE(ids.size(), 48u);
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_EQ(ids[0], tokenize::Vocabulary::kCls);
+    for (std::int32_t id : ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(static_cast<std::size_t>(id), vocab.size());
+    }
+  }
+}
+
+TEST(CorpusProperty, VocabularyPersistenceRoundTrip) {
+  std::vector<std::vector<std::string>> docs;
+  for (std::size_t i = 0; i < 50; ++i)
+    docs.push_back(tokenize::tokenize(sample_corpus().at(i).code,
+                                      tokenize::Representation::kText));
+  const auto vocab = tokenize::Vocabulary::build(docs);
+  const auto restored = tokenize::Vocabulary::from_tokens(vocab.tokens());
+  EXPECT_EQ(restored.size(), vocab.size());
+  for (const auto& doc : docs)
+    for (const auto& token : doc) EXPECT_EQ(restored.id_of(token), vocab.id_of(token));
+}
+
+TEST(CorpusProperty, AnalyzerVerdictsConsistentWithCleanFamilyLabels) {
+  // On hazard-free families the aggressive analyzer (struct access allowed,
+  // unknown calls assumed pure, min/max recognized) must agree with the
+  // generator's ground truth. Families excluded below are mislabeled *by
+  // design* (unannotated-but-parallelizable, profitability judgments, or
+  // noise-flipped records).
+  // "matmul" is skipped because its linearized variant (G[(i*NL)+j]) is
+  // non-affine by design — the Table 8 row-4 pitfall the analyzer must NOT
+  // be able to crack.
+  const std::set<std::string> skip = {"unannotated", "small_trip", "io_loop",
+                                      "alloc_loop", "rand_loop", "pointer_chase",
+                                      "goto_cleanup", "string_ops", "matmul"};
+  codegen::GeneratorConfig config;
+  config.size = 400;
+  config.seed = 31337;
+  config.label_noise = 0.0;
+  const corpus::Corpus clean = codegen::generate_corpus(config);
+
+  analysis::AnalyzerOptions options;
+  options.assume_unknown_calls_pure = true;
+  options.bail_on_struct_access = false;
+  options.recognize_minmax_reduction = true;
+
+  std::size_t agree = 0, total = 0;
+  for (const auto& record : clean.records()) {
+    if (skip.count(record.family)) continue;
+    const frontend::NodePtr unit = frontend::parse_snippet(record.code);
+    const frontend::Node* loop = s2s::find_target_loop(*unit);
+    ASSERT_NE(loop, nullptr);
+    const analysis::SideEffectOracle oracle(*unit);
+    const auto verdict = analysis::DependenceAnalyzer(oracle, options).analyze(*loop);
+    ++total;
+    agree += (verdict.parallelizable == record.has_directive);
+  }
+  // io/alloc/etc. already excluded; what remains should agree near-perfectly.
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95)
+      << agree << "/" << total;
+}
+
+TEST(CorpusProperty, ComParNeverCrashesOnTheCorpus) {
+  const s2s::ComPar compar;
+  for (const auto& record : sample_corpus().records())
+    EXPECT_NO_THROW(compar.process_source(record.code)) << record.code;
+}
+
+}  // namespace
+}  // namespace clpp
