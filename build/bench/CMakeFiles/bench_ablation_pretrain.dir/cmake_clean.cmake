@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pretrain.dir/bench_ablation_pretrain.cpp.o"
+  "CMakeFiles/bench_ablation_pretrain.dir/bench_ablation_pretrain.cpp.o.d"
+  "bench_ablation_pretrain"
+  "bench_ablation_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seqlen.dir/bench_ablation_seqlen.cpp.o"
+  "CMakeFiles/bench_ablation_seqlen.dir/bench_ablation_seqlen.cpp.o.d"
+  "bench_ablation_seqlen"
+  "bench_ablation_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

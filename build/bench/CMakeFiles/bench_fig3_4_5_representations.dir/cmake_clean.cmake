@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_5_representations.dir/bench_fig3_4_5_representations.cpp.o"
+  "CMakeFiles/bench_fig3_4_5_representations.dir/bench_fig3_4_5_representations.cpp.o.d"
+  "bench_fig3_4_5_representations"
+  "bench_fig3_4_5_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_5_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule_extension.dir/bench_schedule_extension.cpp.o"
+  "CMakeFiles/bench_schedule_extension.dir/bench_schedule_extension.cpp.o.d"
+  "bench_schedule_extension"
+  "bench_schedule_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_2_pitfalls.dir/bench_table1_2_pitfalls.cpp.o"
+  "CMakeFiles/bench_table1_2_pitfalls.dir/bench_table1_2_pitfalls.cpp.o.d"
+  "bench_table1_2_pitfalls"
+  "bench_table1_2_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_2_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

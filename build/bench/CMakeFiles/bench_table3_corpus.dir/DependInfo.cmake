@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_corpus.cpp" "bench/CMakeFiles/bench_table3_corpus.dir/bench_table3_corpus.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_corpus.dir/bench_table3_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/clpp_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/clpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/clpp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/clpp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/clpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/clpp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenize/CMakeFiles/clpp_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/s2s/CMakeFiles/clpp_s2s.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/clpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/clpp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

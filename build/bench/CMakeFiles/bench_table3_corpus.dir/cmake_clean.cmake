@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_corpus.dir/bench_table3_corpus.cpp.o"
+  "CMakeFiles/bench_table3_corpus.dir/bench_table3_corpus.cpp.o.d"
+  "bench_table3_corpus"
+  "bench_table3_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

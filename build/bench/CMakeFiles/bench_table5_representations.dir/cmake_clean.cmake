@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_representations.dir/bench_table5_representations.cpp.o"
+  "CMakeFiles/bench_table5_representations.dir/bench_table5_representations.cpp.o.d"
+  "bench_table5_representations"
+  "bench_table5_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

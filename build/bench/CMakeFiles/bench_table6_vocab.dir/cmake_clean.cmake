@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_vocab.dir/bench_table6_vocab.cpp.o"
+  "CMakeFiles/bench_table6_vocab.dir/bench_table6_vocab.cpp.o.d"
+  "bench_table6_vocab"
+  "bench_table6_vocab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_vocab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

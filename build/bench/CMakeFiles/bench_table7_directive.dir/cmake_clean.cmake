@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_directive.dir/bench_table7_directive.cpp.o"
+  "CMakeFiles/bench_table7_directive.dir/bench_table7_directive.cpp.o.d"
+  "bench_table7_directive"
+  "bench_table7_directive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_directive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_examples.dir/bench_table8_examples.cpp.o"
+  "CMakeFiles/bench_table8_examples.dir/bench_table8_examples.cpp.o.d"
+  "bench_table8_examples"
+  "bench_table8_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_10_clauses.dir/bench_table9_10_clauses.cpp.o"
+  "CMakeFiles/bench_table9_10_clauses.dir/bench_table9_10_clauses.cpp.o.d"
+  "bench_table9_10_clauses"
+  "bench_table9_10_clauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_clauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

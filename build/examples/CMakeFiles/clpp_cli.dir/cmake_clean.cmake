@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_cli.dir/clpp_cli.cpp.o"
+  "CMakeFiles/clpp_cli.dir/clpp_cli.cpp.o.d"
+  "clpp_cli"
+  "clpp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_explorer.dir/corpus_explorer.cpp.o"
+  "CMakeFiles/corpus_explorer.dir/corpus_explorer.cpp.o.d"
+  "corpus_explorer"
+  "corpus_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

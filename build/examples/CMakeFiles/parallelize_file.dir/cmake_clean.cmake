@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_file.dir/parallelize_file.cpp.o"
+  "CMakeFiles/parallelize_file.dir/parallelize_file.cpp.o.d"
+  "parallelize_file"
+  "parallelize_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

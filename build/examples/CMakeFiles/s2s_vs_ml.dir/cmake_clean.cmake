@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_vs_ml.dir/s2s_vs_ml.cpp.o"
+  "CMakeFiles/s2s_vs_ml.dir/s2s_vs_ml.cpp.o.d"
+  "s2s_vs_ml"
+  "s2s_vs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_vs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for s2s_vs_ml.
+# This may be replaced when dependencies are built.

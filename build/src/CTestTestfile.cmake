@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("nn")
+subdirs("frontend")
+subdirs("analysis")
+subdirs("s2s")
+subdirs("corpus")
+subdirs("codegen")
+subdirs("tokenize")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_analysis.dir/accesses.cpp.o"
+  "CMakeFiles/clpp_analysis.dir/accesses.cpp.o.d"
+  "CMakeFiles/clpp_analysis.dir/depend.cpp.o"
+  "CMakeFiles/clpp_analysis.dir/depend.cpp.o.d"
+  "CMakeFiles/clpp_analysis.dir/loopinfo.cpp.o"
+  "CMakeFiles/clpp_analysis.dir/loopinfo.cpp.o.d"
+  "CMakeFiles/clpp_analysis.dir/sideeffects.cpp.o"
+  "CMakeFiles/clpp_analysis.dir/sideeffects.cpp.o.d"
+  "libclpp_analysis.a"
+  "libclpp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

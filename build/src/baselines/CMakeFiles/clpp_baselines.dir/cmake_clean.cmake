@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_baselines.dir/bow.cpp.o"
+  "CMakeFiles/clpp_baselines.dir/bow.cpp.o.d"
+  "libclpp_baselines.a"
+  "libclpp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/families.cpp" "src/codegen/CMakeFiles/clpp_codegen.dir/families.cpp.o" "gcc" "src/codegen/CMakeFiles/clpp_codegen.dir/families.cpp.o.d"
+  "/root/repo/src/codegen/generator.cpp" "src/codegen/CMakeFiles/clpp_codegen.dir/generator.cpp.o" "gcc" "src/codegen/CMakeFiles/clpp_codegen.dir/generator.cpp.o.d"
+  "/root/repo/src/codegen/names.cpp" "src/codegen/CMakeFiles/clpp_codegen.dir/names.cpp.o" "gcc" "src/codegen/CMakeFiles/clpp_codegen.dir/names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/clpp_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/clpp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_codegen.dir/families.cpp.o"
+  "CMakeFiles/clpp_codegen.dir/families.cpp.o.d"
+  "CMakeFiles/clpp_codegen.dir/generator.cpp.o"
+  "CMakeFiles/clpp_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/clpp_codegen.dir/names.cpp.o"
+  "CMakeFiles/clpp_codegen.dir/names.cpp.o.d"
+  "libclpp_codegen.a"
+  "libclpp_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_core.dir/advisor.cpp.o"
+  "CMakeFiles/clpp_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/dataset.cpp.o"
+  "CMakeFiles/clpp_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/explain.cpp.o"
+  "CMakeFiles/clpp_core.dir/explain.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/metrics.cpp.o"
+  "CMakeFiles/clpp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/clpp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/pragformer.cpp.o"
+  "CMakeFiles/clpp_core.dir/pragformer.cpp.o.d"
+  "CMakeFiles/clpp_core.dir/trainer.cpp.o"
+  "CMakeFiles/clpp_core.dir/trainer.cpp.o.d"
+  "libclpp_core.a"
+  "libclpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

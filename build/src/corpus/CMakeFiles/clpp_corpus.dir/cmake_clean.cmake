@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/clpp_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/clpp_corpus.dir/record.cpp.o"
+  "CMakeFiles/clpp_corpus.dir/record.cpp.o.d"
+  "libclpp_corpus.a"
+  "libclpp_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/ast.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/ast.cpp.o.d"
+  "/root/repo/src/frontend/dfs.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/dfs.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/dfs.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/parser.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/parser.cpp.o.d"
+  "/root/repo/src/frontend/pragma.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/pragma.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/pragma.cpp.o.d"
+  "/root/repo/src/frontend/printer.cpp" "src/frontend/CMakeFiles/clpp_frontend.dir/printer.cpp.o" "gcc" "src/frontend/CMakeFiles/clpp_frontend.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

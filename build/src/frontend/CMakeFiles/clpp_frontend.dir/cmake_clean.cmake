@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_frontend.dir/ast.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/clpp_frontend.dir/dfs.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/dfs.cpp.o.d"
+  "CMakeFiles/clpp_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/clpp_frontend.dir/parser.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/clpp_frontend.dir/pragma.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/pragma.cpp.o.d"
+  "CMakeFiles/clpp_frontend.dir/printer.cpp.o"
+  "CMakeFiles/clpp_frontend.dir/printer.cpp.o.d"
+  "libclpp_frontend.a"
+  "libclpp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

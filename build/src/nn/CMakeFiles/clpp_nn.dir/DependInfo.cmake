@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/clpp_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/clpp_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/clpp_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/clpp_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/clpp_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/clpp_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/clpp_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/clpp_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlm.cpp" "src/nn/CMakeFiles/clpp_nn.dir/mlm.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/mlm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/clpp_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/clpp_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/clpp_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/clpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_nn.dir/activations.cpp.o"
+  "CMakeFiles/clpp_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/attention.cpp.o"
+  "CMakeFiles/clpp_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/clpp_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/embedding.cpp.o"
+  "CMakeFiles/clpp_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/layer.cpp.o"
+  "CMakeFiles/clpp_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/clpp_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/linear.cpp.o"
+  "CMakeFiles/clpp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/loss.cpp.o"
+  "CMakeFiles/clpp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/mlm.cpp.o"
+  "CMakeFiles/clpp_nn.dir/mlm.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/clpp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/clpp_nn.dir/transformer.cpp.o"
+  "CMakeFiles/clpp_nn.dir/transformer.cpp.o.d"
+  "libclpp_nn.a"
+  "libclpp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

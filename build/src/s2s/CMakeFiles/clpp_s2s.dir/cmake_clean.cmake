@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_s2s.dir/compar.cpp.o"
+  "CMakeFiles/clpp_s2s.dir/compar.cpp.o.d"
+  "CMakeFiles/clpp_s2s.dir/compiler.cpp.o"
+  "CMakeFiles/clpp_s2s.dir/compiler.cpp.o.d"
+  "libclpp_s2s.a"
+  "libclpp_s2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_s2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

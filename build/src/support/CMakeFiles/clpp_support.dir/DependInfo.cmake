@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/clpp_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/clpp_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/csv.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/support/CMakeFiles/clpp_support.dir/histogram.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/histogram.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/clpp_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/plot.cpp" "src/support/CMakeFiles/clpp_support.dir/plot.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/plot.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/clpp_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/clpp_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/clpp_support.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

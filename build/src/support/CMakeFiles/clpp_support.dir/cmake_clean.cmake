@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_support.dir/cli.cpp.o"
+  "CMakeFiles/clpp_support.dir/cli.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/csv.cpp.o"
+  "CMakeFiles/clpp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/histogram.cpp.o"
+  "CMakeFiles/clpp_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/json.cpp.o"
+  "CMakeFiles/clpp_support.dir/json.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/plot.cpp.o"
+  "CMakeFiles/clpp_support.dir/plot.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/strings.cpp.o"
+  "CMakeFiles/clpp_support.dir/strings.cpp.o.d"
+  "CMakeFiles/clpp_support.dir/table.cpp.o"
+  "CMakeFiles/clpp_support.dir/table.cpp.o.d"
+  "libclpp_support.a"
+  "libclpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclpp_support.a"
+)

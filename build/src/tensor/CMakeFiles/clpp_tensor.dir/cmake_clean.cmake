@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_tensor.dir/io.cpp.o"
+  "CMakeFiles/clpp_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/clpp_tensor.dir/ops.cpp.o"
+  "CMakeFiles/clpp_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/clpp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/clpp_tensor.dir/tensor.cpp.o.d"
+  "libclpp_tensor.a"
+  "libclpp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclpp_tensor.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clpp_tokenize.dir/representation.cpp.o"
+  "CMakeFiles/clpp_tokenize.dir/representation.cpp.o.d"
+  "CMakeFiles/clpp_tokenize.dir/vocabulary.cpp.o"
+  "CMakeFiles/clpp_tokenize.dir/vocabulary.cpp.o.d"
+  "libclpp_tokenize.a"
+  "libclpp_tokenize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clpp_tokenize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

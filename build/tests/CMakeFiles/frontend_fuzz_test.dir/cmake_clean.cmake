@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_fuzz_test.dir/frontend_fuzz_test.cpp.o"
+  "CMakeFiles/frontend_fuzz_test.dir/frontend_fuzz_test.cpp.o.d"
+  "frontend_fuzz_test"
+  "frontend_fuzz_test.pdb"
+  "frontend_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

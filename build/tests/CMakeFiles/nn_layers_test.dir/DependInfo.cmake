@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn_layers_test.cpp" "tests/CMakeFiles/nn_layers_test.dir/nn_layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_layers_test.dir/nn_layers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/clpp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/clpp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/s2s_test.cpp" "tests/CMakeFiles/s2s_test.dir/s2s_test.cpp.o" "gcc" "tests/CMakeFiles/s2s_test.dir/s2s_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/s2s/CMakeFiles/clpp_s2s.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/clpp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/clpp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/clpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_test.dir/s2s_test.cpp.o"
+  "CMakeFiles/s2s_test.dir/s2s_test.cpp.o.d"
+  "s2s_test"
+  "s2s_test.pdb"
+  "s2s_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenize_test.dir/tokenize_test.cpp.o"
+  "CMakeFiles/tokenize_test.dir/tokenize_test.cpp.o.d"
+  "tokenize_test"
+  "tokenize_test.pdb"
+  "tokenize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
