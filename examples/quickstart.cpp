@@ -6,12 +6,25 @@
 //   1. clpp::codegen / clpp::corpus — the Open-OMP-style corpus;
 //   2. clpp::core::Pipeline — training PragFormer models;
 //   3. clpp::core::ParallelAdvisor — asking for advice on new code.
+// plus the clpp::obs observability layer: the run is traced end to end and
+// leaves quickstart_trace.json (open in chrome://tracing or Perfetto) and
+// quickstart_metrics.json next to the binary, then prints the metric and
+// span summary tables.
 #include <cstdio>
 
 #include "core/advisor.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace clpp;
+
+  // Observability on: spans + metrics record for the whole run. CLPP_TRACE_OUT
+  // / CLPP_METRICS_OUT (see obs/obs.h) override the default artifact paths.
+  obs::set_enabled(true);
+  obs::set_trace_out("quickstart_trace.json");
+  obs::set_metrics_out("quickstart_metrics.json");
 
   // 1+2. Train a compact advisor (four PragFormer classifiers: directive,
   // private, reduction, schedule) on a freshly generated corpus. Small config: this
@@ -23,6 +36,12 @@ int main() {
   config.max_len = 80;
   config.train.epochs = 8;
   config.train.select_best_epoch = true;
+  config.train.on_epoch = [](const core::EpochCurve& curve) {
+    std::printf("  epoch %zu  train_loss=%.3f  val_loss=%.3f  val_acc=%.3f  "
+                "wall=%.2fs\n",
+                curve.epoch, curve.train_loss, curve.val_loss, curve.val_accuracy,
+                curve.wall_seconds);
+  };
   config.mlm_pretrain = false;
   std::printf("training the advisor on a %zu-snippet corpus...\n",
               config.generator.size);
@@ -48,5 +67,13 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // 4. What did the run cost? Metrics registry + span aggregates, and the
+  // Chrome trace / metrics JSON for offline digging.
+  std::printf("== metrics ==\n%s\n", obs::metrics().summary().c_str());
+  std::printf("== spans ==\n%s\n", obs::Tracer::instance().summary().c_str());
+  obs::export_configured_outputs();
+  std::printf("trace:   quickstart_trace.json (chrome://tracing)\n");
+  std::printf("metrics: quickstart_metrics.json\n");
   return 0;
 }

@@ -1,8 +1,27 @@
 #!/bin/sh
 # Regenerates bench_output.txt by running every bench harness in order.
+#
+# Each bench runs with observability on (CLPP_OBS=1) and exports its
+# artifacts into $OUT_DIR (default bench_artifacts/):
+#   BENCH_<name>.trace.json    Chrome trace_event JSON (chrome://tracing)
+#   BENCH_<name>.metrics.json  clpp::obs metrics snapshot
+# and bench_micro_kernels additionally writes its google-benchmark report
+# next to them as BENCH_bench_micro_kernels.json.
 cd "$(dirname "$0")"
+OUT_DIR="${OUT_DIR:-bench_artifacts}"
+mkdir -p "$OUT_DIR"
 for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  extra=""
+  case "$name" in
+    bench_micro_kernels)
+      extra="--benchmark_out=$OUT_DIR/BENCH_${name}.json --benchmark_out_format=json"
+      ;;
+  esac
   echo "########## $b ##########"
-  $b
+  CLPP_OBS=1 \
+  CLPP_TRACE_OUT="$OUT_DIR/BENCH_${name}.trace.json" \
+  CLPP_METRICS_OUT="$OUT_DIR/BENCH_${name}.metrics.json" \
+  "$b" $extra
   echo
 done

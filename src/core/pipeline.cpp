@@ -2,22 +2,41 @@
 
 #include <numeric>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace clpp::core {
 
 using corpus::Task;
 
+namespace {
+corpus::Corpus generate_traced(const codegen::GeneratorConfig& config) {
+  CLPP_TRACE_SPAN("pipeline.generate");
+  return codegen::generate_corpus(config);
+}
+}  // namespace
+
 BinaryMetrics TaskRun::test_metrics() const {
   CLPP_CHECK_MSG(model != nullptr, "task has no trained model");
+  CLPP_TRACE_SPAN("pipeline.evaluate");
   return evaluate_metrics(*model, test);
 }
 
 Pipeline::Pipeline(PipelineConfig config)
-    : config_(std::move(config)), corpus_(codegen::generate_corpus(config_.generator)) {
+    : config_(std::move(config)), corpus_(generate_traced(config_.generator)) {
   // Vocabulary is built on the *training* records of the directive task
   // (Table 6's "train vocab"), under the configured representation.
+  CLPP_TRACE_SPAN("pipeline.tokenize");
   const corpus::Split& split = split_for(Task::kDirective);
   const auto docs = tokenize_records(corpus_, split.train, config_.representation);
   vocab_ = tokenize::Vocabulary::build(docs);
+  obs::log_info("pipeline", "vocabulary built",
+                [&] {
+                  Json fields = Json::object();
+                  fields["corpus_size"] = corpus_.size();
+                  fields["vocab_size"] = vocab_.size();
+                  return fields;
+                }());
 }
 
 const corpus::Split& Pipeline::split_for(Task task) {
@@ -30,6 +49,7 @@ const corpus::Split& Pipeline::split_for(Task task) {
 
 const std::map<std::string, Tensor>& Pipeline::mlm_checkpoint() {
   if (mlm_checkpoint_) return *mlm_checkpoint_;
+  CLPP_TRACE_SPAN("pipeline.mlm_pretrain");
 
   Rng rng(config_.model_seed ^ 0x11117777ULL);
   nn::EncoderConfig cfg = config_.encoder;
@@ -61,16 +81,20 @@ const std::map<std::string, Tensor>& Pipeline::mlm_checkpoint() {
 }
 
 TaskRun Pipeline::train_task(Task task, std::size_t epochs_override) {
+  CLPP_TRACE_SPAN_ARG("pipeline.train_task", static_cast<int>(task));
   const corpus::Split& split = split_for(task);
 
   TaskRun run;
   run.split = split;
-  run.train = encode_dataset(corpus_, split.train, task, config_.representation, vocab_,
-                             config_.max_len);
-  run.validation = encode_dataset(corpus_, split.validation, task,
-                                  config_.representation, vocab_, config_.max_len);
-  run.test = encode_dataset(corpus_, split.test, task, config_.representation, vocab_,
-                            config_.max_len);
+  {
+    CLPP_TRACE_SPAN("pipeline.encode");
+    run.train = encode_dataset(corpus_, split.train, task, config_.representation,
+                               vocab_, config_.max_len);
+    run.validation = encode_dataset(corpus_, split.validation, task,
+                                    config_.representation, vocab_, config_.max_len);
+    run.test = encode_dataset(corpus_, split.test, task, config_.representation,
+                              vocab_, config_.max_len);
+  }
 
   PragFormerConfig model_config;
   model_config.encoder = config_.encoder;
@@ -83,8 +107,11 @@ TaskRun Pipeline::train_task(Task task, std::size_t epochs_override) {
 
   TrainConfig train_config = config_.train;
   if (epochs_override > 0) train_config.epochs = epochs_override;
-  run.curves =
-      train_classifier(*run.model, run.train, run.validation, train_config, rng);
+  {
+    CLPP_TRACE_SPAN("pipeline.train");
+    run.curves =
+        train_classifier(*run.model, run.train, run.validation, train_config, rng);
+  }
   return run;
 }
 

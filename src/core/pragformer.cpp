@@ -1,6 +1,9 @@
 #include "core/pragformer.h"
 
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
 
 namespace clpp::core {
 
@@ -39,7 +42,19 @@ void PragFormer::backward(const Tensor& grad_logits) {
 }
 
 std::vector<float> PragFormer::predict_proba(const nn::TokenBatch& batch) {
-  return nn::positive_probabilities(logits(batch, /*train=*/false));
+  CLPP_TRACE_SPAN_ARG("infer.predict", batch.batch);
+  const Stopwatch clock;
+  std::vector<float> probs = nn::positive_probabilities(logits(batch, /*train=*/false));
+  if (obs::enabled()) {
+    static obs::Histogram& latency =
+        obs::metrics().histogram("clpp.infer.latency_us");
+    static obs::Counter& requests = obs::metrics().counter("clpp.infer.requests");
+    static obs::Counter& rows = obs::metrics().counter("clpp.infer.rows");
+    latency.record(clock.seconds() * 1e6);
+    requests.add(1);
+    rows.add(probs.size());
+  }
+  return probs;
 }
 
 std::vector<nn::Parameter*> PragFormer::parameters() {

@@ -7,6 +7,10 @@
 
 #include "nn/checkpoint.h"
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
 #include "tensor/ops.h"
 
 namespace clpp::core {
@@ -37,11 +41,19 @@ std::vector<EpochCurve> train_classifier(
   std::map<std::string, Tensor> best_snapshot;
   float best_val_loss = std::numeric_limits<float>::infinity();
   std::size_t step = 0;
+  obs::Gauge& loss_gauge = obs::metrics().gauge("clpp.train.loss");
+  obs::Gauge& lr_gauge = obs::metrics().gauge("clpp.train.lr");
+  obs::Gauge& grad_norm_gauge = obs::metrics().gauge("clpp.train.grad_norm");
+  obs::Counter& batch_counter = obs::metrics().counter("clpp.train.batches");
+  obs::Counter& epoch_counter = obs::metrics().counter("clpp.train.epochs");
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    CLPP_TRACE_SPAN_ARG("train.epoch", epoch);
+    const Stopwatch epoch_clock;
     rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      CLPP_TRACE_SPAN_ARG("train.batch", batches);
       const std::size_t count = std::min(config.batch_size, order.size() - start);
       const std::span<const std::size_t> idx{order.data() + start, count};
       const nn::TokenBatch batch = pack_batch(train, idx, max_seq);
@@ -50,13 +62,21 @@ std::vector<EpochCurve> train_classifier(
       nn::zero_gradients(params);
       Tensor out = model.logits(batch, /*train=*/true);
       nn::SoftmaxCrossEntropy loss;
-      loss_sum += loss.forward(out, labels);
+      const float batch_loss = loss.forward(out, labels);
+      loss_sum += batch_loss;
       ++batches;
       model.backward(loss.backward());
-      nn::clip_gradient_norm(params, config.clip_norm);
-      optimizer.set_learning_rate(schedule.lr_at(step++));
+      const double grad_norm = nn::clip_gradient_norm(params, config.clip_norm);
+      const float lr = schedule.lr_at(step++);
+      optimizer.set_learning_rate(lr);
       optimizer.step(params);
+
+      loss_gauge.set(batch_loss);
+      lr_gauge.set(lr);
+      grad_norm_gauge.set(grad_norm);
+      batch_counter.add(1);
     }
+    epoch_counter.add(1);
 
     EpochCurve curve;
     curve.epoch = epoch;
@@ -66,7 +86,18 @@ std::vector<EpochCurve> train_classifier(
       curve.val_loss = vloss;
       curve.val_accuracy = vacc;
     }
+    curve.wall_seconds = epoch_clock.seconds();
     curves.push_back(curve);
+    if (obs::log_enabled(obs::LogLevel::kInfo)) {
+      Json fields = Json::object();
+      fields["epoch"] = curve.epoch;
+      fields["train_loss"] = curve.train_loss;
+      fields["val_loss"] = curve.val_loss;
+      fields["val_accuracy"] = curve.val_accuracy;
+      fields["wall_seconds"] = curve.wall_seconds;
+      obs::log_info("trainer", "epoch done", std::move(fields));
+    }
+    if (config.on_epoch) config.on_epoch(curve);
     if (on_epoch) on_epoch(curve);
 
     if (config.select_best_epoch && validation.size() > 0 &&
@@ -85,6 +116,7 @@ std::pair<float, float> evaluate_loss_accuracy(PragFormer& model,
                                                const EncodedDataset& dataset,
                                                std::size_t batch_size) {
   CLPP_CHECK(dataset.size() > 0);
+  CLPP_TRACE_SPAN("train.evaluate");
   const std::size_t max_seq = model.config().encoder.max_seq;
   std::vector<std::size_t> order(dataset.size());
   std::iota(order.begin(), order.end(), 0);
@@ -110,6 +142,8 @@ std::pair<float, float> evaluate_loss_accuracy(PragFormer& model,
 
 std::vector<float> predict_dataset(PragFormer& model, const EncodedDataset& dataset,
                                    std::size_t batch_size) {
+  CLPP_CHECK_MSG(dataset.size() > 0,
+                 "predict_dataset: empty dataset (no rows to score)");
   const std::size_t max_seq = model.config().encoder.max_seq;
   std::vector<std::size_t> order(dataset.size());
   std::iota(order.begin(), order.end(), 0);
@@ -126,6 +160,8 @@ std::vector<float> predict_dataset(PragFormer& model, const EncodedDataset& data
 
 BinaryMetrics evaluate_metrics(PragFormer& model, const EncodedDataset& dataset,
                                std::size_t batch_size) {
+  CLPP_CHECK_MSG(dataset.size() > 0,
+                 "evaluate_metrics: empty dataset (metrics would divide by zero)");
   const std::vector<float> probs = predict_dataset(model, dataset, batch_size);
   return compute_metrics_proba(probs, dataset.labels);
 }

@@ -22,6 +22,10 @@ struct TrainConfig {
   /// parameters from the epoch with the lowest validation loss are
   /// restored after training (requires a non-empty validation set).
   bool select_best_epoch = false;
+  /// Optional progress observer, invoked after every epoch in addition to
+  /// the `on_epoch` argument of train_classifier. Lives on the config so it
+  /// survives the trip through PipelineConfig / ParallelAdvisor::train.
+  std::function<void(const struct EpochCurve&)> on_epoch = nullptr;
 };
 
 /// Per-epoch statistics — exactly the series of Figures 3, 4, and 5.
@@ -30,6 +34,8 @@ struct EpochCurve {
   float train_loss = 0.0f;
   float val_loss = 0.0f;
   float val_accuracy = 0.0f;
+  /// Wall-clock seconds this epoch took (batches + validation pass).
+  double wall_seconds = 0.0;
 };
 
 /// Trains `model` on `train`, evaluating on `validation` each epoch.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "support/parallel.h"
 #include "tensor/ops.h"
 
@@ -22,6 +23,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::size_t dim
 Tensor MultiHeadSelfAttention::forward(const Tensor& x, std::size_t batch,
                                        std::size_t seq, std::span<const int> lengths,
                                        bool train) {
+  CLPP_TRACE_SPAN("attention.forward");
   CLPP_CHECK_MSG(x.rank() == 2 && x.cols() == dim_ && x.rows() == batch * seq,
                  "attention input " << x.shape_str() << " incompatible with B=" << batch
                                     << " S=" << seq << " d=" << dim_);
@@ -88,6 +90,7 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, std::size_t batch,
 }
 
 Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  CLPP_TRACE_SPAN("attention.backward");
   CLPP_CHECK_MSG(batch_ > 0, "attention backward without forward");
   const std::size_t dh = head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));

@@ -1,0 +1,87 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace clpp::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace detail
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Owned sink file; nullptr means stderr. Never fclosed on replacement races
+// matter only at shutdown, where leaking the handle is the safe choice.
+std::FILE*& sink_file() {
+  static std::FILE* f = nullptr;
+  return f;
+}
+
+double unix_seconds() {
+  using namespace std::chrono;
+  return duration<double>(system_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off" || text == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "warn";
+}
+
+void set_log_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_file() != nullptr) {
+    std::fclose(sink_file());
+    sink_file() = nullptr;
+  }
+  if (!path.empty()) sink_file() = std::fopen(path.c_str(), "a");
+}
+
+void log(LogLevel level, std::string_view component, std::string_view message,
+         Json fields) {
+  if (!log_enabled(level)) return;
+  Json line = Json::object();
+  line["ts"] = unix_seconds();
+  line["level"] = std::string(log_level_name(level));
+  line["component"] = std::string(component);
+  line["msg"] = std::string(message);
+  if (fields.type() == Json::Type::kObject) {
+    for (const auto& [key, value] : fields.fields())
+      if (!line.contains(key)) line[key] = value;
+  }
+  const std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::FILE* out = sink_file() != nullptr ? sink_file() : stderr;
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+}  // namespace clpp::obs

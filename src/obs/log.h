@@ -1,0 +1,70 @@
+// Leveled structured logger with a JSON-lines sink.
+//
+// Each emitted line is one JSON object (support/json.h):
+//
+//   {"ts":1722945600.123,"level":"info","component":"trainer",
+//    "msg":"epoch done","epoch":3,"train_loss":0.41}
+//
+// Extra fields are passed as a Json object and merged at top level (keys
+// colliding with ts/level/component/msg are dropped). The default sink is
+// stderr; `set_log_path` redirects to a file. The default threshold is
+// `kWarn`, so instrumented library code is silent unless the caller (or
+// CLPP_LOG_LEVEL) opts in. The level gate is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "support/json.h"
+
+namespace clpp::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+/// Threshold: events below it are discarded.
+void set_log_level(LogLevel level);
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// "debug" | "info" | "warn" | "error" | "off" (anything else → kWarn).
+LogLevel parse_log_level(std::string_view text);
+std::string_view log_level_name(LogLevel level);
+
+/// Redirects the sink to `path` (append); empty restores stderr.
+void set_log_path(const std::string& path);
+
+/// Emits one JSON line when `level` passes the threshold.
+void log(LogLevel level, std::string_view component, std::string_view message,
+         Json fields = Json::object());
+
+inline void log_debug(std::string_view component, std::string_view message,
+                      Json fields = Json::object()) {
+  if (log_enabled(LogLevel::kDebug))
+    log(LogLevel::kDebug, component, message, std::move(fields));
+}
+inline void log_info(std::string_view component, std::string_view message,
+                     Json fields = Json::object()) {
+  if (log_enabled(LogLevel::kInfo))
+    log(LogLevel::kInfo, component, message, std::move(fields));
+}
+inline void log_warn(std::string_view component, std::string_view message,
+                     Json fields = Json::object()) {
+  if (log_enabled(LogLevel::kWarn))
+    log(LogLevel::kWarn, component, message, std::move(fields));
+}
+inline void log_error(std::string_view component, std::string_view message,
+                      Json fields = Json::object()) {
+  if (log_enabled(LogLevel::kError))
+    log(LogLevel::kError, component, message, std::move(fields));
+}
+
+}  // namespace clpp::obs

@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace clpp::obs {
+
+namespace detail {
+
+std::size_t assign_shard() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kShards;
+}
+
+namespace {
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  set_count_.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_buckets_us();
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i)
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+}
+
+void Histogram::record_always(double v) {
+  Shard& shard = *shards_[detail::shard_index()];
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.n.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  detail::atomic_min(shard.mn, v);
+  detail::atomic_max(shard.mx, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->n.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) total += s->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::min() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& s : shards_) m = std::min(m, s->mn.load(std::memory_order_relaxed));
+  return m;
+}
+
+double Histogram::max() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (const auto& s : shards_) m = std::max(m, s->mx.load(std::memory_order_relaxed));
+  return m;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& s : shards_)
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      merged[i] += s->counts[i].load(std::memory_order_relaxed);
+  return merged;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (seen + in_bucket >= target && in_bucket > 0) {
+      // Interpolate inside [lo, hi); the overflow bucket reports max().
+      if (i == bounds_.size()) return max();
+      const double lo = i == 0 ? std::min(0.0, min()) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = in_bucket == 0.0 ? 0.0 : (target - seen) / in_bucket;
+      // Clamp to the observed range so interpolation never overshoots.
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    s->n.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->mn.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    s->mx.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> default_latency_buckets_us() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e7; decade *= 10.0)
+    for (double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_)
+    counters[name] = static_cast<std::int64_t>(c->value());
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json stats = Json::object();
+    const std::uint64_t n = h->count();
+    stats["count"] = static_cast<std::int64_t>(n);
+    stats["sum"] = h->sum();
+    stats["mean"] = h->mean();
+    stats["min"] = n == 0 ? 0.0 : h->min();
+    stats["max"] = n == 0 ? 0.0 : h->max();
+    stats["p50"] = h->quantile(0.50);
+    stats["p90"] = h->quantile(0.90);
+    stats["p99"] = h->quantile(0.99);
+    histograms[name] = std::move(stats);
+  }
+  Json doc = Json::object();
+  doc["counters"] = std::move(counters);
+  doc["gauges"] = std::move(gauges);
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (!counters_.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [name, c] : counters_)
+      table.add_row({name, std::to_string(c->value())});
+    out += table.str();
+  }
+  if (!gauges_.empty()) {
+    TextTable table({"gauge", "value"});
+    for (const auto& [name, g] : gauges_)
+      table.add_row({name, TextTable::num(g->value(), 4)});
+    if (!out.empty()) out += "\n";
+    out += table.str();
+  }
+  if (!histograms_.empty()) {
+    TextTable table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : histograms_) {
+      const std::uint64_t n = h->count();
+      table.add_row({name, std::to_string(n), TextTable::num(h->mean(), 1),
+                     TextTable::num(h->quantile(0.50), 1),
+                     TextTable::num(h->quantile(0.90), 1),
+                     TextTable::num(h->quantile(0.99), 1),
+                     TextTable::num(n == 0 ? 0.0 : h->max(), 1)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.str();
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace detail {
+
+void record_loop_slow(std::size_t items, int threads, bool parallel) {
+  // Cached on first use: parallel_for is launched millions of times.
+  static Counter& par_loops = metrics().counter("clpp.parallel.loops_parallel");
+  static Counter& ser_loops = metrics().counter("clpp.parallel.loops_serial");
+  static Counter& par_items = metrics().counter("clpp.parallel.items_parallel");
+  static Gauge& threads_gauge = metrics().gauge("clpp.parallel.threads");
+  if (parallel) {
+    par_loops.add(1);
+    par_items.add(items);
+    threads_gauge.set(static_cast<double>(threads));
+  } else {
+    ser_loops.add(1);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace clpp::obs

@@ -1,0 +1,95 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace clpp::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+
+std::string& metrics_out_path() {
+  static std::string path;
+  return path;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open output file: " + path);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+void register_exit_export() {
+  static bool registered = false;
+  if (registered) return;
+  // Force-construct every static the handler touches *before* registering
+  // it: function-local statics constructed after the std::atexit call would
+  // be destroyed before the handler runs (destruction is interleaved with
+  // atexit callbacks in reverse registration order).
+  trace_out_path();
+  metrics_out_path();
+  metrics();
+  Tracer::instance();
+  std::atexit(export_configured_outputs);
+  registered = true;
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  if (on) Tracer::now_ns();  // anchor the trace epoch
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_out(std::string path) {
+  trace_out_path() = std::move(path);
+  if (!trace_out_path().empty()) register_exit_export();
+}
+
+void set_metrics_out(std::string path) {
+  metrics_out_path() = std::move(path);
+  if (!metrics_out_path().empty()) register_exit_export();
+}
+
+void export_configured_outputs() {
+  try {
+    if (!trace_out_path().empty())
+      Tracer::instance().write_chrome_trace(trace_out_path());
+    if (!metrics_out_path().empty())
+      write_text_file(metrics_out_path(), metrics().to_json().dump());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "clpp::obs: export failed: %s\n", e.what());
+  }
+}
+
+void init_from_env() {
+  if (const char* v = std::getenv("CLPP_OBS"))
+    set_enabled(v[0] != '\0' && v[0] != '0');
+  if (const char* v = std::getenv("CLPP_TRACE_OUT")) set_trace_out(v);
+  if (const char* v = std::getenv("CLPP_METRICS_OUT")) set_metrics_out(v);
+  if (const char* v = std::getenv("CLPP_LOG_LEVEL"))
+    set_log_level(parse_log_level(v));
+  if (const char* v = std::getenv("CLPP_LOG_OUT")) set_log_path(v);
+}
+
+namespace {
+// Any binary linking clpp_obs picks up the CLPP_* environment at start.
+[[maybe_unused]] const bool g_env_applied = (init_from_env(), true);
+}  // namespace
+
+}  // namespace clpp::obs

@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace clpp::obs {
+
+namespace {
+// Sized so a quickstart-scale training run (~35k span events on the main
+// thread, dominated by per-GEMM spans) fits without ring wrap-around:
+// 2^17 events x 32 bytes = 4 MiB per recording thread.
+constexpr std::size_t kDefaultThreadCapacity = 1 << 17;
+}
+
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t id, std::size_t capacity)
+      : tid(id), events(capacity) {}
+
+  std::uint32_t tid;
+  std::vector<Event> events;
+  // Single writer (the owning thread); readers acquire `count` and only
+  // trust events published before it.
+  std::atomic<std::uint64_t> count{0};
+};
+
+struct Tracer::Impl {
+  std::mutex mu;  // guards `buffers` registration and resets
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::size_t> thread_capacity{kDefaultThreadCapacity};
+  std::atomic<std::uint64_t> reset_generation{0};
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::instance() {
+  // Leaked singleton: worker threads may record during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  struct Slot {
+    ThreadBuffer* buffer = nullptr;
+    std::uint64_t generation = 0;
+  };
+  thread_local Slot slot;
+  const std::uint64_t generation =
+      impl_->reset_generation.load(std::memory_order_acquire);
+  if (slot.buffer == nullptr || slot.generation != generation) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto buffer = std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(impl_->buffers.size()),
+        impl_->thread_capacity.load(std::memory_order_relaxed));
+    slot.buffer = buffer.get();
+    slot.generation = generation;
+    impl_->buffers.push_back(std::move(buffer));
+  }
+  return *slot.buffer;
+}
+
+void Tracer::record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+                    std::int64_t arg) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  const std::uint64_t i = buf.count.load(std::memory_order_relaxed);
+  buf.events[i % buf.events.size()] = Event{name, begin_ns, end_ns, arg};
+  buf.count.store(i + 1, std::memory_order_release);
+}
+
+Json Tracer::chrome_trace() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Json events = Json::array();
+  for (const auto& buf : impl_->buffers) {
+    const std::uint64_t n = buf->count.load(std::memory_order_acquire);
+    const std::uint64_t cap = buf->events.size();
+    const std::uint64_t live = std::min(n, cap);
+    const std::uint64_t first = n - live;
+    for (std::uint64_t i = first; i < n; ++i) {
+      const Event& e = buf->events[i % cap];
+      Json ev = Json::object();
+      ev["name"] = std::string(e.name);
+      ev["cat"] = "clpp";
+      ev["ph"] = "X";
+      ev["pid"] = 1;
+      ev["tid"] = static_cast<std::int64_t>(buf->tid);
+      ev["ts"] = static_cast<double>(e.begin_ns) / 1e3;  // microseconds
+      ev["dur"] = static_cast<double>(e.end_ns - e.begin_ns) / 1e3;
+      if (e.arg != kNoArg) {
+        Json args = Json::object();
+        args["v"] = e.arg;
+        ev["args"] = std::move(args);
+      }
+      events.push_back(std::move(ev));
+    }
+  }
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string text = chrome_trace().dump();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open trace output file: " + path);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) throw IoError("short write to trace file: " + path);
+}
+
+std::string Tracer::summary() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_ns = 0.0;
+    double min_ns = std::numeric_limits<double>::infinity();
+    double max_ns = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& buf : impl_->buffers) {
+      const std::uint64_t n = buf->count.load(std::memory_order_acquire);
+      const std::uint64_t cap = buf->events.size();
+      const std::uint64_t live = std::min(n, cap);
+      for (std::uint64_t i = n - live; i < n; ++i) {
+        const Event& e = buf->events[i % cap];
+        Agg& agg = by_name[e.name];
+        const double d = static_cast<double>(e.end_ns - e.begin_ns);
+        ++agg.count;
+        agg.total_ns += d;
+        agg.min_ns = std::min(agg.min_ns, d);
+        agg.max_ns = std::max(agg.max_ns, d);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  TextTable table({"span", "count", "total ms", "mean ms", "min ms", "max ms"});
+  for (const auto& [name, agg] : rows) {
+    table.add_row({name, std::to_string(agg.count),
+                   TextTable::num(agg.total_ns / 1e6, 2),
+                   TextTable::num(agg.total_ns / 1e6 / static_cast<double>(agg.count), 3),
+                   TextTable::num(agg.min_ns / 1e6, 3),
+                   TextTable::num(agg.max_ns / 1e6, 3)});
+  }
+  return table.str();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t total = 0;
+  for (const auto& buf : impl_->buffers)
+    total += buf->count.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t total = 0;
+  for (const auto& buf : impl_->buffers) {
+    const std::uint64_t n = buf->count.load(std::memory_order_acquire);
+    if (n > buf->events.size()) total += n - buf->events.size();
+  }
+  return total;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  // Old buffers are abandoned (still owned here, so in-flight writers on
+  // other threads stay safe until they observe the new generation).
+  impl_->reset_generation.fetch_add(1, std::memory_order_release);
+  for (auto& buf : impl_->buffers) buf->count.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_capacity(std::size_t events) {
+  if (events == 0) events = 1;
+  impl_->thread_capacity.store(events, std::memory_order_relaxed);
+}
+
+}  // namespace clpp::obs

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
@@ -30,12 +32,14 @@ template <typename Body>
 void parallel_for(std::size_t n, const Body& body, std::size_t grain = 1024) {
 #if defined(_OPENMP)
   if (n >= grain && omp_get_max_threads() > 1) {
+    obs::record_parallel_loop(n, omp_get_max_threads());
     const std::int64_t count = static_cast<std::int64_t>(n);
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::size_t>(i));
     return;
   }
 #endif
+  obs::record_serial_loop(n);
   for (std::size_t i = 0; i < n; ++i) body(i);
 }
 

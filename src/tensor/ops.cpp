@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 
 namespace clpp {
@@ -100,7 +102,14 @@ void gemm_tt(const float* a, const float* b, float* c, std::size_t m, std::size_
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_b,
           float alpha, float beta) {
+  CLPP_TRACE_SPAN("gemm");
   const GemmDims d = gemm_dims(a, b, trans_a, trans_b);
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::metrics().counter("clpp.tensor.gemm_calls");
+    static obs::Counter& flops = obs::metrics().counter("clpp.tensor.gemm_flops");
+    calls.add(1);
+    flops.add(2ull * d.m * d.n * d.k);
+  }
   CLPP_CHECK_MSG(c.rank() == 2 && c.dim(0) == d.m && c.dim(1) == d.n,
                  "gemm output shape " << c.shape_str() << " does not match ["
                                       << d.m << "x" << d.n << "]");

@@ -1,0 +1,290 @@
+// clpp::obs — counters/gauges/histograms, concurrent recording through
+// parallel_for, span nesting, Chrome-trace JSON well-formedness, the
+// structured logger, and the disabled-flag fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "support/json.h"
+#include "support/parallel.h"
+
+namespace {
+
+using namespace clpp;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::metrics().reset();
+    obs::Tracer::instance().reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::set_log_level(obs::LogLevel::kWarn);
+    obs::set_log_path("");
+  }
+
+  /// Spins until the trace clock advances, so spans have nonzero duration.
+  static void burn() {
+    const std::uint64_t t0 = obs::Tracer::now_ns();
+    volatile double sink = 0.0;
+    while (obs::Tracer::now_ns() == t0) sink = sink + std::sqrt(2.0);
+  }
+};
+
+TEST_F(ObsTest, CounterSemantics) {
+  obs::Counter& c = obs::metrics().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6u);
+  // Same name resolves to the same object.
+  obs::metrics().counter("test.counter").add(4);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSemantics) {
+  obs::Gauge& g = obs::metrics().gauge("test.gauge");
+  EXPECT_EQ(g.set_count(), 0u);
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+  EXPECT_EQ(g.set_count(), 2u);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.set_count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramSemantics) {
+  obs::Histogram& h = obs::metrics().histogram("test.hist", {1.0, 2.0, 5.0});
+  h.record(0.5);   // bucket 0: <= 1
+  h.record(1.5);   // bucket 1: <= 2
+  h.record(100.0); // overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 102.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 34.0, 1e-9);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantiles) {
+  obs::Histogram& h = obs::metrics().histogram("test.hist.quantiles");
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // Bucket-interpolated estimates: loose bounds, strict monotonicity.
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(0.0));  // no NaN
+}
+
+TEST_F(ObsTest, ConcurrentRecordingFromParallelFor) {
+  obs::Counter& c = obs::metrics().counter("test.concurrent.counter");
+  obs::Histogram& h = obs::metrics().histogram("test.concurrent.hist", {10.0, 100.0});
+  constexpr std::size_t kN = 100000;
+  parallel_for(
+      kN,
+      [&](std::size_t i) {
+        c.add(1);
+        h.record(static_cast<double>(i % 200));
+      },
+      /*grain=*/1);
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(h.count(), kN);
+  // The parallel_for hook itself recorded the dispatch.
+  EXPECT_GE(obs::metrics().counter("clpp.parallel.loops_parallel").value() +
+                obs::metrics().counter("clpp.parallel.loops_serial").value(),
+            1u);
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromParallelFor) {
+  constexpr std::size_t kN = 4096;
+  parallel_for(
+      kN, [&](std::size_t) { CLPP_TRACE_SPAN("loop.body"); }, /*grain=*/1);
+  const Json doc = obs::Tracer::instance().chrome_trace();
+  std::size_t found = 0;
+  const Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events.at(i).at("name").as_string() == "loop.body") ++found;
+  EXPECT_EQ(found, kN);
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+}
+
+TEST_F(ObsTest, SpanNesting) {
+  {
+    CLPP_TRACE_SPAN("outer");
+    burn();
+    {
+      CLPP_TRACE_SPAN_ARG("inner", 7);
+      burn();
+    }
+    burn();
+  }
+  const Json doc = obs::Tracer::instance().chrome_trace();
+  const Json& events = doc.at("traceEvents");
+  const Json* outer = nullptr;
+  const Json* inner = nullptr;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    if (e.at("name").as_string() == "outer") outer = &e;
+    if (e.at("name").as_string() == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  const double outer_begin = outer->at("ts").as_double();
+  const double outer_end = outer_begin + outer->at("dur").as_double();
+  const double inner_begin = inner->at("ts").as_double();
+  const double inner_end = inner_begin + inner->at("dur").as_double();
+  EXPECT_GE(inner_begin, outer_begin);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_GT(outer->at("dur").as_double(), 0.0);
+  // Same thread, and the span argument survived the trip.
+  EXPECT_EQ(inner->at("tid").as_int(), outer->at("tid").as_int());
+  EXPECT_EQ(inner->at("args").at("v").as_int(), 7);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonRoundTrip) {
+  {
+    CLPP_TRACE_SPAN("roundtrip");
+    burn();
+  }
+  const std::string text = obs::Tracer::instance().chrome_trace().dump();
+  const Json parsed = Json::parse(text);  // throws on malformed output
+  const Json& events = parsed.at("traceEvents");
+  ASSERT_GE(events.size(), 1u);
+  bool found = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("pid").as_int(), 1);
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    if (e.at("name").as_string() == "roundtrip") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST_F(ObsTest, TraceRingBufferDropsOldest) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_thread_capacity(8);
+  tracer.reset();  // this thread re-registers with the new capacity
+  for (int i = 0; i < 20; ++i) {
+    CLPP_TRACE_SPAN("ring");
+  }
+  EXPECT_EQ(tracer.recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  const Json doc = tracer.chrome_trace();
+  EXPECT_EQ(doc.at("traceEvents").size(), 8u);
+  tracer.set_thread_capacity(1 << 17);
+  tracer.reset();
+}
+
+TEST_F(ObsTest, DisabledFlagFastPath) {
+  obs::set_enabled(false);
+  obs::Counter& c = obs::metrics().counter("test.disabled.counter");
+  obs::Gauge& g = obs::metrics().gauge("test.disabled.gauge");
+  obs::Histogram& h = obs::metrics().histogram("test.disabled.hist");
+  c.add(5);
+  g.set(1.0);
+  h.record(3.0);
+  {
+    CLPP_TRACE_SPAN("disabled.span");
+  }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.set_count(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(obs::Tracer::instance().recorded(), 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonSnapshot) {
+  obs::metrics().counter("clpp.test.calls").add(3);
+  obs::metrics().gauge("clpp.test.loss").set(0.25);
+  obs::Histogram& h = obs::metrics().histogram("clpp.test.latency_us");
+  h.record(10.0);
+  h.record(20.0);
+  const Json parsed = Json::parse(obs::metrics().to_json().dump());
+  EXPECT_EQ(parsed.at("counters").at("clpp.test.calls").as_int(), 3);
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("clpp.test.loss").as_double(), 0.25);
+  const Json& hist = parsed.at("histograms").at("clpp.test.latency_us");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 30.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 20.0);
+}
+
+TEST_F(ObsTest, SummaryTablesRender) {
+  obs::metrics().counter("clpp.test.calls").add(1);
+  obs::metrics().gauge("clpp.test.loss").set(0.5);
+  obs::metrics().histogram("clpp.test.latency_us").record(42.0);
+  const std::string summary = obs::metrics().summary();
+  EXPECT_NE(summary.find("clpp.test.calls"), std::string::npos);
+  EXPECT_NE(summary.find("clpp.test.loss"), std::string::npos);
+  EXPECT_NE(summary.find("clpp.test.latency_us"), std::string::npos);
+  {
+    CLPP_TRACE_SPAN("summary.span");
+    burn();
+  }
+  EXPECT_NE(obs::Tracer::instance().summary().find("summary.span"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, StructuredLoggerWritesJsonLines) {
+  const std::string path = "obs_test_log.jsonl";
+  std::remove(path.c_str());
+  obs::set_log_path(path);
+  obs::set_log_level(obs::LogLevel::kInfo);
+  Json fields = Json::object();
+  fields["epoch"] = 3;
+  obs::log_info("obs_test", "hello", std::move(fields));
+  obs::log_debug("obs_test", "filtered out");  // below threshold
+  obs::set_log_path("");  // flush + release the file
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<Json> lines;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(Json::parse(line));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].at("level").as_string(), "info");
+  EXPECT_EQ(lines[0].at("component").as_string(), "obs_test");
+  EXPECT_EQ(lines[0].at("msg").as_string(), "hello");
+  EXPECT_EQ(lines[0].at("epoch").as_int(), 3);
+  EXPECT_GT(lines[0].at("ts").as_double(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, LogLevelParsing) {
+  EXPECT_EQ(obs::parse_log_level("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::parse_log_level("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::kOff);
+  EXPECT_EQ(obs::parse_log_level("bogus"), obs::LogLevel::kWarn);
+}
+
+}  // namespace
