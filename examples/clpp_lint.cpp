@@ -1,0 +1,133 @@
+// clpp-lint: static OpenMP race detector and directive linter.
+//
+// Lints C files end-to-end: every `#pragma omp parallel for`/`omp for` is
+// paired with its loop, the dependence analysis re-runs, and disagreements
+// between what the directive claims and what the analysis proves become
+// compiler-style diagnostics with fix-its (text or SARIF-lite JSON).
+//
+//   clpp-lint file.c            lint files, text diagnostics
+//   clpp-lint --json file.c     same, one JSON document per file
+//   clpp-lint --audit           lint a generated corpus' own labels
+//                               (--buggy seeds ground-truth defects and
+//                               reports the catch/miss confusion)
+//   clpp-lint --audit-model     train a small transformer advisor, lint its
+//                               predicted directives (model-vs-linter)
+//
+// Exit status: 0 = no errors, 1 = at least one error finding, 2 = failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/generator.h"
+#include "core/advisor.h"
+#include "lint/audit.h"
+#include "lint/linter.h"
+#include "support/cli.h"
+
+namespace {
+
+int lint_files(const std::vector<std::string>& files, const clpp::lint::Linter& linter,
+               bool as_json) {
+  bool any_errors = false;
+  for (const std::string& path : files) {
+    std::string source;
+    if (path == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "clpp-lint: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    const clpp::lint::LintReport report =
+        linter.lint_source(source, path == "-" ? "<stdin>" : path);
+    if (as_json)
+      std::cout << report.to_json().dump() << "\n";
+    else
+      std::cout << report.to_text();
+    any_errors = any_errors || report.errors() > 0;
+  }
+  return any_errors ? 1 : 0;
+}
+
+int print_audit(const clpp::lint::AuditReport& report, bool as_json) {
+  if (as_json)
+    std::cout << report.to_json().dump() << "\n";
+  else
+    std::cout << report.to_text();
+  return report.with_errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  clpp::ArgParser args("clpp-lint",
+                       "Static OpenMP race detector and directive linter.");
+  args.add_flag("json", "emit SARIF-lite JSON instead of text diagnostics");
+  args.add_flag("no-fixits", "suppress corrected-pragma fix-its");
+  args.add_int("trip-threshold", 8, "small-trip-count warning threshold");
+  args.add_flag("audit", "lint a generated corpus' own directive labels");
+  args.add_flag("audit-model",
+                "train a small advisor and lint its predicted directives");
+  args.add_int("size", 400, "audit corpus size");
+  args.add_int("seed", 2023, "audit corpus seed");
+  args.add_double("buggy", 0.15, "audit: seeded directive-defect rate");
+  args.add_double("noise", 0.0, "audit: label-flip noise rate");
+
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    clpp::lint::LintOptions options;
+    options.small_trip_threshold = args.get_int("trip-threshold");
+    options.emit_fixits = !args.get_flag("no-fixits");
+    const clpp::lint::Linter linter(options);
+    const bool as_json = args.get_flag("json");
+
+    if (args.get_flag("audit") || args.get_flag("audit-model")) {
+      clpp::codegen::GeneratorConfig generator;
+      generator.size = static_cast<std::size_t>(args.get_int("size"));
+      generator.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      generator.label_noise = args.get_double("noise");
+      generator.buggy_directive_rate = args.get_double("buggy");
+      const clpp::corpus::Corpus corpus = clpp::codegen::generate_corpus(generator);
+
+      if (args.get_flag("audit-model")) {
+        // Small-budget advisor: enough to produce non-trivial predictions
+        // without turning the CLI into a training run.
+        clpp::core::PipelineConfig config;
+        config.generator = generator;
+        config.generator.buggy_directive_rate = 0.0;  // train on faithful labels
+        config.train.epochs = 3;
+        config.mlm_pretrain = false;
+        std::cerr << "clpp-lint: training advisor on " << config.generator.size
+                  << " snippets...\n";
+        const clpp::core::ParallelAdvisor advisor =
+            clpp::core::ParallelAdvisor::train(config);
+        std::vector<std::string> predictions;
+        predictions.reserve(corpus.size());
+        for (const clpp::corpus::Record& record : corpus.records())
+          predictions.push_back(advisor.advise(record.code).suggestion);
+        return print_audit(clpp::lint::audit_predictions(corpus, predictions, linter),
+                           as_json);
+      }
+      return print_audit(clpp::lint::audit_labels(corpus, linter), as_json);
+    }
+
+    if (args.positional().empty()) {
+      std::cout << args.help();
+      return 2;
+    }
+    return lint_files(args.positional(), linter, as_json);
+  } catch (const std::exception& e) {
+    std::cerr << "clpp-lint: " << e.what() << "\n";
+    return 2;
+  }
+}

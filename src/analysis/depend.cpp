@@ -40,22 +40,40 @@ Affine analyze_subscript(const Node& expr, const std::string& induction) {
     return Affine{Affine::Kind::kInvariant, 0, 0, frontend::print_expression(expr)};
   }
   if (expr.kind == NodeKind::kBinaryOp) {
-    const Affine lhs = analyze_subscript(expr.child(0), induction);
-    const Affine rhs = analyze_subscript(expr.child(1), induction);
+    // Loop-invariant operands become affine terms with a symbolic addend,
+    // so `c - i` / `i + c` stay exactly testable (coeff ±1, symbol `c`).
+    auto promote = [](const Affine& a) {
+      if (a.kind != Affine::Kind::kInvariant) return a;
+      return Affine{Affine::Kind::kAffine, 0, 0, a.invariant_text, +1};
+    };
+    const Affine lhs = promote(analyze_subscript(expr.child(0), induction));
+    const Affine rhs = promote(analyze_subscript(expr.child(1), induction));
     const bool both_affine =
         lhs.kind == Affine::Kind::kAffine && rhs.kind == Affine::Kind::kAffine;
-    if (expr.text == "+" && both_affine)
-      return Affine{Affine::Kind::kAffine, lhs.coeff + rhs.coeff,
-                    lhs.offset + rhs.offset, {}};
-    if (expr.text == "-" && both_affine)
-      return Affine{Affine::Kind::kAffine, lhs.coeff - rhs.coeff,
-                    lhs.offset - rhs.offset, {}};
+    if ((expr.text == "+" || expr.text == "-") && both_affine) {
+      const int rhs_flip = expr.text == "+" ? 1 : -1;
+      // At most one symbolic addend survives; two distinct symbols (or the
+      // same symbol that does not cancel) would need symbolic arithmetic.
+      std::string symbol;
+      int sign = 0;
+      if (lhs.symbol_sign != 0 && rhs.symbol_sign != 0) return Affine{};  // complex
+      if (lhs.symbol_sign != 0) {
+        symbol = lhs.invariant_text;
+        sign = lhs.symbol_sign;
+      } else if (rhs.symbol_sign != 0) {
+        symbol = rhs.invariant_text;
+        sign = rhs.symbol_sign * rhs_flip;
+      }
+      return Affine{Affine::Kind::kAffine, lhs.coeff + rhs_flip * rhs.coeff,
+                    lhs.offset + rhs_flip * rhs.offset, std::move(symbol), sign};
+    }
     if (expr.text == "*" && both_affine) {
-      // One side must be a pure constant for the product to stay affine.
-      if (lhs.coeff == 0)
+      // One side must be a pure constant (no symbol) for the product to
+      // stay affine; scaling a symbolic addend is not representable.
+      if (lhs.coeff == 0 && lhs.symbol_sign == 0 && rhs.symbol_sign == 0)
         return Affine{Affine::Kind::kAffine, lhs.offset * rhs.coeff,
                       lhs.offset * rhs.offset, {}};
-      if (rhs.coeff == 0)
+      if (rhs.coeff == 0 && rhs.symbol_sign == 0 && lhs.symbol_sign == 0)
         return Affine{Affine::Kind::kAffine, lhs.coeff * rhs.offset,
                       lhs.offset * rhs.offset, {}};
     }
@@ -64,8 +82,11 @@ Affine analyze_subscript(const Node& expr, const std::string& induction) {
   if (expr.kind == NodeKind::kUnaryOp && expr.text == "-") {
     const Affine inner = analyze_subscript(expr.child(0), induction);
     if (inner.kind == Affine::Kind::kAffine)
-      return Affine{Affine::Kind::kAffine, -inner.coeff, -inner.offset, {}};
+      return Affine{Affine::Kind::kAffine, -inner.coeff, -inner.offset,
+                    inner.invariant_text, -inner.symbol_sign};
   }
+  if (expr.kind == NodeKind::kUnaryOp && expr.text == "+")
+    return analyze_subscript(expr.child(0), induction);
   return Affine{};  // complex
 }
 
@@ -80,7 +101,11 @@ DimRelation compare_dimension(const Affine& a, const Affine& b) {
                                                 : DimRelation::kUnknown;
   }
   if (a.kind == K::kInvariant || b.kind == K::kInvariant) return DimRelation::kUnknown;
-  // Both affine.
+  // Both affine. Symbolic addends must agree exactly (same text, same sign)
+  // for the constant-distance test to hold; otherwise aliasing is unknown.
+  if (a.symbol_sign != b.symbol_sign ||
+      (a.symbol_sign != 0 && a.invariant_text != b.invariant_text))
+    return DimRelation::kUnknown;
   if (a.coeff == 0 && b.coeff == 0)
     return a.offset == b.offset ? DimRelation::kCarried : DimRelation::kDisjoint;
   if (a.coeff != b.coeff) return DimRelation::kUnknown;
@@ -200,13 +225,15 @@ void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
 
     for (const Access* w : list) {
       if (!w->is_write) continue;
+      const int dep_line = w->site ? w->site->line : 0;
+      const int dep_column = w->site ? w->site->column : 0;
       for (const Access* other : list) {
         if (other == w) continue;
         // Dimension-by-dimension comparison. Unequal ranks (A[i] vs A[i][j])
         // is aliasing we do not model: treat as unknown.
         if (w->subscripts.size() != other->subscripts.size()) {
-          verdict.dependences.push_back(
-              {name, "accesses with different dimensionality"});
+          verdict.dependences.push_back({name, "accesses with different dimensionality",
+                                         dep_line, dep_column});
           break;
         }
         bool disjoint = false;
@@ -232,11 +259,12 @@ void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
         if (same_iteration_only) continue;
         if (unknown) {
           verdict.dependences.push_back(
-              {name, "subscript too complex for dependence test"});
+              {name, "subscript too complex for dependence test", dep_line, dep_column});
           break;
         }
         if (carried) {
-          verdict.dependences.push_back({name, "loop-carried dependence"});
+          verdict.dependences.push_back(
+              {name, "loop-carried dependence", dep_line, dep_column});
           break;
         }
       }
@@ -452,7 +480,9 @@ void DependenceAnalyzer::analyze_scalars(const Node& body, const std::string& in
       continue;
     }
 
-    verdict.dependences.push_back({name, "loop-carried scalar dependence"});
+    verdict.dependences.push_back({name, "loop-carried scalar dependence",
+                                   access.site ? access.site->line : 0,
+                                   access.site ? access.site->column : 0});
   }
 }
 

@@ -22,16 +22,23 @@
 namespace clpp::analysis {
 
 /// Classification of a subscript expression relative to one induction var.
+///
+/// kAffine subscripts may additionally carry one symbolic loop-invariant
+/// addend (e.g. `c - i` is coeff = -1 with symbol `+c`, `i - c` is
+/// coeff = 1 with symbol `-c`): the distance test stays exact between two
+/// subscripts whose symbolic addends are textually identical with the same
+/// sign, and degrades to kUnknown otherwise.
 struct Affine {
   enum class Kind {
-    kAffine,     // coeff * i + offset with literal coeff/offset
+    kAffine,     // coeff * i + offset [+ sign*symbol] with literal coeff/offset
     kInvariant,  // does not mention the induction variable
     kComplex,    // mentions it non-affinely (i*i, a[i], f(i), i*j ...)
   };
   Kind kind = Kind::kComplex;
   long long coeff = 0;
   long long offset = 0;
-  std::string invariant_text;  // canonical text when kInvariant
+  std::string invariant_text;  // kInvariant: whole expr; kAffine: symbolic addend
+  int symbol_sign = 0;         // kAffine only: 0 = no symbolic addend, else ±1
 
   bool operator==(const Affine&) const = default;
 };
@@ -51,9 +58,13 @@ enum class DimRelation {
 DimRelation compare_dimension(const Affine& a, const Affine& b);
 
 /// A detected (or suspected) loop-carried dependence, for diagnostics.
+/// `line`/`column` point at the access that triggered the report (0 when
+/// the snippet carries no position info, e.g. hand-built ASTs).
 struct Dependence {
   std::string variable;
   std::string detail;
+  int line = 0;
+  int column = 0;
 };
 
 /// Final analysis verdict for one loop.

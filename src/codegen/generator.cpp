@@ -1,13 +1,89 @@
 #include "codegen/generator.h"
 
+#include <algorithm>
+
+#include "analysis/loopinfo.h"
 #include "codegen/families.h"
+#include "frontend/parser.h"
+#include "lint/diagnostics.h"
 
 namespace clpp::codegen {
+
+namespace {
+
+/// Families whose loop body carries a dependence the dependence test
+/// provably detects: attaching a bare `parallel for` to them is a
+/// guaranteed loop-carried-dependence finding.
+bool provably_racy_family(const std::string& family) {
+  return family == "recurrence" || family == "scalar_carried" ||
+         family == "outer_dependent" || family == "indirect_write";
+}
+
+/// Canonical induction variable of the snippet's first loop ("" when the
+/// loop cannot be canonicalized — nothing to corrupt then).
+std::string induction_of(const std::string& code) {
+  try {
+    const frontend::NodePtr unit = frontend::parse_snippet(code);
+    const frontend::Node* loop = nullptr;
+    frontend::walk(*unit, [&](const frontend::Node& node, int) {
+      if (loop == nullptr && node.kind == frontend::NodeKind::kFor) loop = &node;
+    });
+    if (loop != nullptr)
+      if (const auto canonical = analysis::canonicalize(*loop))
+        return canonical->induction;
+  } catch (const ParseError&) {
+  }
+  return {};
+}
+
+/// Corrupts `record`'s label into one lint-detectable defect and tags
+/// `record.bug` with the rule id the linter must report. No-op when the
+/// record offers nothing corruptible.
+void seed_directive_bug(corpus::Record& record) {
+  if (!record.has_directive) {
+    if (!provably_racy_family(record.family)) return;
+    frontend::OmpDirective bare;
+    bare.parallel = true;
+    bare.for_loop = true;
+    record.has_directive = true;
+    record.directive_text = bare.to_string();
+    record.bug = lint::rule::kLoopCarried;
+    return;
+  }
+
+  frontend::OmpDirective directive = frontend::parse_omp_pragma(record.directive_text);
+  const std::string induction = induction_of(record.code);
+  if (!directive.reductions.empty()) {
+    directive.reductions.clear();
+    record.bug = lint::rule::kMissingReduction;
+  } else {
+    // The implicitly private iterator doesn't count: dropping it changes
+    // nothing the linter can see.
+    const auto dropped = std::remove_if(
+        directive.private_vars.begin(), directive.private_vars.end(),
+        [&](const std::string& name) { return name != induction; });
+    const bool any_dropped = dropped != directive.private_vars.end();
+    directive.private_vars.erase(dropped, directive.private_vars.end());
+    if (any_dropped) {
+      record.bug = lint::rule::kMissingPrivate;
+    } else if (!induction.empty()) {
+      directive.shared_vars.push_back(induction);
+      record.bug = lint::rule::kSharedInduction;
+    } else {
+      return;
+    }
+  }
+  record.directive_text = directive.to_string();
+}
+
+}  // namespace
 
 corpus::Corpus generate_corpus(const GeneratorConfig& config) {
   CLPP_CHECK_MSG(config.size > 0, "corpus size must be positive");
   CLPP_CHECK_MSG(config.label_noise >= 0.0 && config.label_noise < 0.5,
                  "label noise must be in [0, 0.5)");
+  CLPP_CHECK_MSG(config.buggy_directive_rate >= 0.0 && config.buggy_directive_rate < 1.0,
+                 "buggy directive rate must be in [0, 1)");
   Rng rng(config.seed);
 
   const auto& families = all_families();
@@ -27,6 +103,8 @@ corpus::Corpus generate_corpus(const GeneratorConfig& config) {
     record.has_directive = snippet.has_directive;
     if (snippet.has_directive) record.directive_text = snippet.directive.to_string();
 
+    // The `> 0` guard on the bug draw keeps the rng sequence — and thus
+    // every existing seeded corpus — bit-identical when the knob is off.
     if (rng.chance(config.label_noise)) {
       if (record.has_directive) {
         record.has_directive = false;
@@ -38,6 +116,9 @@ corpus::Corpus generate_corpus(const GeneratorConfig& config) {
         bare.for_loop = true;
         record.directive_text = bare.to_string();
       }
+    } else if (config.buggy_directive_rate > 0 &&
+               rng.chance(config.buggy_directive_rate)) {
+      seed_directive_bug(record);
     }
     record.refresh_labels();
     corpus.add(std::move(record));

@@ -18,6 +18,14 @@ struct GeneratorConfig {
   /// parallelizable code whose author skipped the pragma). Flipped-positive
   /// records receive a bare `#pragma omp parallel for`.
   double label_noise = 0.03;
+  /// Probability that a record's directive is deliberately corrupted into a
+  /// specific clpp::lint-detectable defect, tagging `Record::bug` with the
+  /// ground-truth rule id: positives lose their reduction clause
+  /// (missing-reduction), lose their private list (missing-private), or get
+  /// the iterator forced into shared(...) (shared-induction); negatives of
+  /// provably racy families gain a bare pragma (loop-carried-dependence).
+  /// Disjoint from label_noise flips. 0 = every label stays faithful.
+  double buggy_directive_rate = 0.0;
 };
 
 /// Generates the corpus. Record ids are "omp-<index>".

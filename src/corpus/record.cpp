@@ -30,6 +30,7 @@ Json Record::to_json() const {
   obj["code"] = Json{code};
   obj["has_directive"] = Json{has_directive};
   if (has_directive) obj["directive"] = Json{directive_text};
+  if (!bug.empty()) obj["bug"] = Json{bug};
   return obj;
 }
 
@@ -40,6 +41,7 @@ Record Record::from_json(const Json& json) {
   r.code = json.at("code").as_string();
   r.has_directive = json.get_bool("has_directive", false);
   if (r.has_directive) r.directive_text = json.at("directive").as_string();
+  r.bug = json.get_string("bug", "");
   r.refresh_labels();
   return r;
 }

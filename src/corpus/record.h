@@ -21,6 +21,10 @@ struct Record {
   std::string code;        // C source of the snippet (no directive line)
   bool has_directive = false;
   std::string directive_text;  // canonical "#pragma omp ..." when labeled
+  /// Seeded-defect tag: the clpp::lint rule id this record's directive was
+  /// deliberately corrupted to violate (codegen's buggy-directive knob);
+  /// empty for clean records. Ground truth for lint_audit confusion stats.
+  std::string bug;
 
   /// Clause/schedule labels derived from the directive (false/static when
   /// no directive).

@@ -7,6 +7,7 @@ namespace clpp::frontend {
 NodePtr Node::clone() const {
   auto copy = std::make_unique<Node>(kind, text, aux);
   copy->line = line;
+  copy->column = column;
   copy->children.reserve(children.size());
   for (const NodePtr& c : children) copy->children.push_back(c->clone());
   return copy;

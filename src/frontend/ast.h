@@ -77,7 +77,8 @@ struct Node {
   std::string text;  // name / operator / value / directive, by kind
   std::string aux;   // type information, by kind
   std::vector<NodePtr> children;
-  int line = 0;
+  int line = 0;    // 1-based source line; 0 = synthesized node
+  int column = 0;  // 1-based source column; 0 = synthesized node
 
   explicit Node(NodeKind k) : kind(k) {}
   Node(NodeKind k, std::string t) : kind(k), text(std::move(t)) {}

@@ -131,6 +131,7 @@ class Parser {
     if (t.is(TokenKind::kPragma)) {
       auto pragma = make_node(NodeKind::kPragma, advance().text);
       pragma->line = t.line;
+      pragma->column = t.column;
       return pragma;
     }
     if (starts_type()) return declaration_or_function();
@@ -141,6 +142,7 @@ class Parser {
   /// / prototype or a (possibly multi-declarator) declaration.
   NodePtr declaration_or_function() {
     const int line = peek().line;
+    const int column = peek().column;
     std::string base_type = parse_type();
 
     // `struct X { ... };` definition without declarator.
@@ -148,6 +150,7 @@ class Parser {
         peek().is_punct("{")) {
       auto def = make_node(NodeKind::kDecl, base_type, "struct-def");
       def->line = line;
+      def->column = column;
       advance();  // '{'
       while (!peek().is_punct("}")) {
         if (peek().is(TokenKind::kEnd)) fail("unterminated struct body");
@@ -162,21 +165,22 @@ class Parser {
     if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
     const std::string name = advance().text;
 
-    if (peek().is_punct("(")) return function_rest(base_type, name, line);
+    if (peek().is_punct("(")) return function_rest(base_type, name, line, column);
 
-    NodePtr decl = declarator_rest(base_type, name, line);
+    NodePtr decl = declarator_rest(base_type, name, line, column);
     if (peek().is_punct(",")) {
       // Multi-declarator declaration: wrap in an ExprList of Decls so the
       // statement position holds a single node.
       auto list = make_node(NodeKind::kExprList);
       list->line = line;
+      list->column = column;
       list->children.push_back(std::move(decl));
       while (accept_punct(",")) {
         std::string ptr_type = base_type;
         while (accept_punct("*")) ptr_type += '*';
         if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
         const std::string next_name = advance().text;
-        list->children.push_back(declarator_rest(ptr_type, next_name, line));
+        list->children.push_back(declarator_rest(ptr_type, next_name, line, column));
       }
       expect_punct(";");
       return list;
@@ -188,18 +192,20 @@ class Parser {
   /// Declaration list sharing one base type, used for struct members.
   NodePtr declarator_list(const std::string& base_type) {
     const int line = peek().line;
+    const int column = peek().column;
     std::string type = base_type;
     while (accept_punct("*")) type += '*';
     if (!peek().is(TokenKind::kIdentifier)) fail("expected member name");
     const std::string name = advance().text;
-    return declarator_rest(type, name, line, /*allow_init=*/false);
+    return declarator_rest(type, name, line, column, /*allow_init=*/false);
   }
 
   /// Array dimensions and optional initializer after the declarator name.
   NodePtr declarator_rest(std::string type, const std::string& name, int line,
-                          bool allow_init = true) {
+                          int column, bool allow_init = true) {
     auto decl = make_node(NodeKind::kDecl, name);
     decl->line = line;
+    decl->column = column;
     while (accept_punct("[")) {
       type += "[]";
       if (peek().is_punct("]")) {
@@ -233,7 +239,7 @@ class Parser {
   }
 
   NodePtr function_rest(const std::string& return_type, const std::string& name,
-                        int line) {
+                        int line, int column) {
     expect_punct("(");
     auto params = make_node(NodeKind::kExprList);
     if (!peek().is_punct(")")) {
@@ -248,6 +254,7 @@ class Parser {
 
     auto fn = make_node(NodeKind::kFuncDef, name, return_type);
     fn->line = line;
+    fn->column = column;
     fn->children.push_back(std::move(params));
     if (accept_punct(";")) {
       // Prototype: record as a FuncDef with no body (aux keeps return type).
@@ -260,11 +267,13 @@ class Parser {
 
   NodePtr parameter() {
     const int line = peek().line;
+    const int column = peek().column;
     std::string type = parse_type();
     std::string name;
     if (peek().is(TokenKind::kIdentifier)) name = advance().text;
     auto decl = make_node(NodeKind::kDecl, name);
     decl->line = line;
+    decl->column = column;
     while (accept_punct("[")) {
       type += "[]";
       if (!peek().is_punct("]")) decl->children.push_back(expression());
@@ -278,9 +287,11 @@ class Parser {
 
   NodePtr compound() {
     const int line = peek().line;
+    const int column = peek().column;
     expect_punct("{");
     auto block = make_node(NodeKind::kCompound);
     block->line = line;
+    block->column = column;
     while (!peek().is_punct("}")) {
       if (peek().is(TokenKind::kEnd)) fail("unterminated block");
       block->children.push_back(block_item());
@@ -291,8 +302,10 @@ class Parser {
 
   NodePtr block_item() {
     if (peek().is(TokenKind::kPragma)) {
-      auto pragma = make_node(NodeKind::kPragma, peek().text);
-      pragma->line = advance().line;
+      const Token& t = advance();
+      auto pragma = make_node(NodeKind::kPragma, t.text);
+      pragma->line = t.line;
+      pragma->column = t.column;
       return pragma;
     }
     if (starts_type()) return declaration_or_function();
@@ -302,16 +315,19 @@ class Parser {
   NodePtr statement() {
     const Token& t = peek();
     const int line = t.line;
+    const int column = t.column;
     if (t.is_punct("{")) return compound();
     if (t.is_punct(";")) {
       advance();
       auto e = make_node(NodeKind::kEmpty);
       e->line = line;
+      e->column = column;
       return e;
     }
     if (t.is(TokenKind::kPragma)) {
       auto pragma = make_node(NodeKind::kPragma, advance().text);
       pragma->line = line;
+      pragma->column = column;
       return pragma;
     }
     if (t.is_keyword("if")) return if_statement();
@@ -322,6 +338,7 @@ class Parser {
       advance();
       auto ret = make_node(NodeKind::kReturn);
       ret->line = line;
+      ret->column = column;
       if (!peek().is_punct(";")) ret->children.push_back(expression());
       expect_punct(";");
       return ret;
@@ -331,6 +348,7 @@ class Parser {
       expect_punct(";");
       auto n = make_node(NodeKind::kBreak);
       n->line = line;
+      n->column = column;
       return n;
     }
     if (t.is_keyword("continue")) {
@@ -338,6 +356,7 @@ class Parser {
       expect_punct(";");
       auto n = make_node(NodeKind::kContinue);
       n->line = line;
+      n->column = column;
       return n;
     }
     if (t.is_keyword("goto")) {
@@ -345,6 +364,7 @@ class Parser {
       if (!peek().is(TokenKind::kIdentifier)) fail("expected label after goto");
       auto n = make_node(NodeKind::kGoto, advance().text);
       n->line = line;
+      n->column = column;
       expect_punct(";");
       return n;
     }
@@ -352,6 +372,7 @@ class Parser {
     if (t.is(TokenKind::kIdentifier) && peek(1).is_punct(":")) {
       auto label = make_node(NodeKind::kLabel, advance().text);
       label->line = line;
+      label->column = column;
       advance();  // ':'
       label->children.push_back(statement());
       return label;
@@ -359,16 +380,18 @@ class Parser {
     // Expression statement.
     auto stmt = make_node(NodeKind::kExprStmt);
     stmt->line = line;
+    stmt->column = column;
     stmt->children.push_back(comma_expression());
     expect_punct(";");
     return stmt;
   }
 
   NodePtr if_statement() {
-    const int line = advance().line;  // 'if'
+    const Token& kw = advance();  // 'if'
     expect_punct("(");
     auto node = make_node(NodeKind::kIf);
-    node->line = line;
+    node->line = kw.line;
+    node->column = kw.column;
     node->children.push_back(comma_expression());
     expect_punct(")");
     node->children.push_back(statement());
@@ -377,10 +400,11 @@ class Parser {
   }
 
   NodePtr for_statement() {
-    const int line = advance().line;  // 'for'
+    const Token& kw = advance();  // 'for'
     expect_punct("(");
     auto node = make_node(NodeKind::kFor);
-    node->line = line;
+    node->line = kw.line;
+    node->column = kw.column;
     // init
     if (peek().is_punct(";")) {
       advance();
@@ -389,7 +413,7 @@ class Parser {
       std::string type = parse_type();
       if (!peek().is(TokenKind::kIdentifier)) fail("expected loop variable name");
       const std::string name = advance().text;
-      node->children.push_back(declarator_rest(type, name, line));
+      node->children.push_back(declarator_rest(type, name, kw.line, kw.column));
       expect_punct(";");
     } else {
       node->children.push_back(comma_expression());
@@ -414,10 +438,11 @@ class Parser {
   }
 
   NodePtr while_statement() {
-    const int line = advance().line;  // 'while'
+    const Token& kw = advance();  // 'while'
     expect_punct("(");
     auto node = make_node(NodeKind::kWhile);
-    node->line = line;
+    node->line = kw.line;
+    node->column = kw.column;
     node->children.push_back(comma_expression());
     expect_punct(")");
     node->children.push_back(statement());
@@ -425,9 +450,10 @@ class Parser {
   }
 
   NodePtr do_statement() {
-    const int line = advance().line;  // 'do'
+    const Token& kw = advance();  // 'do'
     auto node = make_node(NodeKind::kDoWhile);
-    node->line = line;
+    node->line = kw.line;
+    node->column = kw.column;
     node->children.push_back(statement());
     if (!accept_keyword("while")) fail("expected 'while' after do body");
     expect_punct("(");
@@ -457,9 +483,10 @@ class Parser {
                                               "&=", "|=", "^=", "<<=", ">>="};
     for (std::string_view op : kAssignOps) {
       if (peek().is_punct(op)) {
-        const int line = advance().line;
+        const Token& op_tok = advance();
         auto node = make_node(NodeKind::kAssignment, std::string(op));
-        node->line = line;
+        node->line = op_tok.line;
+        node->column = op_tok.column;
         node->children.push_back(std::move(lhs));
         node->children.push_back(assignment_expression());  // right-assoc
         return node;
@@ -502,9 +529,10 @@ class Parser {
         }
       }
       if (matched_level < 0) return lhs;
-      const int line = advance().line;
+      const Token& op_tok = advance();
       auto node = make_node(NodeKind::kBinaryOp, std::string(matched_op));
-      node->line = line;
+      node->line = op_tok.line;
+      node->column = op_tok.column;
       node->children.push_back(std::move(lhs));
       node->children.push_back(binary_expression(matched_level + 1));
       lhs = std::move(node);
@@ -518,10 +546,12 @@ class Parser {
   NodePtr unary_expression() {
     const Token& t = peek();
     const int line = t.line;
+    const int column = t.column;
     if (t.is_punct("++") || t.is_punct("--")) {
       advance();
       auto node = make_node(NodeKind::kUnaryOp, t.text);
       node->line = line;
+      node->column = column;
       node->children.push_back(unary_expression());
       return node;
     }
@@ -531,6 +561,7 @@ class Parser {
         advance();
         auto node = make_node(NodeKind::kUnaryOp, std::string(op));
         node->line = line;
+        node->column = column;
         node->children.push_back(unary_expression());
         return node;
       }
@@ -539,6 +570,7 @@ class Parser {
       advance();
       auto node = make_node(NodeKind::kSizeof);
       node->line = line;
+      node->column = column;
       if (peek().is_punct("(") && starts_type(1)) {
         advance();
         std::string type = parse_type();
@@ -560,6 +592,7 @@ class Parser {
       expect_punct(")");
       auto node = make_node(NodeKind::kCast, type);
       node->line = line;
+      node->column = column;
       node->children.push_back(unary_expression());
       return node;
     }
@@ -574,6 +607,7 @@ class Parser {
         advance();
         auto ref = make_node(NodeKind::kArrayRef);
         ref->line = t.line;
+        ref->column = t.column;
         ref->children.push_back(std::move(node));
         ref->children.push_back(comma_expression());
         expect_punct("]");
@@ -582,6 +616,7 @@ class Parser {
         advance();
         auto call = make_node(NodeKind::kFuncCall);
         call->line = t.line;
+        call->column = t.column;
         call->children.push_back(std::move(node));
         auto args = make_node(NodeKind::kExprList);
         if (!peek().is_punct(")")) {
@@ -596,6 +631,7 @@ class Parser {
         if (!peek().is(TokenKind::kIdentifier)) fail("expected member name");
         auto ref = make_node(NodeKind::kStructRef, t.text);
         ref->line = t.line;
+        ref->column = t.column;
         ref->children.push_back(std::move(node));
         ref->children.push_back(make_id(advance().text));
         node = std::move(ref);
@@ -603,6 +639,7 @@ class Parser {
         advance();
         auto op = make_node(NodeKind::kUnaryOp, "p" + t.text);  // pycparser: p++
         op->line = t.line;
+        op->column = t.column;
         op->children.push_back(std::move(node));
         node = std::move(op);
       } else {
@@ -614,30 +651,36 @@ class Parser {
   NodePtr primary_expression() {
     const Token& t = peek();
     const int line = t.line;
+    const int column = t.column;
     switch (t.kind) {
       case TokenKind::kIdentifier: {
         auto node = make_id(advance().text);
         node->line = line;
+        node->column = column;
         return node;
       }
       case TokenKind::kIntLiteral: {
         auto node = make_node(NodeKind::kConstant, advance().text, "int");
         node->line = line;
+        node->column = column;
         return node;
       }
       case TokenKind::kFloatLiteral: {
         auto node = make_node(NodeKind::kConstant, advance().text, "float");
         node->line = line;
+        node->column = column;
         return node;
       }
       case TokenKind::kCharLiteral: {
         auto node = make_node(NodeKind::kConstant, advance().text, "char");
         node->line = line;
+        node->column = column;
         return node;
       }
       case TokenKind::kStringLiteral: {
         auto node = make_node(NodeKind::kConstant, advance().text, "string");
         node->line = line;
+        node->column = column;
         return node;
       }
       case TokenKind::kPunct:

@@ -1,0 +1,182 @@
+#include "lint/audit.h"
+
+#include <algorithm>
+
+#include "frontend/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace clpp::lint {
+
+namespace {
+
+/// Lints `directive_text` against `code` under the corpus convention: the
+/// directive governs the snippet's first loop, wherever it sits after the
+/// leading declarations. Parse failures surface as parse-error findings.
+LintReport lint_record(const Linter& linter, const std::string& directive_text,
+                       const std::string& code, const std::string& file) {
+  frontend::NodePtr unit;
+  frontend::OmpDirective directive;
+  try {
+    unit = frontend::parse_snippet(code);
+    directive = frontend::parse_omp_pragma(directive_text);
+  } catch (const ParseError& e) {
+    LintReport report;
+    report.file = file;
+    report.diagnostics.push_back({rule::kParseError, Severity::kError,
+                                  {1, 1, 1, 1},
+                                  std::string("record does not parse: ") + e.what(),
+                                  {}});
+    return report;
+  }
+  const frontend::Node* loop = nullptr;
+  frontend::walk(*unit, [&](const frontend::Node& node, int) {
+    if (loop == nullptr && node.kind == frontend::NodeKind::kFor) loop = &node;
+  });
+  return linter.lint_loop(*unit, directive, loop, file);
+}
+
+/// Shared audit core: `directive_of(i)` supplies the pragma text to lint
+/// for record i ("" = nothing to lint).
+template <typename DirectiveOf>
+AuditReport run_audit(const corpus::Corpus& corpus, const Linter& linter,
+                      std::string subject, const DirectiveOf& directive_of) {
+  CLPP_TRACE_SPAN("lint.audit");
+  AuditReport report;
+  report.subject = std::move(subject);
+  report.records = corpus.size();
+  report.rows.reserve(corpus.size());
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const corpus::Record& record = corpus.at(i);
+    AuditRow row;
+    row.id = record.id;
+    row.family = record.family;
+    row.bug = record.bug;
+    const std::string directive = directive_of(i);
+    if (directive.empty()) {
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+
+    row.linted = true;
+    ++report.linted;
+    const LintReport lint = lint_record(linter, directive, record.code, record.id);
+    row.errors = lint.errors();
+    row.warnings = lint.warnings();
+    for (const Diagnostic& d : lint.diagnostics) {
+      ++report.rule_counts[d.rule];
+      if (std::find(row.rules.begin(), row.rules.end(), d.rule) == row.rules.end())
+        row.rules.push_back(d.rule);
+    }
+
+    if (lint.clean())
+      ++report.clean;
+    else if (row.errors > 0)
+      ++report.with_errors;
+    else
+      ++report.with_warnings_only;
+
+    if (!row.bug.empty()) {
+      ++report.seeded_bugs;
+      row.bug_caught = lint.has_rule(row.bug);
+      if (row.bug_caught)
+        ++report.bugs_caught;
+      else
+        ++report.bugs_missed;
+    } else if (row.errors > 0) {
+      ++report.clean_flagged;
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  obs::metrics().counter("clpp.lint.audit.records").add(report.records);
+  obs::metrics().counter("clpp.lint.audit.flagged").add(report.with_errors);
+  obs::metrics().counter("clpp.lint.audit.bugs_caught").add(report.bugs_caught);
+  obs::metrics().counter("clpp.lint.audit.bugs_missed").add(report.bugs_missed);
+  return report;
+}
+
+}  // namespace
+
+double AuditReport::catch_rate() const {
+  if (seeded_bugs == 0) return 1.0;
+  return static_cast<double>(bugs_caught) / static_cast<double>(seeded_bugs);
+}
+
+std::string AuditReport::to_text() const {
+  std::string out;
+  out += "lint audit (" + subject + "): " + std::to_string(linted) + "/" +
+         std::to_string(records) + " records linted\n";
+  out += "  clean: " + std::to_string(clean) +
+         ", with errors: " + std::to_string(with_errors) +
+         ", warnings only: " + std::to_string(with_warnings_only) + "\n";
+  if (seeded_bugs > 0) {
+    out += "  seeded bugs: " + std::to_string(seeded_bugs) + " (caught " +
+           std::to_string(bugs_caught) + ", missed " + std::to_string(bugs_missed) +
+           ", catch rate " +
+           std::to_string(static_cast<int>(catch_rate() * 100.0 + 0.5)) + "%)\n";
+    out += "  clean labels flagged with errors: " + std::to_string(clean_flagged) + "\n";
+  }
+  if (!rule_counts.empty()) {
+    out += "  firings by rule:\n";
+    for (const auto& [rule_id, count] : rule_counts)
+      out += "    " + rule_id + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+Json AuditReport::to_json() const {
+  Json doc = Json::object();
+  doc["subject"] = subject;
+  doc["records"] = records;
+  doc["linted"] = linted;
+  doc["clean"] = clean;
+  doc["with_errors"] = with_errors;
+  doc["with_warnings_only"] = with_warnings_only;
+  doc["seeded_bugs"] = seeded_bugs;
+  doc["bugs_caught"] = bugs_caught;
+  doc["bugs_missed"] = bugs_missed;
+  doc["clean_flagged"] = clean_flagged;
+  doc["catch_rate"] = catch_rate();
+  Json rules = Json::object();
+  for (const auto& [rule_id, count] : rule_counts) rules[rule_id] = count;
+  doc["rule_counts"] = std::move(rules);
+  Json rows_json = Json::array();
+  for (const AuditRow& row : rows) {
+    if (!row.linted) continue;
+    Json r = Json::object();
+    r["id"] = row.id;
+    r["family"] = row.family;
+    if (!row.bug.empty()) {
+      r["bug"] = row.bug;
+      r["bug_caught"] = row.bug_caught;
+    }
+    r["errors"] = row.errors;
+    r["warnings"] = row.warnings;
+    Json fired = Json::array();
+    for (const std::string& rule_id : row.rules) fired.push_back(rule_id);
+    r["rules"] = std::move(fired);
+    rows_json.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(rows_json);
+  return doc;
+}
+
+AuditReport audit_labels(const corpus::Corpus& corpus, const Linter& linter) {
+  return run_audit(corpus, linter, "labels", [&](std::size_t i) {
+    const corpus::Record& record = corpus.at(i);
+    return record.has_directive ? record.directive_text : std::string{};
+  });
+}
+
+AuditReport audit_predictions(const corpus::Corpus& corpus,
+                              const std::vector<std::string>& predictions,
+                              const Linter& linter) {
+  CLPP_CHECK_MSG(predictions.size() == corpus.size(),
+                 "audit_predictions: one prediction per record required");
+  return run_audit(corpus, linter, "predictions",
+                   [&](std::size_t i) { return predictions[i]; });
+}
+
+}  // namespace clpp::lint

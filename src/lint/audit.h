@@ -1,0 +1,68 @@
+// lint_audit: running the linter over machine-produced directives.
+//
+// Two audit modes close the quality loop of the paper's pipeline:
+//   * audit_labels — lint every labeled corpus record (directive + code).
+//     With codegen's buggy-directive knob on, records carry a ground-truth
+//     `bug` rule id; the audit reports a confusion summary (seeded bugs
+//     caught / missed) plus disagreements on nominally clean labels.
+//   * audit_predictions — lint the directives a model predicted for each
+//     record: linter-vs-model disagreement, the static-analysis second
+//     opinion on transformer output.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lint/linter.h"
+
+namespace clpp::lint {
+
+/// Lint outcome for one record.
+struct AuditRow {
+  std::string id;
+  std::string family;
+  std::string bug;  // seeded ground-truth rule id ("" = nominally clean)
+  bool linted = false;  // record had a directive to lint
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::vector<std::string> rules;  // distinct rule ids fired, in order
+  bool bug_caught = false;         // bug != "" and that rule fired
+};
+
+/// Aggregate audit outcome.
+struct AuditReport {
+  std::string subject;  // "labels" or "predictions"
+  std::size_t records = 0;
+  std::size_t linted = 0;          // records with a directive
+  std::size_t clean = 0;           // linted with zero diagnostics
+  std::size_t with_errors = 0;
+  std::size_t with_warnings_only = 0;
+  std::map<std::string, std::size_t> rule_counts;  // rule id -> firings
+  /// Seeded-bug confusion (only populated when records carry `bug` tags).
+  std::size_t seeded_bugs = 0;
+  std::size_t bugs_caught = 0;  // seeded rule fired on the seeded record
+  std::size_t bugs_missed = 0;
+  std::size_t clean_flagged = 0;  // untagged record drew an error anyway
+  std::vector<AuditRow> rows;     // per-record detail, input order
+
+  /// bugs_caught / seeded_bugs (1.0 when nothing was seeded).
+  double catch_rate() const;
+
+  std::string to_text() const;
+  Json to_json() const;
+};
+
+/// Lints every labeled record's own directive against its code.
+AuditReport audit_labels(const corpus::Corpus& corpus, const Linter& linter = Linter{});
+
+/// Lints predicted directives: `predictions[i]` is the pragma text the
+/// model emitted for record i ("" = predicted serial, skipped). Requires
+/// predictions.size() == corpus.size().
+AuditReport audit_predictions(const corpus::Corpus& corpus,
+                              const std::vector<std::string>& predictions,
+                              const Linter& linter = Linter{});
+
+}  // namespace clpp::lint

@@ -1,0 +1,94 @@
+#include "lint/diagnostics.h"
+
+namespace clpp::lint {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::errors() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t LintReport::warnings() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kWarning) ++n;
+  return n;
+}
+
+bool LintReport::has_rule(const std::string& rule_id) const {
+  for (const Diagnostic& d : diagnostics)
+    if (d.rule == rule_id) return true;
+  return false;
+}
+
+std::string LintReport::to_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += file;
+    out += ':';
+    out += std::to_string(d.range.line);
+    out += ':';
+    out += std::to_string(d.range.column);
+    out += ": ";
+    out += severity_name(d.severity);
+    out += ": ";
+    out += d.message;
+    out += " [";
+    out += d.rule;
+    out += "]\n";
+    if (!d.fix.empty()) {
+      out += file;
+      out += ':';
+      out += std::to_string(d.range.line);
+      out += ':';
+      out += std::to_string(d.range.column);
+      out += ": note: suggested fix: ";
+      out += d.fix;
+      out += '\n';
+    }
+  }
+  out += file;
+  out += ": ";
+  out += std::to_string(errors());
+  out += " error(s), ";
+  out += std::to_string(warnings());
+  out += " warning(s) across ";
+  out += std::to_string(loops_checked);
+  out += " loop(s)\n";
+  return out;
+}
+
+Json LintReport::to_json() const {
+  Json doc = Json::object();
+  doc["file"] = file;
+  doc["loops_checked"] = loops_checked;
+  doc["errors"] = errors();
+  doc["warnings"] = warnings();
+  Json items = Json::array();
+  for (const Diagnostic& d : diagnostics) {
+    Json item = Json::object();
+    item["rule"] = d.rule;
+    item["level"] = severity_name(d.severity);
+    item["line"] = d.range.line;
+    item["column"] = d.range.column;
+    item["end_line"] = d.range.end_line;
+    item["end_column"] = d.range.end_column;
+    item["message"] = d.message;
+    if (!d.fix.empty()) item["fix"] = d.fix;
+    items.push_back(std::move(item));
+  }
+  doc["diagnostics"] = std::move(items);
+  return doc;
+}
+
+}  // namespace clpp::lint

@@ -1,0 +1,89 @@
+// Structured lint diagnostics: rule ids, severities, source ranges, fix-its.
+//
+// clpp::lint reports findings the way clang-tidy does: every diagnostic
+// carries a stable rule id, a severity, a source range (1-based line/column
+// from the frontend tokens), a human message, and — when the dependence
+// analysis can synthesize one — a fix-it in the form of the corrected
+// pragma line. Reports render as compiler-style text or as a SARIF-lite
+// JSON document for machine consumption (lint_audit, CI annotations).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace clpp::lint {
+
+/// Diagnostic severity; errors are findings that make the directive wrong
+/// (races, broken semantics), warnings are likely-unintended or
+/// conservative findings.
+enum class Severity { kError, kWarning, kNote };
+
+std::string severity_name(Severity severity);
+
+/// Stable rule identifiers. These strings appear in text/JSON output, in
+/// `LintReport::has_rule`, and as the ground-truth `bug` tag of
+/// deliberately corrupted codegen records — keep them in sync with the
+/// rule table in DESIGN.md.
+namespace rule {
+inline constexpr const char* kLoopCarried = "loop-carried-dependence";
+inline constexpr const char* kMissingPrivate = "missing-private";
+inline constexpr const char* kMissingReduction = "missing-reduction";
+inline constexpr const char* kSharedInduction = "shared-induction";
+inline constexpr const char* kUninitializedPrivate = "uninitialized-private";
+inline constexpr const char* kNonCanonicalLoop = "non-canonical-loop";
+inline constexpr const char* kSmallTripCount = "small-trip-count";
+inline constexpr const char* kUnknownCallEffect = "unknown-call-effect";
+inline constexpr const char* kParseError = "parse-error";
+}  // namespace rule
+
+/// 1-based, inclusive source range. line == 0 means "no position known"
+/// (synthesized AST nodes).
+struct SourceRange {
+  int line = 0;
+  int column = 0;
+  int end_line = 0;
+  int end_column = 0;
+
+  bool known() const { return line > 0; }
+
+  bool operator==(const SourceRange&) const = default;
+};
+
+/// One finding.
+struct Diagnostic {
+  std::string rule;  // rule::k* id
+  Severity severity = Severity::kWarning;
+  SourceRange range;
+  std::string message;
+  /// Fix-it: the full corrected `#pragma omp ...` line ("" = no fix
+  /// available). Always a whole-line replacement of the directive.
+  std::string fix;
+};
+
+/// All findings for one translation unit.
+struct LintReport {
+  std::string file;  // display name used in text/JSON rendering
+  std::vector<Diagnostic> diagnostics;
+  std::size_t loops_checked = 0;  // directive/loop pairs analyzed
+
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  bool clean() const { return diagnostics.empty(); }
+  bool has_rule(const std::string& rule_id) const;
+
+  /// Compiler-style rendering:
+  ///   file:line:col: error: message [rule-id]
+  ///   file:line:col: note: suggested fix: #pragma omp ...
+  std::string to_text() const;
+
+  /// SARIF-lite document:
+  ///   {"file": ..., "loops_checked": N, "errors": N, "warnings": N,
+  ///    "diagnostics": [{"rule", "level", "line", "column", "end_line",
+  ///                     "end_column", "message", "fix"?}, ...]}
+  Json to_json() const;
+};
+
+}  // namespace clpp::lint

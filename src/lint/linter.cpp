@@ -1,0 +1,376 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/accesses.h"
+#include "analysis/loopinfo.h"
+#include "analysis/sideeffects.h"
+#include "frontend/parser.h"
+#include "frontend/pragma.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "s2s/compiler.h"
+
+namespace clpp::lint {
+
+using analysis::Access;
+using analysis::AccessSet;
+using analysis::CallEffect;
+using frontend::Node;
+using frontend::NodeKind;
+using frontend::OmpDirective;
+
+namespace {
+
+SourceRange token_range(int line, int column, std::size_t length) {
+  if (line <= 0) return {};
+  const int len = length > 0 ? static_cast<int>(length) : 1;
+  return {line, column, line, column + len - 1};
+}
+
+/// Range of the whole "#pragma ..." line (node text excludes the '#').
+SourceRange pragma_range(const Node& pragma) {
+  return token_range(pragma.line, pragma.column, pragma.text.size() + 1);
+}
+
+/// Range anchored at a statement's keyword/operator token.
+SourceRange node_range(const Node& node) {
+  std::size_t length = node.text.size();
+  if (node.kind == NodeKind::kFor) length = 3;
+  return token_range(node.line, node.column, length);
+}
+
+/// Range of the first positioned write of `name`, else `fallback`.
+SourceRange first_write_range(const AccessSet& accesses, const std::string& name,
+                              SourceRange fallback) {
+  for (const Access& a : accesses.accesses)
+    if (a.variable == name && a.is_write && a.site && a.site->line > 0)
+      return token_range(a.site->line, a.site->column, name.size());
+  return fallback;
+}
+
+/// Range of the first direct call to `callee` in `body`, else `fallback`.
+SourceRange call_site_range(const Node& body, const std::string& callee,
+                            SourceRange fallback) {
+  SourceRange found = fallback;
+  bool done = false;
+  frontend::walk(body, [&](const Node& node, int) {
+    if (done || node.kind != NodeKind::kFuncCall || node.children.empty()) return;
+    const Node& target = node.child(0);
+    if (target.kind == NodeKind::kID && target.text == callee && target.line > 0) {
+      found = token_range(target.line, target.column, callee.size());
+      done = true;
+    }
+  });
+  return found;
+}
+
+bool contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void erase_name(std::vector<std::string>& names, const std::string& name) {
+  names.erase(std::remove(names.begin(), names.end(), name), names.end());
+}
+
+std::string describe_effect(CallEffect effect) {
+  switch (effect) {
+    case CallEffect::kIo:
+      return "performs I/O; output interleaves nondeterministically across threads";
+    case CallEffect::kAllocates:
+      return "allocates or frees memory; heap calls serialize and must not race";
+    case CallEffect::kWritesArgs:
+      return "may write memory reachable through its arguments";
+    case CallEffect::kUnknown:
+      return "has unknown side effects (no body available, not whitelisted)";
+    case CallEffect::kPure:
+      break;
+  }
+  return "is pure";
+}
+
+}  // namespace
+
+analysis::AnalyzerOptions lint_analyzer_options() {
+  analysis::AnalyzerOptions options;
+  options.assume_unknown_calls_pure = true;
+  options.recognize_reduction = true;
+  options.recognize_minmax_reduction = true;
+  options.bail_on_struct_access = true;
+  options.suggest_dynamic_schedule = false;
+  options.min_trip_count = 0;  // small-trip-count rule handles profitability
+  return options;
+}
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {}
+
+LintReport Linter::lint_source(const std::string& source, std::string file) const {
+  frontend::NodePtr unit;
+  try {
+    unit = frontend::parse_snippet(source);
+  } catch (const ParseError& e) {
+    LintReport report;
+    report.file = std::move(file);
+    report.diagnostics.push_back({rule::kParseError, Severity::kError,
+                                  token_range(1, 1, 1),
+                                  std::string("input does not parse: ") + e.what(),
+                                  {}});
+    return report;
+  }
+  return lint_unit(*unit, std::move(file));
+}
+
+LintReport Linter::lint_unit(const Node& unit, std::string file) const {
+  CLPP_TRACE_SPAN("lint.unit");
+  LintReport report;
+  report.file = std::move(file);
+
+  // Every statement list (top level and nested compounds) can host a
+  // directive + loop pair.
+  frontend::walk(unit, [&](const Node& scope, int) {
+    if (scope.kind != NodeKind::kTranslationUnit && scope.kind != NodeKind::kCompound)
+      return;
+    for (std::size_t i = 0; i < scope.children.size(); ++i) {
+      const Node& item = *scope.children[i];
+      if (item.kind != NodeKind::kPragma || !frontend::is_omp_pragma(item.text))
+        continue;
+      OmpDirective directive;
+      try {
+        directive = frontend::parse_omp_pragma(item.text);
+      } catch (const ParseError&) {
+        continue;  // not a directive we model; stay silent
+      }
+      if (!directive.is_loop_directive()) continue;
+      const Node* stmt = nullptr;
+      for (std::size_t j = i + 1; j < scope.children.size(); ++j) {
+        if (scope.children[j]->kind == NodeKind::kPragma) continue;
+        stmt = scope.children[j].get();
+        break;
+      }
+      lint_pair(unit, pragma_range(item), directive, stmt, report);
+    }
+  });
+
+  obs::metrics().counter("clpp.lint.loops_linted").add(report.loops_checked);
+  obs::metrics().counter("clpp.lint.diagnostics").add(report.diagnostics.size());
+  obs::metrics().counter("clpp.lint.errors").add(report.errors());
+  obs::metrics().counter("clpp.lint.warnings").add(report.warnings());
+  return report;
+}
+
+LintReport Linter::lint_loop(const Node& unit, const OmpDirective& directive,
+                             const Node* loop, std::string file) const {
+  CLPP_TRACE_SPAN("lint.unit");
+  LintReport report;
+  report.file = std::move(file);
+  // The directive line itself has no position in the parsed unit; anchor
+  // directive-level findings at the top of the snippet.
+  lint_pair(unit, token_range(1, 1, directive.to_string().size()), directive, loop,
+            report);
+  obs::metrics().counter("clpp.lint.loops_linted").add(report.loops_checked);
+  obs::metrics().counter("clpp.lint.diagnostics").add(report.diagnostics.size());
+  obs::metrics().counter("clpp.lint.errors").add(report.errors());
+  obs::metrics().counter("clpp.lint.warnings").add(report.warnings());
+  return report;
+}
+
+void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
+                       const OmpDirective& directive, const Node* stmt,
+                       LintReport& report) const {
+  CLPP_TRACE_SPAN("lint.loop");
+  auto add = [&](const char* rule_id, Severity severity, SourceRange range,
+                 std::string message, std::string fix = {}) {
+    if (!options_.emit_fixits) fix.clear();
+    if (!fix.empty()) obs::metrics().counter("clpp.lint.fixits").add();
+    report.diagnostics.push_back(
+        {rule_id, severity, range, std::move(message), std::move(fix)});
+  };
+
+  if (stmt == nullptr || stmt->kind != NodeKind::kFor) {
+    add(rule::kNonCanonicalLoop, Severity::kError, at_pragma,
+        "worksharing-loop directive is not followed by a for loop");
+    return;
+  }
+  const Node& loop = *stmt;
+  const SourceRange at_loop = node_range(loop);
+  ++report.loops_checked;
+
+  const auto canonical = analysis::canonicalize(loop);
+  if (!canonical) {
+    add(rule::kNonCanonicalLoop, Severity::kError, at_loop,
+        "loop is not in OpenMP canonical form (single integer induction, "
+        "invariant bound, constant step)");
+    return;
+  }
+  const Node& body = loop.child(3);
+  if (analysis::has_early_exit(body)) {
+    add(rule::kNonCanonicalLoop, Severity::kError, at_loop,
+        "loop body exits early (break/goto/return); iterations cannot be "
+        "shared out");
+    return;
+  }
+
+  const analysis::SideEffectOracle oracle(unit);
+  const analysis::DependenceAnalyzer analyzer(oracle, options_.analyzer);
+  const analysis::LoopVerdict verdict = analyzer.analyze(loop);
+  const AccessSet accesses = analysis::collect_accesses(body);
+
+  // --- unknown-call-effect: every non-pure direct callee, once each.
+  std::set<std::string> reported_calls;
+  for (const std::string& callee : accesses.hazards.called_functions) {
+    if (!reported_calls.insert(callee).second) continue;
+    const CallEffect effect = oracle.effect_of(callee);
+    if (effect == CallEffect::kPure) continue;
+    add(rule::kUnknownCallEffect, Severity::kWarning,
+        call_site_range(body, callee, at_loop),
+        "call to '" + callee + "' inside the parallel loop " +
+            describe_effect(effect));
+  }
+
+  // --- conservative aliasing hazards the dependence test cannot see past.
+  if (accesses.hazards.pointer_deref_write)
+    add(rule::kLoopCarried, Severity::kWarning, at_loop,
+        "cannot prove iterations independent: loop writes through a pointer "
+        "dereference");
+  if (accesses.hazards.function_pointer_call)
+    add(rule::kLoopCarried, Severity::kWarning, at_loop,
+        "cannot prove iterations independent: call through a function pointer");
+
+  // --- small-trip-count.
+  if (verdict.trip_count && *verdict.trip_count < options_.small_trip_threshold)
+    add(rule::kSmallTripCount, Severity::kWarning, at_loop,
+        "static trip count " + std::to_string(*verdict.trip_count) +
+            " is below the profitability threshold (" +
+            std::to_string(options_.small_trip_threshold) +
+            "); fork/join overhead will dominate");
+
+  // Clause surface the directive already provides.
+  std::set<std::string> privatized;
+  privatized.insert(canonical->induction);  // worksharing privatizes the iterator
+  for (const std::string& n : directive.private_vars) privatized.insert(n);
+  for (const std::string& n : directive.firstprivate_vars) privatized.insert(n);
+  for (const std::string& n : directive.lastprivate_vars) privatized.insert(n);
+  std::set<std::string> reduced;
+  for (const frontend::Reduction& r : directive.reductions) reduced.insert(r.variable);
+  std::set<std::string> accumulators;
+  for (const frontend::Reduction& r : verdict.reductions) accumulators.insert(r.variable);
+
+  // --- loop-carried-dependence: dependences that survive the clauses.
+  for (const analysis::Dependence& dep : verdict.dependences) {
+    const SourceRange at_dep =
+        dep.line > 0 ? token_range(dep.line, dep.column, dep.variable.size())
+                     : at_loop;
+    const bool scalar = dep.detail == "loop-carried scalar dependence";
+    if (scalar && privatized.count(dep.variable)) continue;  // clause cuts the edge
+    std::string message;
+    if (scalar && reduced.count(dep.variable))
+      message = "carried dependence on '" + dep.variable +
+                "' does not match its reduction clause; the combined result "
+                "will differ from serial execution";
+    else if (scalar)
+      message = "loop-carried scalar dependence on '" + dep.variable +
+                "': each iteration reads the previous iteration's value";
+    else
+      message = "loop-carried array dependence on '" + dep.variable + "' (" +
+                dep.detail + ")";
+    add(rule::kLoopCarried, Severity::kError, at_dep, std::move(message));
+  }
+
+  // Clause-level findings share one fix-it: the fully corrected pragma.
+  struct Pending {
+    const char* rule_id;
+    SourceRange range;
+    std::string message;
+  };
+  std::vector<Pending> pending;
+  OmpDirective corrected = directive;
+
+  // --- shared-induction.
+  if (contains(directive.shared_vars, canonical->induction)) {
+    pending.push_back({rule::kSharedInduction, at_pragma,
+                       "induction variable '" + canonical->induction +
+                           "' is listed shared(...): every thread would write "
+                           "the one shared iterator"});
+    erase_name(corrected.shared_vars, canonical->induction);
+  }
+
+  // --- missing-private.
+  for (const std::string& name : verdict.private_candidates) {
+    if (privatized.count(name) || reduced.count(name)) continue;
+    pending.push_back({rule::kMissingPrivate,
+                       first_write_range(accesses, name, at_pragma),
+                       "'" + name +
+                           "' is rewritten every iteration but not privatized; "
+                           "concurrent writes race"});
+    corrected.private_vars.push_back(name);
+  }
+
+  // --- missing-reduction (wrong operator counts as missing).
+  for (const frontend::Reduction& r : verdict.reductions) {
+    const frontend::Reduction* declared = nullptr;
+    for (const frontend::Reduction& d : directive.reductions)
+      if (d.variable == r.variable) declared = &d;
+    if (declared != nullptr && declared->op == r.op) continue;
+    const std::string clause =
+        "reduction(" + frontend::reduction_op_name(r.op) + ": " + r.variable + ")";
+    std::string message;
+    if (declared != nullptr)
+      message = "reduction operator mismatch on '" + r.variable +
+                "': clause declares '" + frontend::reduction_op_name(declared->op) +
+                "' but the loop accumulates with '" +
+                frontend::reduction_op_name(r.op) + "'";
+    else if (privatized.count(r.variable) && r.variable != canonical->induction)
+      message = "'" + r.variable +
+                "' accumulates across iterations but is only privatized; each "
+                "thread's partial result is discarded — use " + clause;
+    else
+      message = "accumulation over '" + r.variable +
+                "' races on the shared scalar; needs " + clause;
+    pending.push_back({rule::kMissingReduction,
+                       first_write_range(accesses, r.variable, at_pragma),
+                       std::move(message)});
+    corrected.reductions.erase(
+        std::remove_if(corrected.reductions.begin(), corrected.reductions.end(),
+                       [&](const frontend::Reduction& d) {
+                         return d.variable == r.variable;
+                       }),
+        corrected.reductions.end());
+    corrected.reductions.push_back(r);
+    erase_name(corrected.private_vars, r.variable);
+    erase_name(corrected.firstprivate_vars, r.variable);
+    erase_name(corrected.lastprivate_vars, r.variable);
+  }
+
+  const std::string fix_text = pending.empty() ? std::string{} : corrected.to_string();
+  for (Pending& p : pending)
+    add(p.rule_id, Severity::kError, p.range, std::move(p.message), fix_text);
+
+  // --- uninitialized-private: a private var whose first access reads it.
+  for (const std::string& name : directive.private_vars) {
+    if (name == canonical->induction) continue;
+    if (accumulators.count(name)) continue;  // missing-reduction already fired
+    const Access* first = nullptr;
+    for (const Access& a : accesses.accesses)
+      if (a.variable == name && !a.is_array) {
+        first = &a;
+        break;
+      }
+    if (first == nullptr || first->is_write) continue;
+    OmpDirective promoted = directive;
+    erase_name(promoted.private_vars, name);
+    promoted.firstprivate_vars.push_back(name);
+    add(rule::kUninitializedPrivate, Severity::kWarning,
+        first->site && first->site->line > 0
+            ? token_range(first->site->line, first->site->column, name.size())
+            : at_pragma,
+        "private variable '" + name +
+            "' is read before any write in the loop body; private copies "
+            "start uninitialized (firstprivate keeps the original value)",
+        promoted.to_string());
+  }
+}
+
+}  // namespace clpp::lint

@@ -160,23 +160,29 @@ S2SResult S2SCompiler::process_loop(const Node& unit, const Node& loop) const {
     return result;
   }
 
+  result.status = S2SResult::Status::kParallelized;
+  result.directive = directive_from_verdict(verdict, profile_.explicit_iterator_private,
+                                            profile_.emit_schedule);
+  return result;
+}
+
+OmpDirective directive_from_verdict(const analysis::LoopVerdict& verdict,
+                                    bool explicit_iterator_private,
+                                    bool emit_schedule) {
   OmpDirective directive;
   directive.parallel = true;
   directive.for_loop = true;
-  if (profile_.emit_schedule) {
+  if (emit_schedule) {
     directive.schedule = verdict.schedule_hint;
   } else if (verdict.schedule_hint != frontend::ScheduleKind::kStatic) {
     directive.schedule = verdict.schedule_hint;
   }
-  if (profile_.explicit_iterator_private && !verdict.induction.empty())
+  if (explicit_iterator_private && !verdict.induction.empty())
     directive.private_vars.push_back(verdict.induction);
   for (const std::string& name : verdict.private_candidates)
     directive.private_vars.push_back(name);
   directive.reductions = verdict.reductions;
-
-  result.status = S2SResult::Status::kParallelized;
-  result.directive = std::move(directive);
-  return result;
+  return directive;
 }
 
 std::string S2SCompiler::annotate(const std::string& source) const {

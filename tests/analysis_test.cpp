@@ -204,6 +204,58 @@ TEST(Affine, LinearizedTwoD) {
   EXPECT_EQ(analyze_subscript(*e, "i").kind, Affine::Kind::kComplex);
 }
 
+TEST(Affine, UnaryMinusNegatesCoefficients) {
+  const NodePtr neg_i = parse_expression("-i");
+  EXPECT_EQ(analyze_subscript(*neg_i, "i"),
+            (Affine{Affine::Kind::kAffine, -1, 0, {}}));
+  const NodePtr neg_expr = parse_expression("-(i + 2)");
+  EXPECT_EQ(analyze_subscript(*neg_expr, "i"),
+            (Affine{Affine::Kind::kAffine, -1, -2, {}}));
+  const NodePtr plus_i = parse_expression("+i");
+  EXPECT_EQ(analyze_subscript(*plus_i, "i"),
+            (Affine{Affine::Kind::kAffine, 1, 0, {}}));
+}
+
+TEST(Affine, SymbolicAddendKeepsReversedSubscriptAffine) {
+  // c - i: coeff -1 with symbolic addend +c (mirror/reverse idiom).
+  const NodePtr cmi = parse_expression("c - i");
+  EXPECT_EQ(analyze_subscript(*cmi, "i"),
+            (Affine{Affine::Kind::kAffine, -1, 0, "c", 1}));
+  // i - c: coeff 1 with symbolic addend -c.
+  const NodePtr imc = parse_expression("i - c");
+  EXPECT_EQ(analyze_subscript(*imc, "i"),
+            (Affine{Affine::Kind::kAffine, 1, 0, "c", -1}));
+  // c - i + 1 keeps literal offset and the addend.
+  const NodePtr cmi1 = parse_expression("c - i + 1");
+  EXPECT_EQ(analyze_subscript(*cmi1, "i"),
+            (Affine{Affine::Kind::kAffine, -1, 1, "c", 1}));
+  // Two symbolic addends are beyond the single-symbol form.
+  const NodePtr two = parse_expression("c - i + d");
+  EXPECT_EQ(analyze_subscript(*two, "i").kind, Affine::Kind::kComplex);
+}
+
+TEST(DimRelationTest, SymbolicAddendsMustMatch) {
+  const Affine rev{Affine::Kind::kAffine, -1, 0, "c", 1};
+  const Affine rev_m1{Affine::Kind::kAffine, -1, -1, "c", 1};
+  const Affine rev_d{Affine::Kind::kAffine, -1, 0, "d", 1};
+  const Affine rev_neg{Affine::Kind::kAffine, -1, 0, "c", -1};
+  const Affine plain{Affine::Kind::kAffine, -1, 0, {}};
+  // Identical symbols: the distance test stays exact.
+  EXPECT_EQ(compare_dimension(rev, rev), DimRelation::kSameIterationOnly);
+  EXPECT_EQ(compare_dimension(rev, rev_m1), DimRelation::kCarried);
+  // Different symbol, different sign, or symbol-vs-none: conservative.
+  EXPECT_EQ(compare_dimension(rev, rev_d), DimRelation::kUnknown);
+  EXPECT_EQ(compare_dimension(rev, rev_neg), DimRelation::kUnknown);
+  EXPECT_EQ(compare_dimension(rev, plain), DimRelation::kUnknown);
+}
+
+TEST(Verdict, ReversedWriteSubscriptParallelizes) {
+  // a[c - i] hits a distinct element every iteration: no carried dep.
+  const auto v = analyze_with("for (i = 0; i < n; i++) a[c - i] = b[i];");
+  EXPECT_TRUE(v.parallelizable) << "reverse-indexed write should be provably safe";
+  EXPECT_TRUE(v.dependences.empty());
+}
+
 TEST(DimRelationTest, Cases) {
   const Affine i{Affine::Kind::kAffine, 1, 0, {}};
   const Affine im1{Affine::Kind::kAffine, 1, -1, {}};

@@ -116,6 +116,57 @@ TEST(Generator, LabelNoiseFlipsApproximatelyAtRate) {
   EXPECT_NEAR(static_cast<double>(flips) / clean.size(), 0.10, 0.03);
 }
 
+TEST(Generator, BuggyKnobSeedsTaggedDefects) {
+  GeneratorConfig config;
+  config.size = 2000;
+  config.seed = 5;
+  config.label_noise = 0.0;
+  config.buggy_directive_rate = 0.25;
+  const auto buggy = generate_corpus(config);
+
+  const std::set<std::string> known_bugs = {
+      "missing-reduction", "missing-private", "shared-induction",
+      "loop-carried-dependence"};
+  const std::set<std::string> racy_families = {"recurrence", "scalar_carried",
+                                               "outer_dependent", "indirect_write"};
+  std::size_t tagged = 0;
+  for (const auto& record : buggy.records()) {
+    if (record.bug.empty()) continue;
+    ++tagged;
+    ASSERT_GT(known_bugs.count(record.bug), 0u) << record.bug;
+    EXPECT_TRUE(record.has_directive) << "a seeded bug always leaves a directive";
+    // The tag must be consistent with the corruption applied.
+    const frontend::OmpDirective d = record.directive();
+    if (record.bug == "missing-reduction") {
+      EXPECT_TRUE(d.reductions.empty());
+    } else if (record.bug == "missing-private") {
+      EXPECT_TRUE(d.private_vars.empty());
+    } else if (record.bug == "shared-induction") {
+      EXPECT_FALSE(d.shared_vars.empty());
+    } else if (record.bug == "loop-carried-dependence") {
+      EXPECT_GT(racy_families.count(record.family), 0u) << record.family;
+    }
+  }
+  // Not every draw is corruptible (negatives of safe families are no-ops),
+  // but a healthy fraction must land.
+  EXPECT_GT(tagged, buggy.size() / 20);
+
+  config.buggy_directive_rate = 0.0;
+  const auto clean = generate_corpus(config);
+  for (const auto& record : clean.records()) EXPECT_TRUE(record.bug.empty());
+}
+
+TEST(Generator, BuggyKnobOffKeepsCorpusBitIdentical) {
+  GeneratorConfig config;
+  config.size = 500;
+  config.seed = 2023;
+  const auto a = generate_corpus(config);
+  config.buggy_directive_rate = 0.0;  // explicit zero, same stream
+  const auto b = generate_corpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
 TEST(Generator, SnippetsAllParse) {
   GeneratorConfig config;
   config.size = 400;

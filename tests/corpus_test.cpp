@@ -52,6 +52,18 @@ TEST(Record, JsonRoundTrip) {
   EXPECT_EQ(back, r);
 }
 
+TEST(Record, SeededBugTagRoundTrips) {
+  Record r = make_record("r7", true, "#pragma omp parallel for");
+  r.bug = "missing-reduction";
+  const Record back = Record::from_json(Json::parse(r.to_json().dump()));
+  EXPECT_EQ(back.bug, "missing-reduction");
+  EXPECT_EQ(back, r);
+
+  // Clean records keep their serialization free of the field.
+  const Record clean = make_record("r8", true, "#pragma omp parallel for");
+  EXPECT_FALSE(clean.to_json().contains("bug"));
+}
+
 TEST(CorpusContainer, StatsMatchTable3Semantics) {
   Corpus corpus;
   corpus.add(make_record("1", true, "#pragma omp parallel for"));

@@ -1,0 +1,446 @@
+// clpp::lint — rule-by-rule linter tests, rendering, audit, and the
+// race-detector property guards over the codegen families.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "codegen/families.h"
+#include "codegen/generator.h"
+#include "frontend/parser.h"
+#include "lint/audit.h"
+#include "lint/linter.h"
+
+namespace clpp::lint {
+namespace {
+
+using frontend::Node;
+using frontend::NodeKind;
+using frontend::NodePtr;
+using frontend::OmpDirective;
+
+/// Lints `directive` + "\n" + `code` (pragma immediately above the loop).
+LintReport lint(const std::string& directive, const std::string& code,
+                LintOptions options = {}) {
+  return Linter(options).lint_source(directive + "\n" + code);
+}
+
+const Diagnostic* find_rule(const LintReport& report, const std::string& rule_id) {
+  for (const Diagnostic& d : report.diagnostics)
+    if (d.rule == rule_id) return &d;
+  return nullptr;
+}
+
+/// Corpus-convention lint: the directive governs the snippet's first loop.
+LintReport lint_first_loop(const std::string& code, const OmpDirective& directive) {
+  const NodePtr unit = frontend::parse_snippet(code);
+  const Node* loop = nullptr;
+  frontend::walk(*unit, [&](const Node& node, int) {
+    if (loop == nullptr && node.kind == NodeKind::kFor) loop = &node;
+  });
+  return Linter{}.lint_loop(*unit, directive, loop);
+}
+
+OmpDirective bare_parallel_for() {
+  OmpDirective d;
+  d.parallel = true;
+  d.for_loop = true;
+  return d;
+}
+
+// --- missing-private ---------------------------------------------------------------
+
+TEST(Lint, MissingPrivateFiresWithFixit) {
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++) {\n"
+                           "  t = a[i] * 2.0;\n"
+                           "  b[i] = t + t;\n"
+                           "}\n");
+  const Diagnostic* d = find_rule(report, rule::kMissingPrivate);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->fix.find("private(t)"), std::string::npos) << d->fix;
+  EXPECT_EQ(d->range.line, 3) << "anchored at the first write of t";
+  EXPECT_EQ(d->range.column, 3);
+}
+
+TEST(Lint, MissingPrivateSilentWhenPrivatized) {
+  for (const char* pragma :
+       {"#pragma omp parallel for private(t)",
+        "#pragma omp parallel for lastprivate(t)"}) {
+    const auto report = lint(pragma,
+                             "for (i = 0; i < n; i++) {\n"
+                             "  t = a[i] * 2.0;\n"
+                             "  b[i] = t + t;\n"
+                             "}\n");
+    EXPECT_FALSE(report.has_rule(rule::kMissingPrivate)) << pragma;
+    EXPECT_EQ(report.errors(), 0u) << pragma;
+  }
+}
+
+// --- missing-reduction -------------------------------------------------------------
+
+TEST(Lint, MissingReductionFiresWithFixit) {
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++)\n"
+                           "  s = s + a[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kMissingReduction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->fix.find("reduction(+: s)"), std::string::npos) << d->fix;
+}
+
+TEST(Lint, MissingReductionRecognizesMinMax) {
+  const auto firing = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++)\n"
+                           "  if (a[i] > m) m = a[i];\n");
+  const Diagnostic* d = find_rule(firing, rule::kMissingReduction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("max"), std::string::npos) << d->message;
+
+  const auto silent = lint("#pragma omp parallel for reduction(max: m)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  if (a[i] > m) m = a[i];\n");
+  EXPECT_FALSE(silent.has_rule(rule::kMissingReduction));
+  EXPECT_EQ(silent.errors(), 0u);
+}
+
+TEST(Lint, ReductionOperatorMismatchCountsAsMissing) {
+  const auto report = lint("#pragma omp parallel for reduction(*: s)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  s += a[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kMissingReduction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("mismatch"), std::string::npos) << d->message;
+  EXPECT_NE(d->fix.find("reduction(+: s)"), std::string::npos) << d->fix;
+}
+
+TEST(Lint, PrivatizedAccumulatorStillNeedsReduction) {
+  const auto report = lint("#pragma omp parallel for private(s)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  s = s + a[i];\n");
+  EXPECT_TRUE(report.has_rule(rule::kMissingReduction));
+  // The broken privatization is reported once, not echoed by the
+  // uninitialized-private rule too.
+  EXPECT_FALSE(report.has_rule(rule::kUninitializedPrivate));
+}
+
+// --- shared-induction --------------------------------------------------------------
+
+TEST(Lint, SharedInductionFiresAndFixDropsIt) {
+  const auto report = lint("#pragma omp parallel for shared(i, n)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  a[i] = b[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kSharedInduction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->fix.find("shared(i"), std::string::npos) << d->fix;
+  EXPECT_NE(d->fix.find("shared(n)"), std::string::npos)
+      << "other shared vars survive the fix: " << d->fix;
+}
+
+TEST(Lint, SharedNonInductionIsFine) {
+  const auto report = lint("#pragma omp parallel for shared(a, b, n)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  a[i] = b[i];\n");
+  EXPECT_FALSE(report.has_rule(rule::kSharedInduction));
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+// --- uninitialized-private ---------------------------------------------------------
+
+TEST(Lint, UninitializedPrivateWarnsAndSuggestsFirstprivate) {
+  const auto report = lint("#pragma omp parallel for private(scale)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  a[i] = b[i] * scale;\n");
+  const Diagnostic* d = find_rule(report, rule::kUninitializedPrivate);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->fix.find("firstprivate(scale)"), std::string::npos) << d->fix;
+}
+
+TEST(Lint, FirstprivateAndDefBeforeUseAreFine) {
+  const auto fp = lint("#pragma omp parallel for firstprivate(scale)",
+                       "for (i = 0; i < n; i++)\n"
+                       "  a[i] = b[i] * scale;\n");
+  EXPECT_FALSE(fp.has_rule(rule::kUninitializedPrivate));
+
+  const auto def_first = lint("#pragma omp parallel for private(t)",
+                              "for (i = 0; i < n; i++) {\n"
+                              "  t = b[i] * 2.0;\n"
+                              "  a[i] = t;\n"
+                              "}\n");
+  EXPECT_FALSE(def_first.has_rule(rule::kUninitializedPrivate));
+}
+
+// --- loop-carried-dependence -------------------------------------------------------
+
+TEST(Lint, ArrayRecurrenceIsAnError) {
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 1; i < n; i++)\n"
+                           "  a[i] = a[i - 1] + b[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kLoopCarried);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("'a'"), std::string::npos) << d->message;
+}
+
+TEST(Lint, IndependentElementwiseIsClean) {
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++)\n"
+                           "  a[i] = b[i] + c[i];\n");
+  EXPECT_TRUE(report.clean()) << report.to_text();
+  EXPECT_EQ(report.loops_checked, 1u);
+}
+
+TEST(Lint, ScalarCarriedCoveredByPrivateClauseIsNotADependence) {
+  const char* code =
+      "for (i = 0; i < n; i++) {\n"
+      "  t = c[i] + t * 0.5;\n"
+      "  b[i] = t;\n"
+      "}\n";
+  const auto bare = lint("#pragma omp parallel for", code);
+  EXPECT_TRUE(bare.has_rule(rule::kLoopCarried));
+  const auto covered = lint("#pragma omp parallel for private(t)", code);
+  EXPECT_FALSE(covered.has_rule(rule::kLoopCarried))
+      << "privatization cuts the cross-iteration edge";
+}
+
+// --- non-canonical-loop ------------------------------------------------------------
+
+TEST(Lint, NonCanonicalLoopForms) {
+  const auto not_a_for = lint("#pragma omp parallel for",
+                              "while (n > 0)\n  n = n - 1;\n");
+  EXPECT_TRUE(not_a_for.has_rule(rule::kNonCanonicalLoop));
+
+  const auto geometric = lint("#pragma omp parallel for",
+                              "for (i = 1; i < n; i *= 2)\n  a[i] = 0;\n");
+  EXPECT_TRUE(geometric.has_rule(rule::kNonCanonicalLoop));
+
+  const auto breaks = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++) {\n"
+                           "  if (a[i] == key) break;\n"
+                           "}\n");
+  EXPECT_TRUE(breaks.has_rule(rule::kNonCanonicalLoop));
+}
+
+// --- small-trip-count --------------------------------------------------------------
+
+TEST(Lint, SmallTripCountThresholdIsTunable) {
+  const char* code = "for (i = 0; i < 4; i++)\n  a[i] = b[i];\n";
+  const auto firing = lint("#pragma omp parallel for", code);
+  const Diagnostic* d = find_rule(firing, rule::kSmallTripCount);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+
+  LintOptions lax;
+  lax.small_trip_threshold = 2;
+  EXPECT_FALSE(lint("#pragma omp parallel for", code, lax)
+                   .has_rule(rule::kSmallTripCount));
+
+  const auto big = lint("#pragma omp parallel for",
+                        "for (i = 0; i < 4096; i++)\n  a[i] = b[i];\n");
+  EXPECT_FALSE(big.has_rule(rule::kSmallTripCount));
+}
+
+// --- unknown-call-effect -----------------------------------------------------------
+
+TEST(Lint, UnknownCallEffectWarnsOncePerCallee) {
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++) {\n"
+                           "  a[i] = mystery(b[i]);\n"
+                           "  c[i] = mystery(a[i]);\n"
+                           "}\n");
+  std::size_t firings = 0;
+  for (const Diagnostic& d : report.diagnostics)
+    if (d.rule == rule::kUnknownCallEffect) ++firings;
+  EXPECT_EQ(firings, 1u);
+  EXPECT_EQ(report.errors(), 0u) << "conservative finding stays a warning";
+}
+
+TEST(Lint, PureCalleesDoNotWarn) {
+  const auto libm = lint("#pragma omp parallel for",
+                         "for (i = 0; i < n; i++)\n  a[i] = sqrt(b[i]);\n");
+  EXPECT_FALSE(libm.has_rule(rule::kUnknownCallEffect));
+
+  const auto local = lint("#pragma omp parallel for",
+                          "double square(double x) { return x * x; }\n"
+                          "for (i = 0; i < n; i++)\n  a[i] = square(b[i]);\n");
+  EXPECT_FALSE(local.has_rule(rule::kUnknownCallEffect))
+      << "locally defined pure helper is provably safe";
+}
+
+// --- parse-error + rendering -------------------------------------------------------
+
+TEST(Lint, ParseFailureIsADiagnosticNotAThrow) {
+  const auto report = Linter{}.lint_source("#pragma omp parallel for\nfor (i = 0 ;;");
+  EXPECT_TRUE(report.has_rule(rule::kParseError));
+  EXPECT_GE(report.errors(), 1u);
+}
+
+TEST(Lint, TextRenderingCarriesPositionRuleAndFix) {
+  const auto report = Linter{}.lint_source(
+      "#pragma omp parallel for\nfor (i = 0; i < n; i++)\n  s = s + a[i];\n",
+      "kernel.c");
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("kernel.c:3:3: error:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[missing-reduction]"), std::string::npos) << text;
+  EXPECT_NE(text.find("suggested fix: #pragma omp parallel for reduction(+: s)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Lint, JsonRenderingIsSarifLite) {
+  const auto report = Linter{}.lint_source(
+      "#pragma omp parallel for\nfor (i = 0; i < n; i++)\n  s = s + a[i];\n",
+      "kernel.c");
+  const Json doc = report.to_json();
+  EXPECT_EQ(doc.at("file").as_string(), "kernel.c");
+  EXPECT_EQ(doc.at("loops_checked").as_int(), 1);
+  EXPECT_GE(doc.at("errors").as_int(), 1);
+  ASSERT_GE(doc.at("diagnostics").size(), 1u);
+  const Json& first = doc.at("diagnostics").at(std::size_t{0});
+  EXPECT_EQ(first.at("rule").as_string(), "missing-reduction");
+  EXPECT_EQ(first.at("level").as_string(), "error");
+  EXPECT_EQ(first.at("line").as_int(), 3);
+  EXPECT_EQ(first.at("column").as_int(), 3);
+  EXPECT_GE(first.at("end_column").as_int(), first.at("column").as_int());
+  EXPECT_NE(first.at("fix").as_string().find("reduction(+: s)"), std::string::npos);
+}
+
+TEST(Lint, FixitsCanBeSuppressed) {
+  LintOptions options;
+  options.emit_fixits = false;
+  const auto report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++)\n  s = s + a[i];\n", options);
+  const Diagnostic* d = find_rule(report, rule::kMissingReduction);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->fix.empty());
+}
+
+TEST(Lint, CorrectDirectiveOnRealisticKernelIsErrorFree) {
+  const auto report =
+      lint("#pragma omp parallel for private(t) reduction(+: norm)",
+           "for (i = 0; i < n; i++) {\n"
+           "  t = x[i] - y[i];\n"
+           "  norm = norm + t * t;\n"
+           "}\n");
+  EXPECT_EQ(report.errors(), 0u) << report.to_text();
+}
+
+// --- race-detector property guards over the generator families --------------------
+
+/// Families whose bodies carry a real loop-carried dependence: slapping a
+/// bare `parallel for` on them must NEVER get a clean bill of health.
+TEST(LintProperty, KnownRacyFamiliesNeverLintClean) {
+  Rng rng(99);
+  for (const char* name :
+       {"recurrence", "scalar_carried", "outer_dependent", "indirect_write"}) {
+    const codegen::Family& family = codegen::family_by_name(name);
+    for (int trial = 0; trial < 40; ++trial) {
+      const codegen::GeneratedSnippet snippet = family.make(rng);
+      const auto report = lint_first_loop(snippet.code, bare_parallel_for());
+      EXPECT_GE(report.errors(), 1u)
+          << name << " snippet lints clean:\n"
+          << snippet.code << report.to_text();
+    }
+  }
+}
+
+/// Families that are safe under their own ground-truth directive must never
+/// draw an error-severity race finding (warnings — e.g. unknown extern
+/// kernels — are allowed).
+TEST(LintProperty, KnownSafeFamiliesNeverDrawRaceErrors) {
+  Rng rng(7);
+  for (const char* name :
+       {"init_1d", "init_2d", "elementwise", "offset_read", "stencil",
+        "private_temp", "triangular", "sum_reduction", "minmax_reduction",
+        "prod_reduction"}) {
+    const codegen::Family& family = codegen::family_by_name(name);
+    for (int trial = 0; trial < 40; ++trial) {
+      const codegen::GeneratedSnippet snippet = family.make(rng);
+      ASSERT_TRUE(snippet.has_directive) << name;
+      const auto report = lint_first_loop(snippet.code, snippet.directive);
+      EXPECT_EQ(report.errors(), 0u)
+          << name << " drew an error under its ground-truth directive:\n"
+          << snippet.directive.to_string() << "\n"
+          << snippet.code << report.to_text();
+    }
+  }
+}
+
+// --- lint_audit --------------------------------------------------------------------
+
+TEST(LintAudit, CatchesEverySeededBug) {
+  codegen::GeneratorConfig config;
+  config.size = 250;
+  config.seed = 41;
+  config.label_noise = 0.0;
+  config.buggy_directive_rate = 0.3;
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+
+  const AuditReport report = audit_labels(corpus);
+  EXPECT_EQ(report.records, corpus.size());
+  EXPECT_GT(report.seeded_bugs, 0u);
+  EXPECT_EQ(report.bugs_missed, 0u) << report.to_text();
+  EXPECT_DOUBLE_EQ(report.catch_rate(), 1.0);
+  // Every seeded rule id shows up in the confusion counts.
+  for (const corpus::Record& record : corpus.records()) {
+    if (record.bug.empty()) continue;
+    EXPECT_GT(report.rule_counts.count(record.bug), 0u) << record.bug;
+  }
+}
+
+TEST(LintAudit, FaithfulLabelsAreMostlyClean) {
+  codegen::GeneratorConfig config;
+  config.size = 250;
+  config.seed = 41;
+  config.label_noise = 0.0;
+  config.buggy_directive_rate = 0.0;
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+
+  const AuditReport report = audit_labels(corpus);
+  EXPECT_EQ(report.seeded_bugs, 0u);
+  EXPECT_GT(report.linted, 0u);
+  // Conservative disagreement (e.g. linearized matmul subscripts) is
+  // allowed but must stay a small minority of the faithful labels.
+  EXPECT_LT(report.clean_flagged, report.linted / 10) << report.to_text();
+}
+
+TEST(LintAudit, PredictionAuditDisagreesWithWrongPredictions) {
+  codegen::GeneratorConfig config;
+  config.size = 60;
+  config.seed = 5;
+  config.label_noise = 0.0;
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+
+  // A "model" that blankets every snippet with a bare pragma: the linter
+  // must flag at least the provably-racy negatives.
+  std::vector<std::string> predictions(corpus.size(),
+                                       bare_parallel_for().to_string());
+  const AuditReport report = audit_predictions(corpus, predictions);
+  EXPECT_EQ(report.subject, "predictions");
+  EXPECT_EQ(report.linted, corpus.size());
+  EXPECT_GT(report.with_errors, 0u);
+
+  EXPECT_THROW(audit_predictions(corpus, std::vector<std::string>{}), Error);
+}
+
+TEST(LintAudit, JsonReportRoundTrips) {
+  codegen::GeneratorConfig config;
+  config.size = 80;
+  config.seed = 11;
+  config.buggy_directive_rate = 0.25;
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+  const AuditReport report = audit_labels(corpus);
+
+  const Json doc = Json::parse(report.to_json().dump());
+  EXPECT_EQ(doc.at("subject").as_string(), "labels");
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("records").as_int()), report.records);
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("bugs_caught").as_int()),
+            report.bugs_caught);
+  EXPECT_EQ(doc.at("rows").size(), report.linted);
+}
+
+}  // namespace
+}  // namespace clpp::lint
