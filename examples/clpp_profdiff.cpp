@@ -1,0 +1,72 @@
+// clpp-profdiff — the perf-regression gate over bench_artifacts/ runs.
+//
+//   $ clpp-profdiff BASE_DIR CURRENT_DIR [--threshold 0.2] [--all] [--json]
+//   $ clpp-profdiff --summarize DIR
+//
+// Compare mode prints a per-series delta table (google-benchmark times,
+// clpp.* metric snapshots, latency histograms) and exits 1 when any tracked
+// time-like series regressed beyond the threshold — wire it into CI after
+// run_benches.sh to turn the per-bench JSON pile into an enforced perf
+// trajectory. Summarize mode merges one directory's artifacts into
+// DIR/BENCH_summary.json (run_benches.sh calls this after every run).
+//
+// Exit codes: 0 clean, 1 regression detected, 2 usage or I/O error.
+#include <cstdio>
+
+#include "prof/profdiff.h"
+#include "support/cli.h"
+#include "support/error.h"
+#include "support/json.h"
+
+int main(int argc, char** argv) {
+  using namespace clpp;
+
+  ArgParser parser("clpp-profdiff",
+                   "compare two bench_artifacts/ directories and flag perf "
+                   "regressions, or merge one into BENCH_summary.json");
+  parser.add_double("threshold", 0.2,
+                    "relative slowdown that counts as a regression (0.2 = 20%)");
+  parser.add_flag("all", "show untracked (informational) series too");
+  parser.add_flag("json", "emit the diff as JSON instead of a table");
+  parser.add_string("summarize", "",
+                    "write BENCH_summary.json for this directory and exit");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+
+    const std::string summarize = parser.get_string("summarize");
+    if (!summarize.empty()) {
+      const std::string path = prof::write_summary(summarize);
+      std::printf("wrote %s\n", path.c_str());
+      return 0;
+    }
+
+    if (parser.positional().size() != 2) {
+      std::fprintf(stderr, "usage: clpp-profdiff BASE_DIR CURRENT_DIR "
+                           "[--threshold T] [--all] [--json]\n"
+                           "       clpp-profdiff --summarize DIR\n");
+      return 2;
+    }
+    const double threshold = parser.get_double("threshold");
+    if (threshold < 0.0) {
+      std::fprintf(stderr, "clpp-profdiff: --threshold must be >= 0\n");
+      return 2;
+    }
+
+    const auto base = prof::flatten_series(
+        prof::scan_artifacts(parser.positional()[0]));
+    const auto current = prof::flatten_series(
+        prof::scan_artifacts(parser.positional()[1]));
+    const prof::DiffReport report = prof::diff_series(base, current, threshold);
+
+    if (parser.get_flag("json"))
+      std::printf("%s\n", prof::diff_to_json(report).dump().c_str());
+    else
+      std::printf("%s", prof::render_diff(report, parser.get_flag("all")).c_str());
+
+    return report.regressions() > 0 ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "clpp-profdiff: %s\n", e.what());
+    return 2;
+  }
+}

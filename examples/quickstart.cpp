@@ -16,6 +16,8 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "prof/flops.h"
+#include "prof/prof.h"
 
 int main() {
   using namespace clpp;
@@ -72,6 +74,25 @@ int main() {
   // Chrome trace / metrics JSON for offline digging.
   std::printf("== metrics ==\n%s\n", obs::metrics().summary().c_str());
   std::printf("== spans ==\n%s\n", obs::Tracer::instance().summary().c_str());
+
+  // With CLPP_PROF=1 the run also collected roofline numbers per kernel
+  // and a sampled flamegraph (see prof/prof.h for the env knobs).
+  if (prof::enabled()) {
+    std::printf("== profiling ==\n");
+    for (const char* kernel : {"gemm", "attention", "attention.backward"}) {
+      const prof::KernelCounters& kc = prof::kernel_counters(kernel);
+      const std::uint64_t wall_ns = kc.wall_ns.value();
+      if (wall_ns == 0) continue;
+      std::printf("  %-20s %8.2f GFLOP/s aggregate  (%.2f flops/byte)\n", kernel,
+                  static_cast<double>(kc.flops.value()) /
+                      static_cast<double>(wall_ns),
+                  static_cast<double>(kc.flops.value()) /
+                      static_cast<double>(kc.bytes.value()));
+    }
+    std::printf("  flamegraph: %s (flamegraph.pl or speedscope.app)\n\n",
+                prof::flame_out().c_str());
+  }
+
   obs::export_configured_outputs();
   std::printf("trace:   quickstart_trace.json (chrome://tracing)\n");
   std::printf("metrics: quickstart_metrics.json\n");

@@ -6,11 +6,14 @@
 #   BENCH_<name>.trace.json    Chrome trace_event JSON (chrome://tracing)
 #   BENCH_<name>.metrics.json  clpp::obs metrics snapshot
 # and bench_micro_kernels additionally writes its google-benchmark report
-# next to them as BENCH_bench_micro_kernels.json.
+# next to them as BENCH_bench_micro_kernels.json. After the loop the
+# per-bench artifacts are merged into $OUT_DIR/BENCH_summary.json, the
+# single-file capture clpp-profdiff compares runs with.
 cd "$(dirname "$0")"
+BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-bench_artifacts}"
 mkdir -p "$OUT_DIR"
-for b in build/bench/bench_*; do
+for b in "$BUILD_DIR"/bench/bench_*; do
   name=$(basename "$b")
   extra=""
   case "$name" in
@@ -25,3 +28,7 @@ for b in build/bench/bench_*; do
   "$b" $extra
   echo
 done
+
+if [ -x "$BUILD_DIR/examples/clpp-profdiff" ]; then
+  "$BUILD_DIR/examples/clpp-profdiff" --summarize "$OUT_DIR"
+fi

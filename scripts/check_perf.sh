@@ -1,0 +1,31 @@
+#!/bin/sh
+# Perf gate: build Release, run the bench suite, and diff the fresh
+# bench_artifacts/ against the committed bench_baseline/ with clpp-profdiff.
+#
+#   $ scripts/check_perf.sh            # threshold defaults to 20%
+#   $ THRESHOLD=0.1 scripts/check_perf.sh
+#
+# Exits non-zero when any tracked time-like series (benchmark real/cpu time,
+# latency-histogram means) regressed beyond THRESHOLD. When no baseline has
+# been recorded yet this warns and exits 0, so the script is safe to wire
+# into CI before the first baseline lands.
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-perf}"
+THRESHOLD="${THRESHOLD:-0.2}"
+BASELINE_DIR="${BASELINE_DIR:-bench_baseline}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+BUILD_DIR="$BUILD_DIR" OUT_DIR=bench_artifacts ./run_benches.sh
+
+if [ ! -d "$BASELINE_DIR" ]; then
+  echo "check_perf: no $BASELINE_DIR/ recorded; skipping the diff." >&2
+  echo "check_perf: record one with: cp -r bench_artifacts $BASELINE_DIR" >&2
+  exit 0
+fi
+
+"$BUILD_DIR/examples/clpp-profdiff" --threshold "$THRESHOLD" \
+  "$BASELINE_DIR" bench_artifacts

@@ -10,6 +10,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/counters.h"
+#include "prof/prof.h"
 #include "support/stopwatch.h"
 #include "tensor/ops.h"
 
@@ -48,6 +50,9 @@ std::vector<EpochCurve> train_classifier(
   obs::Counter& epoch_counter = obs::metrics().counter("clpp.train.epochs");
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     CLPP_TRACE_SPAN_ARG("train.epoch", epoch);
+    // Hardware (or software-fallback) counters over the whole epoch; the
+    // delta lands in clpp.prof.train.epoch.* and the per-epoch log line.
+    prof::ScopedCounters epoch_prof(prof::counter_set("train.epoch"));
     const Stopwatch epoch_clock;
     rng.shuffle(order);
     double loss_sum = 0.0;
@@ -95,6 +100,17 @@ std::vector<EpochCurve> train_classifier(
       fields["val_loss"] = curve.val_loss;
       fields["val_accuracy"] = curve.val_accuracy;
       fields["wall_seconds"] = curve.wall_seconds;
+      if (epoch_prof.active()) {
+        const prof::CounterSample d = epoch_prof.delta();
+        fields["hw_counters"] = d.hardware;
+        if (d.hardware) {
+          fields["cycles"] = static_cast<std::int64_t>(d.cycles);
+          fields["instructions"] = static_cast<std::int64_t>(d.instructions);
+          fields["ipc"] = d.ipc();
+          fields["cache_miss_rate"] = d.cache_miss_rate();
+        }
+        fields["cpu_utilization"] = d.cpu_utilization();
+      }
       obs::log_info("trainer", "epoch done", std::move(fields));
     }
     if (config.on_epoch) config.on_epoch(curve);

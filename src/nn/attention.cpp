@@ -1,12 +1,27 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "obs/trace.h"
+#include "prof/flops.h"
 #include "support/parallel.h"
 #include "tensor/ops.h"
 
 namespace clpp::nn {
+
+namespace {
+
+/// Sum of valid key counts across the batch — the `len` factor in every
+/// per-(b,h,s) attention loop.
+std::uint64_t total_valid(std::span<const int> lengths) {
+  return std::accumulate(lengths.begin(), lengths.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, int len) {
+                           return acc + static_cast<std::uint64_t>(len);
+                         });
+}
+
+}  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name, std::size_t dim,
                                                std::size_t heads, Rng& rng)
@@ -41,6 +56,7 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, std::size_t batch,
   probs_ = Tensor({batch * heads_, seq, seq});
   Tensor context({batch * seq, dim_});
 
+  const std::uint64_t attn_begin_ns = obs::enabled() ? obs::Tracer::now_ns() : 0;
   parallel_for(
       batch * heads_,
       [&](std::size_t bh) {
@@ -86,6 +102,22 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, std::size_t batch,
       },
       2);
 
+  // Roofline accounting for the attention core (QKᵀ scores + softmax + A·V;
+  // the linear projections account themselves through the gemm kernel).
+  // Per (head, query, valid key): 2·dh score + 2·dh context + ~5 softmax
+  // ops; traffic is compulsory — Q/K/V read, probs and context written once.
+  if (obs::enabled()) {
+    static prof::KernelCounters& kc = prof::kernel_counters("attention");
+    prof::record_kernel(
+        kc,
+        static_cast<std::uint64_t>(heads_) * seq * total_valid(lengths) *
+            (4ull * dh + 5ull),
+        sizeof(float) * (3ull * batch * seq * dim_ +
+                         static_cast<std::uint64_t>(batch) * heads_ * seq * seq +
+                         static_cast<std::uint64_t>(batch) * seq * dim_),
+        obs::Tracer::now_ns() - attn_begin_ns);
+  }
+
   return o_proj_.forward(context, train);
 }
 
@@ -100,6 +132,7 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
   Tensor dk({batch_ * seq_, dim_});
   Tensor dv({batch_ * seq_, dim_});
 
+  const std::uint64_t attn_begin_ns = obs::enabled() ? obs::Tracer::now_ns() : 0;
   parallel_for(
       batch_ * heads_,
       [&](std::size_t bh) {
@@ -150,6 +183,20 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
         }
       },
       2);
+
+  // dV/dA accumulation (4·dh) plus dQ/dK through softmax backward (4·dh)
+  // per (head, query, valid key); traffic: Q/K/V/probs/dC read, dQ/dK/dV
+  // written.
+  if (obs::enabled()) {
+    static prof::KernelCounters& kc = prof::kernel_counters("attention.backward");
+    prof::record_kernel(
+        kc,
+        static_cast<std::uint64_t>(heads_) * seq_ *
+            total_valid({lengths_.data(), lengths_.size()}) * 8ull * dh,
+        sizeof(float) * (7ull * batch_ * seq_ * dim_ +
+                         static_cast<std::uint64_t>(batch_) * heads_ * seq_ * seq_),
+        obs::Tracer::now_ns() - attn_begin_ns);
+  }
 
   Tensor grad_in = q_proj_.backward(dq);
   add_inplace(grad_in, k_proj_.backward(dk));

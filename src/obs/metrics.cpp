@@ -184,6 +184,7 @@ Json MetricsRegistry::to_json() const {
     stats["max"] = n == 0 ? 0.0 : h->max();
     stats["p50"] = h->quantile(0.50);
     stats["p90"] = h->quantile(0.90);
+    stats["p95"] = h->quantile(0.95);
     stats["p99"] = h->quantile(0.99);
     histograms[name] = std::move(stats);
   }
@@ -211,12 +212,13 @@ std::string MetricsRegistry::summary() const {
     out += table.str();
   }
   if (!histograms_.empty()) {
-    TextTable table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    TextTable table({"histogram", "count", "mean", "p50", "p90", "p95", "p99", "max"});
     for (const auto& [name, h] : histograms_) {
       const std::uint64_t n = h->count();
       table.add_row({name, std::to_string(n), TextTable::num(h->mean(), 1),
                      TextTable::num(h->quantile(0.50), 1),
                      TextTable::num(h->quantile(0.90), 1),
+                     TextTable::num(h->quantile(0.95), 1),
                      TextTable::num(h->quantile(0.99), 1),
                      TextTable::num(n == 0 ? 0.0 : h->max(), 1)});
     }

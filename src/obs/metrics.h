@@ -143,7 +143,7 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> upper_bounds = {});
 
   /// Snapshot as JSON: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99}}}.
+  /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p95, p99}}}.
   Json to_json() const;
 
   /// ASCII summary (support/table.h), one table per metric kind.

@@ -23,9 +23,11 @@ constexpr std::size_t kDefaultThreadCapacity = 1 << 17;
 
 struct Tracer::ThreadBuffer {
   explicit ThreadBuffer(std::uint32_t id, std::size_t capacity)
-      : tid(id), events(capacity) {}
+      : tid(id), name(id == 0 ? "main" : "thread-" + std::to_string(id)),
+        events(capacity) {}
 
   std::uint32_t tid;
+  std::string name;  // written under Impl::mu (set_thread_name / export)
   std::vector<Event> events;
   // Single writer (the owning thread); readers acquire `count` and only
   // trust events published before it.
@@ -86,6 +88,18 @@ void Tracer::record(const char* name, std::uint64_t begin_ns, std::uint64_t end_
 Json Tracer::chrome_trace() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   Json events = Json::array();
+  // Metadata first: name every thread so Perfetto timelines are readable.
+  for (const auto& buf : impl_->buffers) {
+    Json meta = Json::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = static_cast<std::int64_t>(buf->tid);
+    Json args = Json::object();
+    args["name"] = buf->name;
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
   for (const auto& buf : impl_->buffers) {
     const std::uint64_t n = buf->count.load(std::memory_order_acquire);
     const std::uint64_t cap = buf->events.size();
@@ -193,6 +207,27 @@ void Tracer::reset() {
 void Tracer::set_thread_capacity(std::size_t events) {
   if (events == 0) events = 1;
   impl_->thread_capacity.store(events, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  buf.name = std::move(name);
+}
+
+std::uint64_t Tracer::generation() const {
+  return impl_->reset_generation.load(std::memory_order_acquire);
+}
+
+void name_worker_thread() {
+  if (!enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  // Re-name after a reset (the reset abandoned this thread's old buffer).
+  thread_local std::uint64_t named_generation = ~std::uint64_t{0};
+  const std::uint64_t generation = tracer.generation();
+  if (named_generation == generation) return;
+  named_generation = generation;
+  tracer.set_thread_name("parallel_for worker");
 }
 
 }  // namespace clpp::obs

@@ -65,6 +65,15 @@ class Tracer {
   /// Ring capacity (events) given to each newly registered thread.
   void set_thread_capacity(std::size_t events);
 
+  /// Names the calling thread in trace exports (Chrome `thread_name`
+  /// metadata, so Perfetto timelines read "main" / "parallel_for worker"
+  /// instead of bare tids). Registers the thread's buffer if needed.
+  void set_thread_name(std::string name);
+
+  /// Monotonic counter bumped by every `reset` (used by callers caching
+  /// per-thread state that a reset invalidates).
+  std::uint64_t generation() const;
+
   struct Event {
     const char* name;
     std::uint64_t begin_ns;
@@ -105,6 +114,11 @@ class TraceSpan {
   std::int64_t arg_;
   std::uint64_t begin_;
 };
+
+/// Tags the calling thread as a `parallel_for` worker in trace exports.
+/// Idempotent per tracer generation and cheap enough for loop prologues
+/// (one atomic load once named). No-op when tracing is disabled.
+void name_worker_thread();
 
 }  // namespace clpp::obs
 

@@ -1,0 +1,81 @@
+// FLOP/byte accounting: roofline-style kernel throughput metrics.
+//
+// Kernels declare their work up front; the scope measures wall time and
+// reports achieved GFLOP/s and arithmetic intensity (FLOPs per byte of
+// compulsory memory traffic) under `clpp.prof.<kernel>.*`:
+//
+//   void gemm(...) {
+//     CLPP_PROF_KERNEL("gemm", 2ull * m * n * k,
+//                      sizeof(float) * (m * k + k * n + 2 * m * n));
+//     ...
+//   }
+//
+// Counters `flops` / `bytes` / `wall_ns` / `calls` accumulate, so the
+// *aggregate* achieved GFLOP/s of a run is flops / wall_ns; gauges
+// `gflops` and `arith_intensity` hold the most recent invocation. Gated on
+// `obs::enabled()` like every other metric (one relaxed load when off).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace clpp::prof {
+
+/// Cached metric handles for one kernel (`clpp.prof.<kernel>.*`).
+struct KernelCounters {
+  obs::Counter& calls;
+  obs::Counter& flops;
+  obs::Counter& bytes;
+  obs::Counter& wall_ns;
+  obs::Gauge& gflops;
+  obs::Gauge& arith_intensity;
+};
+
+/// Looks up (creating on first use) the metric set for `kernel`.
+KernelCounters& kernel_counters(const std::string& kernel);
+
+/// Records one kernel invocation with an externally measured wall time —
+/// for call sites where wrapping the kernel in a scope would be awkward.
+void record_kernel(KernelCounters& counters, std::uint64_t flops,
+                   std::uint64_t bytes, std::uint64_t wall_ns);
+
+/// RAII accounting scope: wall time measured construction → destruction.
+class KernelScope {
+ public:
+  KernelScope(KernelCounters& counters, std::uint64_t flops, std::uint64_t bytes)
+      : counters_(counters),
+        flops_(flops),
+        bytes_(bytes),
+        begin_ns_(obs::enabled() ? obs::Tracer::now_ns() : kInactive) {}
+
+  ~KernelScope() {
+    if (begin_ns_ != kInactive)
+      record_kernel(counters_, flops_, bytes_, obs::Tracer::now_ns() - begin_ns_);
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  static constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+  KernelCounters& counters_;
+  std::uint64_t flops_;
+  std::uint64_t bytes_;
+  std::uint64_t begin_ns_;
+};
+
+}  // namespace clpp::prof
+
+/// Accounts `flops` floating-point operations and `bytes` of compulsory
+/// memory traffic to kernel `name` (a string literal) over the enclosing
+/// scope's wall time.
+#define CLPP_PROF_KERNEL(name, flops, bytes)                                    \
+  static ::clpp::prof::KernelCounters& CLPP_OBS_CONCAT(clpp_prof_kc_,           \
+                                                       __LINE__) =              \
+      ::clpp::prof::kernel_counters(name);                                      \
+  ::clpp::prof::KernelScope CLPP_OBS_CONCAT(clpp_prof_ks_, __LINE__) {          \
+    CLPP_OBS_CONCAT(clpp_prof_kc_, __LINE__), (flops), (bytes)                  \
+  }

@@ -1,0 +1,104 @@
+#include "prof/prof.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.h"
+#include "prof/sampler.h"
+#include "support/error.h"
+
+namespace clpp::prof {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::atomic<int> g_counter_mode{static_cast<int>(CounterMode::kAuto)};
+
+std::string& flame_out_path() {
+  static std::string path;
+  return path;
+}
+
+void register_flame_exit_export() {
+  static bool registered = false;
+  if (registered) return;
+  // Same static-lifetime discipline as obs: touch every static the atexit
+  // handler needs before registering it.
+  flame_out_path();
+  Sampler::instance();
+  std::atexit(export_flame);
+  registered = true;
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+  // Profiling data is surfaced through the obs metrics registry; enabling
+  // prof without obs would silently drop everything.
+  if (on) obs::set_enabled(true);
+}
+
+CounterMode counter_mode() {
+  return static_cast<CounterMode>(g_counter_mode.load(std::memory_order_relaxed));
+}
+
+void set_counter_mode(CounterMode mode) {
+  g_counter_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+CounterMode parse_counter_mode(const std::string& text) {
+  if (text == "hw" || text == "hardware") return CounterMode::kHardware;
+  if (text == "sw" || text == "software") return CounterMode::kSoftware;
+  if (text == "off" || text == "0" || text == "none") return CounterMode::kOff;
+  return CounterMode::kAuto;
+}
+
+void set_flame_out(std::string path) {
+  flame_out_path() = std::move(path);
+  if (!flame_out_path().empty()) register_flame_exit_export();
+}
+
+const std::string& flame_out() { return flame_out_path(); }
+
+void export_flame() {
+  Sampler& sampler = Sampler::instance();
+  if (sampler.running()) sampler.stop();
+  if (flame_out_path().empty() || sampler.samples() == 0) return;
+  try {
+    sampler.write_collapsed(flame_out_path());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "clpp::prof: flame export failed: %s\n", e.what());
+  }
+}
+
+void init_from_env() {
+  const char* prof = std::getenv("CLPP_PROF");
+  const bool on = prof != nullptr && prof[0] != '\0' && prof[0] != '0';
+  if (prof != nullptr) set_enabled(on);
+  if (const char* v = std::getenv("CLPP_PROF_COUNTERS"))
+    set_counter_mode(parse_counter_mode(v));
+  if (const char* v = std::getenv("CLPP_FLAME_OUT"))
+    set_flame_out(v);
+  else if (on && flame_out().empty())
+    set_flame_out("clpp_flame.folded");
+  if (on && !Sampler::instance().running()) {
+    int hz = 97;
+    if (const char* v = std::getenv("CLPP_PROF_HZ")) {
+      const int parsed = std::atoi(v);
+      if (parsed > 0) hz = parsed;
+    }
+    Sampler::instance().start(hz);
+    register_flame_exit_export();
+  }
+}
+
+namespace {
+// Any binary linking clpp_prof picks up the CLPP_PROF* environment at start.
+[[maybe_unused]] const bool g_env_applied = (init_from_env(), true);
+}  // namespace
+
+}  // namespace clpp::prof

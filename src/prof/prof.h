@@ -1,0 +1,68 @@
+// clpp::prof — profiling layer on top of clpp::obs.
+//
+// Where clpp::obs answers *where* time goes (spans, metrics), clpp::prof
+// answers *why*: hardware counters (IPC, cache behavior) attached to scoped
+// regions, a sampling profiler exporting collapsed stacks for flamegraphs,
+// and FLOP/byte accounting that turns kernel spans into achieved GFLOP/s
+// and arithmetic-intensity (roofline) numbers. Everything degrades
+// gracefully: no perf_event privileges → software counters (wall/cpu time
+// + rusage); no backtrace support → the sampler reports itself unavailable.
+//
+// Environment integration (applied once at process start for any binary
+// that links clpp_prof):
+//   CLPP_PROF=1                  enable the layer (implies CLPP_OBS=1) and
+//                                start the sampling profiler; a collapsed
+//                                stack file is written at exit
+//   CLPP_PROF_COUNTERS=auto|hw|sw|off   counter source (default auto: try
+//                                perf_event_open, fall back to software)
+//   CLPP_FLAME_OUT=PATH          collapsed-stack output path (default
+//                                clpp_flame.folded; empty string disables)
+//   CLPP_PROF_HZ=N               sampler frequency in Hz (default 97)
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace clpp::prof {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when the profiling layer is active.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turns the layer on or off. Enabling also enables clpp::obs — profiling
+/// data lands in the obs metrics registry, which gates on its own flag.
+void set_enabled(bool on);
+
+/// Counter source selection (see prof/counters.h).
+enum class CounterMode {
+  kAuto,      ///< try perf_event_open, fall back to software
+  kHardware,  ///< perf_event_open only (reads are zero when unavailable)
+  kSoftware,  ///< wall/cpu clocks + rusage only
+  kOff,       ///< scoped counter regions record nothing
+};
+
+CounterMode counter_mode();
+void set_counter_mode(CounterMode mode);
+
+/// "auto" | "hw" | "sw" | "off" | "0" (anything else → kAuto).
+CounterMode parse_counter_mode(const std::string& text);
+
+/// Collapsed-stack output path written by `export_flame` (empty disables).
+void set_flame_out(std::string path);
+const std::string& flame_out();
+
+/// Stops the sampler (if running) and writes its collapsed stacks to the
+/// configured flame path; no-op when the path is empty or no samples exist.
+void export_flame();
+
+/// Applies the CLPP_PROF / CLPP_PROF_COUNTERS / CLPP_FLAME_OUT /
+/// CLPP_PROF_HZ environment variables. When CLPP_PROF enables the layer it
+/// starts the sampling profiler and registers an atexit hook invoking
+/// `export_flame`. Runs automatically at process start; calling it again
+/// re-reads the environment.
+void init_from_env();
+
+}  // namespace clpp::prof

@@ -1,0 +1,277 @@
+#include "prof/profdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/table.h"
+
+namespace clpp::prof {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot read " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// "BENCH_bench_micro_kernels.metrics.json" → "bench_micro_kernels".
+std::string bench_name_for(const fs::path& path) {
+  std::string stem = path.stem().string();  // drops .json
+  for (const char* suffix : {".metrics", ".trace"}) {
+    if (stem.size() > std::strlen(suffix) &&
+        stem.compare(stem.size() - std::strlen(suffix), std::string::npos,
+                     suffix) == 0)
+      stem.resize(stem.size() - std::strlen(suffix));
+  }
+  if (stem.rfind("BENCH_", 0) == 0) stem.erase(0, std::strlen("BENCH_"));
+  return stem;
+}
+
+double time_unit_to_ns(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;
+}
+
+void absorb_metrics(const Json& doc, BenchArtifacts& out) {
+  if (doc.contains("counters"))
+    for (const auto& [name, v] : doc.at("counters").fields())
+      out.counters[name] = v.as_double();
+  if (doc.contains("gauges"))
+    for (const auto& [name, v] : doc.at("gauges").fields())
+      out.gauges[name] = v.as_double();
+  if (doc.contains("histograms")) {
+    for (const auto& [name, stats] : doc.at("histograms").fields()) {
+      auto& dst = out.histograms[name];
+      for (const char* key : {"count", "mean", "p50", "p95", "p99", "max"})
+        if (stats.contains(key)) dst[key] = stats.at(key).as_double();
+    }
+  }
+}
+
+void absorb_google_benchmark(const Json& doc, BenchArtifacts& out) {
+  const Json& benchmarks = doc.at("benchmarks");
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const Json& bm = benchmarks.at(i);
+    // Repetition aggregates (mean/median/stddev rows) would double count.
+    if (bm.get_string("run_type", "iteration") != "iteration") continue;
+    const double to_ns = time_unit_to_ns(bm.get_string("time_unit", "ns"));
+    auto& dst = out.benchmarks[bm.get_string("name", "?")];
+    if (bm.contains("real_time"))
+      dst["real_time_ns"] = bm.at("real_time").as_double() * to_ns;
+    if (bm.contains("cpu_time"))
+      dst["cpu_time_ns"] = bm.at("cpu_time").as_double() * to_ns;
+  }
+}
+
+void absorb_trace(const Json& doc, BenchArtifacts& out) {
+  const Json& events = doc.at("traceEvents");
+  double max_us = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    if (!e.contains("ts")) continue;
+    const double end =
+        e.at("ts").as_double() + (e.contains("dur") ? e.at("dur").as_double() : 0.0);
+    max_us = std::max(max_us, end);
+  }
+  out.wall_seconds = std::max(out.wall_seconds, max_us / 1e6);
+}
+
+}  // namespace
+
+std::map<std::string, BenchArtifacts> scan_artifacts(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    throw IoError("not an artifacts directory: " + dir);
+  std::map<std::string, BenchArtifacts> scan;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json")
+      continue;
+    if (entry.path().filename() == "BENCH_summary.json") continue;  // derived
+    Json doc;
+    try {
+      doc = Json::parse(slurp(entry.path()));
+    } catch (const Error&) {
+      continue;  // partial writes / foreign files are not fatal
+    }
+    BenchArtifacts& out = scan[bench_name_for(entry.path())];
+    try {
+      if (doc.contains("benchmarks")) absorb_google_benchmark(doc, out);
+      else if (doc.contains("traceEvents")) absorb_trace(doc, out);
+      else if (doc.contains("counters") || doc.contains("histograms"))
+        absorb_metrics(doc, out);
+    } catch (const Error&) {
+      // Shape surprises in one artifact should not sink the whole scan.
+    }
+  }
+  return scan;
+}
+
+std::map<std::string, double> flatten_series(
+    const std::map<std::string, BenchArtifacts>& scan) {
+  std::map<std::string, double> series;
+  for (const auto& [bench, a] : scan) {
+    if (a.wall_seconds > 0.0)
+      series[bench + ":trace:wall_seconds"] = a.wall_seconds;
+    for (const auto& [name, v] : a.counters)
+      series[bench + ":counter:" + name] = v;
+    for (const auto& [name, v] : a.gauges) series[bench + ":gauge:" + name] = v;
+    for (const auto& [name, stats] : a.histograms)
+      for (const auto& [stat, v] : stats)
+        series[bench + ":hist:" + name + ":" + stat] = v;
+    for (const auto& [name, times] : a.benchmarks)
+      for (const auto& [stat, v] : times)
+        series[bench + ":bench:" + name + ":" + stat] = v;
+  }
+  return series;
+}
+
+bool series_is_tracked(const std::string& key) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::strlen(suffix);
+    return key.size() >= n && key.compare(key.size() - n, n, suffix) == 0;
+  };
+  if (key.find(":bench:") != std::string::npos)
+    return ends_with(":real_time_ns") || ends_with(":cpu_time_ns");
+  if (key.find(":hist:") != std::string::npos)
+    return key.find("latency_us") != std::string::npos && ends_with(":mean");
+  return false;
+}
+
+double DiffRow::relative_change() const {
+  if (base == 0.0) return 0.0;
+  return current / base - 1.0;
+}
+
+std::size_t DiffReport::regressions() const {
+  std::size_t n = 0;
+  for (const DiffRow& row : rows) n += row.regressed ? 1 : 0;
+  return n;
+}
+
+DiffReport diff_series(const std::map<std::string, double>& base,
+                       const std::map<std::string, double>& current,
+                       double threshold) {
+  DiffReport report;
+  report.threshold = threshold;
+  for (const auto& [key, base_value] : base) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      ++report.only_base;
+      continue;
+    }
+    DiffRow row;
+    row.series = key;
+    row.base = base_value;
+    row.current = it->second;
+    row.tracked = series_is_tracked(key);
+    row.regressed =
+        row.tracked && base_value > 0.0 && it->second > base_value * (1.0 + threshold);
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, value] : current)
+    if (base.find(key) == base.end()) ++report.only_current;
+  return report;
+}
+
+std::string render_diff(const DiffReport& report, bool all) {
+  TextTable table({"series", "base", "current", "Δ%", ""});
+  std::size_t shown = 0;
+  for (const DiffRow& row : report.rows) {
+    if (!all && !row.tracked) continue;
+    ++shown;
+    table.add_row({row.series, TextTable::num(row.base, 3),
+                   TextTable::num(row.current, 3),
+                   TextTable::num(row.relative_change() * 100.0, 1),
+                   row.regressed ? "REGRESSED" : (row.tracked ? "ok" : "")});
+  }
+  std::string out = table.str();
+  std::ostringstream tail;
+  tail << shown << " series compared (threshold "
+       << static_cast<int>(std::lround(report.threshold * 100.0)) << "%), "
+       << report.regressions() << " regressed";
+  if (report.only_base > 0 || report.only_current > 0)
+    tail << "; " << report.only_base << " only in base, " << report.only_current
+         << " only in current";
+  tail << "\n";
+  out += tail.str();
+  return out;
+}
+
+Json diff_to_json(const DiffReport& report) {
+  Json rows = Json::array();
+  for (const DiffRow& row : report.rows) {
+    Json r = Json::object();
+    r["series"] = row.series;
+    r["base"] = row.base;
+    r["current"] = row.current;
+    r["tracked"] = row.tracked;
+    r["regressed"] = row.regressed;
+    rows.push_back(std::move(r));
+  }
+  Json doc = Json::object();
+  doc["threshold"] = report.threshold;
+  doc["regressions"] = static_cast<std::int64_t>(report.regressions());
+  doc["only_base"] = static_cast<std::int64_t>(report.only_base);
+  doc["only_current"] = static_cast<std::int64_t>(report.only_current);
+  doc["rows"] = std::move(rows);
+  return doc;
+}
+
+Json summarize_artifacts(const std::map<std::string, BenchArtifacts>& scan) {
+  Json benches = Json::object();
+  for (const auto& [bench, a] : scan) {
+    Json b = Json::object();
+    b["wall_seconds"] = a.wall_seconds;
+    Json counters = Json::object();
+    for (const auto& [name, v] : a.counters) counters[name] = v;
+    b["counters"] = std::move(counters);
+    Json gauges = Json::object();
+    for (const auto& [name, v] : a.gauges) gauges[name] = v;
+    b["gauges"] = std::move(gauges);
+    Json hists = Json::object();
+    for (const auto& [name, stats] : a.histograms) {
+      Json h = Json::object();
+      for (const auto& [stat, v] : stats) h[stat] = v;
+      hists[name] = std::move(h);
+    }
+    b["histograms"] = std::move(hists);
+    Json bms = Json::object();
+    for (const auto& [name, times] : a.benchmarks) {
+      Json t = Json::object();
+      for (const auto& [stat, v] : times) t[stat] = v;
+      bms[name] = std::move(t);
+    }
+    b["benchmarks"] = std::move(bms);
+    benches[bench] = std::move(b);
+  }
+  Json doc = Json::object();
+  doc["schema"] = "clpp.bench_summary.v1";
+  doc["benches"] = std::move(benches);
+  return doc;
+}
+
+std::string write_summary(const std::string& dir) {
+  const Json doc = summarize_artifacts(scan_artifacts(dir));
+  const std::string path = (fs::path(dir) / "BENCH_summary.json").string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw IoError("cannot open summary output: " + path);
+  out << doc.dump() << "\n";
+  if (!out.good()) throw IoError("short write to summary: " + path);
+  return path;
+}
+
+}  // namespace clpp::prof

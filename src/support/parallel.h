@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -34,8 +35,13 @@ void parallel_for(std::size_t n, const Body& body, std::size_t grain = 1024) {
   if (n >= grain && omp_get_max_threads() > 1) {
     obs::record_parallel_loop(n, omp_get_max_threads());
     const std::int64_t count = static_cast<std::int64_t>(n);
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::size_t>(i));
+#pragma omp parallel
+    {
+      // Label team members (not the calling thread) for trace exports.
+      if (omp_get_thread_num() != 0) obs::name_worker_thread();
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < count; ++i) body(static_cast<std::size_t>(i));
+    }
     return;
   }
 #endif

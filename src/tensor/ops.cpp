@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/flops.h"
 #include "support/parallel.h"
 
 namespace clpp {
@@ -104,6 +105,10 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a, bool trans_
           float alpha, float beta) {
   CLPP_TRACE_SPAN("gemm");
   const GemmDims d = gemm_dims(a, b, trans_a, trans_b);
+  // Roofline accounting: 2mnk FLOPs over compulsory traffic (read A and B
+  // once, read-modify-write C) — reports clpp.prof.gemm.{gflops,...}.
+  CLPP_PROF_KERNEL("gemm", 2ull * d.m * d.n * d.k,
+                   sizeof(float) * (d.m * d.k + d.k * d.n + 2 * d.m * d.n));
   if (obs::enabled()) {
     static obs::Counter& calls = obs::metrics().counter("clpp.tensor.gemm_calls");
     static obs::Counter& flops = obs::metrics().counter("clpp.tensor.gemm_flops");

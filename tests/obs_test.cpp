@@ -179,8 +179,9 @@ TEST_F(ObsTest, ChromeTraceJsonRoundTrip) {
   bool found = false;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const Json& e = events.at(i);
-    EXPECT_EQ(e.at("ph").as_string(), "X");
     EXPECT_EQ(e.at("pid").as_int(), 1);
+    if (e.at("ph").as_string() == "M") continue;  // thread_name metadata
+    EXPECT_EQ(e.at("ph").as_string(), "X");
     EXPECT_GE(e.at("dur").as_double(), 0.0);
     if (e.at("name").as_string() == "roundtrip") found = true;
   }
@@ -198,7 +199,11 @@ TEST_F(ObsTest, TraceRingBufferDropsOldest) {
   EXPECT_EQ(tracer.recorded(), 20u);
   EXPECT_EQ(tracer.dropped(), 12u);
   const Json doc = tracer.chrome_trace();
-  EXPECT_EQ(doc.at("traceEvents").size(), 8u);
+  const Json& events = doc.at("traceEvents");
+  std::size_t spans = 0;
+  for (std::size_t i = 0; i < events.size(); ++i)
+    spans += events.at(i).at("ph").as_string() == "X";
+  EXPECT_EQ(spans, 8u);
   tracer.set_thread_capacity(1 << 17);
   tracer.reset();
 }
@@ -234,6 +239,49 @@ TEST_F(ObsTest, MetricsJsonSnapshot) {
   EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 30.0);
   EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 10.0);
   EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 20.0);
+  // All three interpolated quantiles ship in the snapshot, monotonically.
+  EXPECT_TRUE(hist.contains("p50"));
+  EXPECT_TRUE(hist.contains("p95"));
+  EXPECT_TRUE(hist.contains("p99"));
+  EXPECT_LE(hist.at("p50").as_double(), hist.at("p95").as_double());
+  EXPECT_LE(hist.at("p95").as_double(), hist.at("p99").as_double());
+}
+
+TEST_F(ObsTest, SummaryIncludesP95Column) {
+  obs::Histogram& h = obs::metrics().histogram("clpp.test.latency_us");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const std::string summary = obs::metrics().summary();
+  EXPECT_NE(summary.find("p95"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceNamesThreads) {
+  {
+    CLPP_TRACE_SPAN("named.span");
+    burn();
+  }
+  const Json doc = obs::Tracer::instance().chrome_trace();
+  const Json& events = doc.at("traceEvents");
+  bool main_named = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    if (e.at("ph").as_string() != "M") continue;
+    EXPECT_EQ(e.at("name").as_string(), "thread_name");
+    if (e.at("args").at("name").as_string() == "main") main_named = true;
+  }
+  EXPECT_TRUE(main_named);
+
+  obs::Tracer::instance().set_thread_name("renamed");
+  const Json doc2 = obs::Tracer::instance().chrome_trace();
+  const Json& events2 = doc2.at("traceEvents");
+  bool renamed = false;
+  for (std::size_t i = 0; i < events2.size(); ++i) {
+    const Json& e = events2.at(i);
+    if (e.at("ph").as_string() == "M" &&
+        e.at("args").at("name").as_string() == "renamed")
+      renamed = true;
+  }
+  EXPECT_TRUE(renamed);
+  obs::Tracer::instance().set_thread_name("main");
 }
 
 TEST_F(ObsTest, SummaryTablesRender) {
