@@ -147,8 +147,9 @@ int main(int argc, char** argv) {
     if (command == "s2s") return cmd_s2s(code);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
-  } catch (const clpp::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  } catch (const std::exception& e) {
+    // Bad user input (missing files, corrupt models, malformed flags) ends
+    // with a structured one-line diagnostic, never std::terminate.
+    return clpp::report_cli_error("clpp_cli", e);
   }
 }

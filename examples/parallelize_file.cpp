@@ -12,6 +12,7 @@
 
 #include "core/advisor.h"
 #include "s2s/compiler.h"
+#include "support/cli.h"
 
 namespace {
 
@@ -32,7 +33,7 @@ std::string read_file(const char* path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace clpp;
   const std::string source = argc > 1 ? read_file(argv[1]) : std::string(kDemo);
 
@@ -71,4 +72,6 @@ int main(int argc, char** argv) {
     std::printf("PragFormer advises leaving this loop serial.\n");
   }
   return 0;
+} catch (const std::exception& e) {
+  return clpp::report_cli_error("parallelize_file", e);
 }

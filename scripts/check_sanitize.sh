@@ -1,0 +1,19 @@
+#!/bin/sh
+# Sanitizer gate: build with -DCLPP_SANITIZE=ON (ASan + UBSan) and run the
+# functional test suite. Perf-labeled tests are excluded — they time hot
+# loops and are meaningless (and slow) under instrumentation.
+#
+#   $ scripts/check_sanitize.sh                 # everything but perf
+#   $ CTEST_ARGS="-L resil" scripts/check_sanitize.sh   # just the resil suite
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+cd "$BUILD_DIR"
+# halt_on_error keeps a UBSan report from being silently non-fatal.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+ctest --output-on-failure -j "$(nproc)" -LE perf ${CTEST_ARGS:-}

@@ -1,10 +1,12 @@
 #include "core/advisor.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "analysis/depend.h"
 #include "frontend/parser.h"
 #include "nn/checkpoint.h"
+#include "resil/container.h"
 #include "support/json.h"
 #include "tensor/io.h"
 
@@ -149,8 +151,7 @@ std::unique_ptr<PragFormer> read_model(std::istream& in) {
 }  // namespace
 
 void ParallelAdvisor::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open advisor file for writing: " + path);
+  std::ostringstream out;
   write_string(out, kAdvisorMagic);
   write_string(out, tokenize::representation_name(rep_));
   write_u64(out, max_len_);
@@ -162,12 +163,12 @@ void ParallelAdvisor::save(const std::string& path) const {
   write_model(out, *private_model_);
   write_model(out, *reduction_model_);
   if (schedule_model_) write_model(out, *schedule_model_);
-  if (!out) throw IoError("advisor write failed: " + path);
+  resil::write_container(path, out.view());
 }
 
-ParallelAdvisor ParallelAdvisor::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open advisor file: " + path);
+namespace {
+
+ParallelAdvisor load_advisor_stream(std::istream& in, const std::string& path) {
   if (read_string(in) != kAdvisorMagic)
     throw ParseError("not a CLPP advisor file: " + path);
   const tokenize::Representation rep =
@@ -188,6 +189,20 @@ ParallelAdvisor ParallelAdvisor::load(const std::string& path) {
                           std::move(reduction), std::move(vocab), rep, max_len);
   if (has_schedule) advisor.set_schedule_model(read_model(in));
   return advisor;
+}
+
+}  // namespace
+
+ParallelAdvisor ParallelAdvisor::load(const std::string& path) {
+  if (resil::is_container_file(path)) {
+    const std::string payload = resil::read_container(path);
+    std::istringstream in(payload);
+    return load_advisor_stream(in, path);
+  }
+  // Legacy (pre-container) advisor files stay loadable.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open advisor file: " + path);
+  return load_advisor_stream(in, path);
 }
 
 Explanation ParallelAdvisor::explain(const std::string& code) const {

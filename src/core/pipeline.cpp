@@ -1,9 +1,14 @@
 #include "core/pipeline.h"
 
+#include <filesystem>
 #include <numeric>
+#include <system_error>
 
+#include "nn/checkpoint.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resil/resil.h"
 
 namespace clpp::core {
 
@@ -49,6 +54,25 @@ const corpus::Split& Pipeline::split_for(Task task) {
 
 const std::map<std::string, Tensor>& Pipeline::mlm_checkpoint() {
   if (mlm_checkpoint_) return *mlm_checkpoint_;
+  if (!config_.mlm_cache_path.empty() && resil::file_exists(config_.mlm_cache_path)) {
+    try {
+      auto cached = nn::load_checkpoint(config_.mlm_cache_path);
+      if (cached.empty()) throw ParseError("MLM cache holds no tensors");
+      Json fields = Json::object();
+      fields["path"] = config_.mlm_cache_path;
+      fields["tensors"] = cached.size();
+      obs::log_info("pipeline", "MLM checkpoint loaded from cache", std::move(fields));
+      mlm_checkpoint_ = std::move(cached);
+      return *mlm_checkpoint_;
+    } catch (const Error& e) {
+      obs::metrics().counter("clpp.resil.degraded_loads").add(1);
+      Json fields = Json::object();
+      fields["path"] = config_.mlm_cache_path;
+      fields["error"] = e.what();
+      obs::log_warn("pipeline", "MLM cache unusable; pretraining from scratch",
+                    std::move(fields));
+    }
+  }
   CLPP_TRACE_SPAN("pipeline.mlm_pretrain");
 
   Rng rng(config_.model_seed ^ 0x11117777ULL);
@@ -77,6 +101,18 @@ const std::map<std::string, Tensor>& Pipeline::mlm_checkpoint() {
   std::map<std::string, Tensor> checkpoint;
   for (const nn::Parameter* p : params) checkpoint.emplace(p->name, p->value);
   mlm_checkpoint_ = std::move(checkpoint);
+  if (!config_.mlm_cache_path.empty()) {
+    // Cache write failures degrade to a warning: the in-memory checkpoint
+    // is valid either way.
+    try {
+      nn::save_checkpoint(config_.mlm_cache_path, params);
+    } catch (const Error& e) {
+      Json fields = Json::object();
+      fields["path"] = config_.mlm_cache_path;
+      fields["error"] = e.what();
+      obs::log_warn("pipeline", "MLM cache write failed", std::move(fields));
+    }
+  }
   return *mlm_checkpoint_;
 }
 
@@ -107,6 +143,19 @@ TaskRun Pipeline::train_task(Task task, std::size_t epochs_override) {
 
   TrainConfig train_config = config_.train;
   if (epochs_override > 0) train_config.epochs = epochs_override;
+  // Scope the checkpoint directory per task: the four task models train
+  // sequentially in one process, and sharing one trainer.ckpt would let a
+  // later task "resume" from an earlier task's finished run.
+  const std::string ckpt_root = !train_config.checkpoint_dir.empty()
+                                    ? train_config.checkpoint_dir
+                                    : resil::checkpoint_dir_from_env();
+  if (!ckpt_root.empty()) {
+    train_config.checkpoint_dir = ckpt_root + "/" + corpus::task_name(task);
+    std::error_code ec;
+    std::filesystem::create_directories(train_config.checkpoint_dir, ec);
+    // A failed mkdir is not fatal: saves into the missing directory warn
+    // and training continues (the resil degrade discipline).
+  }
   {
     CLPP_TRACE_SPAN("pipeline.train");
     run.curves =

@@ -25,9 +25,19 @@ struct PipelineConfig {
                             .layers = 2,
                             .ffn_dim = 128,
                             .dropout = 0.1f};
+  /// `train.checkpoint_dir` (or CLPP_CKPT_DIR) is scoped per task by
+  /// train_task: checkpoints land in `<dir>/<task_name>/` so the four
+  /// sequentially trained task models never share (or wrongly resume from)
+  /// one trainer.ckpt.
   TrainConfig train{.epochs = 10, .batch_size = 32, .lr = 5e-4f};
   bool mlm_pretrain = true;                         // DeepSCC stand-in
   nn::MlmConfig mlm{.epochs = 2, .batch_size = 32, .lr = 5e-4f};
+  /// Optional on-disk cache for the MLM pretraining checkpoint. When set,
+  /// mlm_checkpoint() loads it instead of pretraining; a corrupt,
+  /// truncated, or unreadable file degrades to recomputation with a
+  /// structured warning (clpp.resil.degraded_loads) instead of aborting,
+  /// and the recomputed checkpoint is rewritten atomically.
+  std::string mlm_cache_path;
   std::uint64_t split_seed = 7;
   std::uint64_t model_seed = 13;
 };

@@ -1,0 +1,126 @@
+#include "core/resume.h"
+
+#include <sstream>
+
+#include "obs/trace.h"
+#include "resil/container.h"
+#include "tensor/io.h"
+
+namespace clpp::core {
+
+namespace {
+
+constexpr std::uint64_t kTrainerStateVersion = 1;
+
+void write_tensor_map(std::ostream& out, const std::map<std::string, Tensor>& m) {
+  write_u64(out, m.size());
+  for (const auto& [name, value] : m) {
+    write_string(out, name);
+    write_tensor(out, value);
+  }
+}
+
+std::map<std::string, Tensor> read_tensor_map(std::istream& in) {
+  const std::uint64_t count = read_u64(in);
+  if (count > 1'000'000) throw ParseError("implausible trainer checkpoint map size");
+  std::map<std::string, Tensor> m;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    Tensor value = read_tensor(in);
+    if (!m.emplace(std::move(name), std::move(value)).second)
+      throw ParseError("duplicate name in trainer checkpoint map");
+  }
+  return m;
+}
+
+void write_tensor_list(std::ostream& out, const std::vector<Tensor>& ts) {
+  write_u64(out, ts.size());
+  for (const Tensor& t : ts) write_tensor(out, t);
+}
+
+std::vector<Tensor> read_tensor_list(std::istream& in) {
+  const std::uint64_t count = read_u64(in);
+  if (count > 1'000'000) throw ParseError("implausible trainer checkpoint list size");
+  std::vector<Tensor> ts;
+  ts.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) ts.push_back(read_tensor(in));
+  return ts;
+}
+
+}  // namespace
+
+void save_trainer_checkpoint(const std::string& path, const TrainerCheckpoint& state) {
+  CLPP_TRACE_SPAN("resil.ckpt_save");
+  std::ostringstream out;
+  write_u64(out, kTrainerStateVersion);
+  write_u64(out, state.epoch);
+  write_u64(out, state.next_start);
+  write_u64(out, state.step);
+  write_u64(out, state.batches);
+  write_f64(out, state.loss_sum);
+  for (std::uint64_t word : state.rng_state) write_u64(out, word);
+  write_u64(out, state.order.size());
+  for (std::uint64_t i : state.order) write_u64(out, i);
+  write_u64(out, state.curves.size());
+  for (const EpochCurve& curve : state.curves) {
+    write_u64(out, curve.epoch);
+    write_f32(out, curve.train_loss);
+    write_f32(out, curve.val_loss);
+    write_f32(out, curve.val_accuracy);
+    write_f64(out, curve.wall_seconds);
+  }
+  write_f32(out, state.best_val_loss);
+  write_tensor_map(out, state.best_snapshot);
+  write_tensor_map(out, state.params);
+  write_u64(out, state.opt_steps);
+  write_tensor_list(out, state.opt_m);
+  write_tensor_list(out, state.opt_v);
+  resil::write_container(path, out.view());
+}
+
+TrainerCheckpoint load_trainer_checkpoint(const std::string& path) {
+  CLPP_TRACE_SPAN("resil.ckpt_load");
+  const std::string payload = resil::read_container(path);
+  std::istringstream in(payload);
+  const std::uint64_t version = read_u64(in);
+  if (version != kTrainerStateVersion)
+    throw ParseError("unsupported trainer checkpoint version " +
+                     std::to_string(version));
+  TrainerCheckpoint state;
+  state.epoch = read_u64(in);
+  state.next_start = read_u64(in);
+  state.step = read_u64(in);
+  state.batches = read_u64(in);
+  state.loss_sum = read_f64(in);
+  for (std::uint64_t& word : state.rng_state) word = read_u64(in);
+  const std::uint64_t order_size = read_u64(in);
+  if (order_size > (1ULL << 32))
+    throw ParseError("implausible trainer checkpoint order size");
+  state.order.resize(order_size);
+  for (std::uint64_t& i : state.order) i = read_u64(in);
+  const std::uint64_t curve_count = read_u64(in);
+  if (curve_count > 1'000'000)
+    throw ParseError("implausible trainer checkpoint epoch count");
+  state.curves.resize(curve_count);
+  for (EpochCurve& curve : state.curves) {
+    curve.epoch = static_cast<std::size_t>(read_u64(in));
+    curve.train_loss = read_f32(in);
+    curve.val_loss = read_f32(in);
+    curve.val_accuracy = read_f32(in);
+    curve.wall_seconds = read_f64(in);
+  }
+  state.best_val_loss = read_f32(in);
+  state.best_snapshot = read_tensor_map(in);
+  state.params = read_tensor_map(in);
+  state.opt_steps = read_u64(in);
+  state.opt_m = read_tensor_list(in);
+  state.opt_v = read_tensor_list(in);
+  return state;
+}
+
+std::string trainer_checkpoint_path(const std::string& dir) {
+  return dir.empty() || dir.back() == '/' ? dir + "trainer.ckpt"
+                                          : dir + "/trainer.ckpt";
+}
+
+}  // namespace clpp::core

@@ -1,0 +1,52 @@
+// Crash-safe trainer state: everything train_classifier needs to continue a
+// run bit-for-bit from its last checkpoint (parameters, optimizer moments,
+// epoch/batch cursor, RNG stream, shuffled batch order, finished epoch
+// curves, and the best-epoch snapshot).
+//
+// Serialized inside a clpp::resil checkpoint container (atomic replace +
+// CRC32), so a kill at any moment leaves either the previous or the new
+// state, never a torn one. See DESIGN.md "Fault tolerance & checkpointing"
+// for the resume-determinism guarantee.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "tensor/tensor.h"
+
+namespace clpp::core {
+
+/// A full mid-run snapshot of train_classifier.
+struct TrainerCheckpoint {
+  std::uint64_t epoch = 0;       // epoch the run continues in (0-based)
+  std::uint64_t next_start = 0;  // offset into `order` of the next batch
+  std::uint64_t step = 0;        // global optimizer step (LR schedule cursor)
+  std::uint64_t batches = 0;     // batches finished in the current epoch
+  double loss_sum = 0.0;         // running loss of the current epoch
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<std::uint64_t> order;  // current epoch's shuffled row order
+  std::vector<EpochCurve> curves;    // finished epochs
+  float best_val_loss = std::numeric_limits<float>::infinity();
+  std::map<std::string, Tensor> best_snapshot;  // select_best_epoch support
+  std::map<std::string, Tensor> params;
+  std::uint64_t opt_steps = 0;
+  std::vector<Tensor> opt_m, opt_v;  // Adam moments, parallel to params order
+};
+
+/// Atomically writes `state` to `path` (resil container; retried on
+/// transient I/O failure — throws IoError once retries are exhausted).
+void save_trainer_checkpoint(const std::string& path, const TrainerCheckpoint& state);
+
+/// Loads and validates a trainer checkpoint; throws IoError/ParseError on
+/// missing, truncated, corrupt, or version-incompatible files.
+TrainerCheckpoint load_trainer_checkpoint(const std::string& path);
+
+/// Canonical checkpoint location inside a checkpoint directory.
+std::string trainer_checkpoint_path(const std::string& dir);
+
+}  // namespace clpp::core

@@ -26,6 +26,17 @@ struct TrainConfig {
   /// the `on_epoch` argument of train_classifier. Lives on the config so it
   /// survives the trip through PipelineConfig / ParallelAdvisor::train.
   std::function<void(const struct EpochCurve&)> on_epoch = nullptr;
+  /// Crash-safe checkpointing (clpp::resil). When `checkpoint_dir` is empty
+  /// it falls back to CLPP_CKPT_DIR; still empty disables checkpointing.
+  /// `checkpoint_every` saves every N batches (falls back to
+  /// CLPP_CKPT_EVERY; 0 saves at epoch boundaries only). With `resume`, a
+  /// valid checkpoint in the directory is restored and training continues
+  /// bit-for-bit; a corrupt or incompatible one degrades to a fresh run
+  /// with a structured warning (never an abort). A checkpoint that fails to
+  /// *save* after retries logs a warning and training continues.
+  std::string checkpoint_dir = {};
+  std::size_t checkpoint_every = 0;
+  bool resume = true;
 };
 
 /// Per-epoch statistics — exactly the series of Figures 3, 4, and 5.
@@ -40,6 +51,13 @@ struct EpochCurve {
 
 /// Trains `model` on `train`, evaluating on `validation` each epoch.
 /// `on_epoch` (optional) observes progress. Deterministic given `rng`.
+///
+/// With checkpointing configured (TrainConfig::checkpoint_dir or
+/// CLPP_CKPT_DIR), a killed run resumed with the same model seed, data,
+/// and config reproduces the uninterrupted run's final parameters and
+/// EpochCurve metrics bit-for-bit (wall_seconds excepted — it measures the
+/// actual wall time of each run). `rng` must be the same instance used to
+/// construct `model` (dropout draws flow through it), as Pipeline does.
 std::vector<EpochCurve> train_classifier(
     PragFormer& model, const EncodedDataset& train, const EncodedDataset& validation,
     const TrainConfig& config, Rng& rng,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "resil/atomic_file.h"
+#include "resil/fault.h"
 #include "support/strings.h"
 
 namespace clpp::corpus {
@@ -30,13 +32,15 @@ CorpusStats Corpus::stats() const {
 }
 
 void Corpus::save_jsonl(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open corpus file for writing: " + path);
-  for (const Record& r : records_) out << r.to_json().dump() << '\n';
-  if (!out) throw IoError("corpus write failed: " + path);
+  // Atomic (temp + fsync + rename): a crash mid-save never leaves a
+  // half-written corpus where a previous complete one existed.
+  resil::atomic_write_file(path, [&](std::ostream& out) {
+    for (const Record& r : records_) out << r.to_json().dump() << '\n';
+  });
 }
 
 Corpus Corpus::load_jsonl(const std::string& path) {
+  resil::fault_point("corpus.open");
   std::ifstream in(path);
   if (!in) throw IoError("cannot open corpus file: " + path);
   Corpus corpus;
@@ -45,6 +49,7 @@ Corpus Corpus::load_jsonl(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (trim(line).empty()) continue;
+    resil::fault_point("corpus.parse");
     try {
       corpus.add(Record::from_json(Json::parse(line)));
     } catch (const ParseError& e) {

@@ -1,25 +1,17 @@
 #include "nn/checkpoint.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "resil/container.h"
+#include "resil/fault.h"
 #include "tensor/io.h"
 
 namespace clpp::nn {
 
-void save_checkpoint(const std::string& path, const std::vector<Parameter*>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw IoError("cannot open checkpoint for writing: " + path);
-  write_u64(out, params.size());
-  for (const Parameter* p : params) {
-    write_string(out, p->name);
-    write_tensor(out, p->value);
-  }
-  if (!out) throw IoError("checkpoint write failed: " + path);
-}
+namespace {
 
-std::map<std::string, Tensor> load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open checkpoint for reading: " + path);
+std::map<std::string, Tensor> read_entries(std::istream& in, const std::string& path) {
   const std::uint64_t count = read_u64(in);
   if (count > 1'000'000) throw ParseError("implausible checkpoint entry count");
   std::map<std::string, Tensor> out;
@@ -30,6 +22,32 @@ std::map<std::string, Tensor> load_checkpoint(const std::string& path) {
       throw ParseError("duplicate parameter name in checkpoint: " + path);
   }
   return out;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ostringstream payload;
+  write_u64(payload, params.size());
+  for (const Parameter* p : params) {
+    write_string(payload, p->name);
+    write_tensor(payload, p->value);
+  }
+  resil::write_container(path, payload.view());
+}
+
+std::map<std::string, Tensor> load_checkpoint(const std::string& path) {
+  resil::fault_point("ckpt.open");
+  if (resil::is_container_file(path)) {
+    const std::string payload = resil::read_container(path);
+    std::istringstream in(payload);
+    return read_entries(in, path);
+  }
+  // Legacy (pre-container) checkpoints: the raw entry stream with no
+  // checksum. Kept readable so existing saved models survive the upgrade.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint for reading: " + path);
+  return read_entries(in, path);
 }
 
 std::size_t restore_parameters(const std::map<std::string, Tensor>& checkpoint,

@@ -3,6 +3,11 @@
 // Transfer is the mechanism behind the paper's DeepSCC -> PragFormer
 // initialization: an MLM-pretrained encoder's parameters are loaded by name
 // into a fresh classification model whose encoder shares the architecture.
+//
+// Durability: saves go through the clpp::resil checkpoint container
+// (write-to-temp + fsync + rename, CRC32-checksummed payload), so a crash
+// mid-save leaves the previous checkpoint intact and corruption is detected
+// deterministically at load. Legacy uncontainered files remain loadable.
 #pragma once
 
 #include <map>

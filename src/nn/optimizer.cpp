@@ -49,6 +49,24 @@ void AdamW::step(const std::vector<Parameter*>& params) {
   }
 }
 
+void AdamW::restore_state(std::size_t steps, std::vector<Tensor> m,
+                          std::vector<Tensor> v,
+                          const std::vector<Parameter*>& params) {
+  if (m.size() != params.size() || v.size() != params.size())
+    throw ParseError("optimizer checkpoint has " + std::to_string(m.size()) + "/" +
+                     std::to_string(v.size()) + " moment tensors for " +
+                     std::to_string(params.size()) + " parameters");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (m[i].shape() != params[i]->value.shape() ||
+        v[i].shape() != params[i]->value.shape())
+      throw ParseError("optimizer checkpoint shape mismatch for parameter " +
+                       params[i]->name);
+  }
+  t_ = steps;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 double clip_gradient_norm(const std::vector<Parameter*>& params, double max_norm) {
   CLPP_CHECK(max_norm > 0);
   double total = 0.0;

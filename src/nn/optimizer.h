@@ -33,6 +33,18 @@ class AdamW {
 
   std::size_t steps_taken() const { return t_; }
 
+  /// Checkpoint access: Adam moment estimates, positionally parallel to the
+  /// parameter list passed to step(). Empty before the first step.
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores optimizer state from a checkpoint. `m`/`v` must be parallel
+  /// to `params` with matching shapes (throws ParseError otherwise), so a
+  /// corrupt or incompatible checkpoint is rejected before any state is
+  /// touched.
+  void restore_state(std::size_t steps, std::vector<Tensor> m, std::vector<Tensor> v,
+                     const std::vector<Parameter*>& params);
+
  private:
   AdamWConfig config_;
   std::size_t t_ = 0;

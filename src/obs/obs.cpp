@@ -27,11 +27,23 @@ std::string& metrics_out_path() {
   return path;
 }
 
+// Temp + rename (no clpp_resil here — resil layers on top of obs). A crash
+// mid-export never clobbers a previously exported metrics file.
 void write_text_file(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) throw IoError("cannot open output file: " + path);
-  std::fwrite(text.data(), 1, text.size(), f);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open output file: " + tmp);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
+  if (written != text.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw IoError("short write to output file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename into place: " + path);
+  }
 }
 
 void register_exit_export() {

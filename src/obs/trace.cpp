@@ -131,11 +131,20 @@ Json Tracer::chrome_trace() const {
 
 void Tracer::write_chrome_trace(const std::string& path) const {
   const std::string text = chrome_trace().dump();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) throw IoError("cannot open trace output file: " + path);
+  // Temp + rename so a crash mid-export never truncates an earlier trace.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open trace output file: " + tmp);
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
-  if (written != text.size()) throw IoError("short write to trace file: " + path);
+  if (written != text.size()) {
+    std::remove(tmp.c_str());
+    throw IoError("short write to trace file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("cannot rename trace file into place: " + path);
+  }
 }
 
 std::string Tracer::summary() const {

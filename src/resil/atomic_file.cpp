@@ -1,0 +1,91 @@
+#include "resil/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "resil/fault.h"
+#include "support/error.h"
+
+namespace clpp::resil {
+
+namespace {
+
+/// Flushes `path`'s data to stable storage via open + fsync.
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw IoError("atomic write: cannot reopen for fsync: " + path + ": " +
+                  std::strerror(errno));
+  fault_point("atomic.fsync");
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw IoError("atomic write: fsync failed: " + path + ": " + std::strerror(err));
+  }
+  ::close(fd);
+}
+
+/// Makes the rename itself durable. Best effort: some filesystems reject
+/// directory fsync, and the data is already safe in either the old or the
+/// new file, so errors here are swallowed.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  // Any throw below removes the temp so failed saves leave no debris.
+  struct TmpGuard {
+    const std::string& tmp_path;
+    bool armed = true;
+    ~TmpGuard() {
+      if (armed) std::remove(tmp_path.c_str());
+    }
+  } guard{tmp};
+
+  {
+    fault_point("atomic.open");
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("atomic write: cannot open temp file: " + tmp);
+    fault_point("atomic.write");
+    writer(out);
+    out.flush();
+    if (!out) throw IoError("atomic write: write failed: " + tmp);
+  }
+  fsync_file(tmp);
+  fault_point("atomic.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw IoError("atomic write: rename failed: " + path + ": " +
+                  std::strerror(errno));
+  guard.armed = false;
+  fsync_parent_dir(path);
+}
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  atomic_write_file(path, [&](std::ostream& out) {
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  });
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace clpp::resil

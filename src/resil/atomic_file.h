@@ -1,0 +1,29 @@
+// Atomic durable file writes: write-to-temp + fsync + rename.
+//
+// A crash (or injected fault) at any point leaves either the complete old
+// file or the complete new file — never a torn mix, and never a stray temp
+// file on the failure paths this layer controls. The temp lives next to the
+// target (`<path>.tmp`) so the final rename stays within one filesystem.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace clpp::resil {
+
+/// Atomically replaces `path` with the bytes produced by `writer`:
+/// writes `<path>.tmp`, fsyncs it, renames over `path`, then fsyncs the
+/// parent directory (best effort). Throws IoError on failure; the previous
+/// contents of `path`, if any, are untouched and the temp file is removed.
+/// Fault seams: atomic.open, atomic.write, atomic.fsync, atomic.rename.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// Convenience overload for ready-made bytes.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+/// True when `path` names an existing regular file.
+bool file_exists(const std::string& path);
+
+}  // namespace clpp::resil

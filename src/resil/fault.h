@@ -1,0 +1,79 @@
+// Deterministic fault injection for resilience testing.
+//
+// A FaultPlan schedules failures at named *seams* — fixed points in the I/O
+// and training stack where a production failure could strike (file open,
+// write, fsync, rename, allocation, record parse, batch boundary). Each
+// seam call counts its arrivals; when the active plan schedules the current
+// arrival number, the seam throws instead of returning, so a test can
+// script a crash at an exact point and prove the stack survives it.
+//
+// Plans are written as comma-separated `seam:N` pairs (N is the 1-based
+// arrival that fails; a seam may appear multiple times):
+//
+//   CLPP_FAULTS=atomic.rename:1,atomic.rename:2,train.batch:8
+//
+// Seams compiled into the library:
+//   atomic.open / atomic.write / atomic.fsync / atomic.rename  (atomic_file)
+//   container.open                                             (container)
+//   ckpt.open                                                  (nn checkpoint)
+//   tensor.read / tensor.write / tensor.alloc                  (tensor I/O)
+//   corpus.open / corpus.parse                                 (corpus load)
+//   train.batch                                                (trainer loop)
+//
+// With no plan installed (the default), every seam is one relaxed atomic
+// load — cheap enough to stay compiled into release builds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace clpp::resil {
+
+/// Thrown by a seam whose arrival the plan scheduled to fail. Derives from
+/// IoError so retry/degradation paths treat injected faults exactly like
+/// real I/O failures.
+class InjectedFault : public IoError {
+ public:
+  explicit InjectedFault(const std::string& what) : IoError(what) {}
+};
+
+/// A schedule of seam failures: seam name -> sorted 1-based arrival numbers.
+struct FaultPlan {
+  std::map<std::string, std::vector<std::uint64_t>> triggers;
+
+  /// Parses "seam:N,seam:M,...". Whitespace around entries is ignored;
+  /// an empty spec yields an empty plan. Throws InvalidArgument on
+  /// malformed entries (missing ':', non-numeric or zero N).
+  static FaultPlan parse(const std::string& spec);
+
+  bool empty() const { return triggers.empty(); }
+};
+
+/// Installs `plan` process-wide and resets all arrival counters.
+void set_fault_plan(FaultPlan plan);
+
+/// Removes the active plan (seams become no-ops again).
+void clear_fault_plan();
+
+/// True when a non-empty plan is installed.
+bool fault_injection_active();
+
+/// Arrivals observed at `seam` since the plan was installed (0 with no plan).
+std::uint64_t fault_hits(const std::string& seam);
+
+/// Counts one arrival at `seam`; throws InjectedFault when scheduled.
+void fault_point(const char* seam);
+
+/// Allocation-seam variant: throws std::bad_alloc when scheduled, modelling
+/// an out-of-memory failure inside the guarded allocation.
+void alloc_fault_point(const char* seam);
+
+/// Installs a plan from CLPP_FAULTS (no-op when unset/empty). Runs
+/// automatically at process start for binaries linking clpp_resil.
+void init_faults_from_env();
+
+}  // namespace clpp::resil

@@ -1,0 +1,28 @@
+#include "resil/resil.h"
+
+#include <cstdlib>
+
+namespace clpp::resil {
+
+std::string checkpoint_dir_from_env() {
+  const char* dir = std::getenv("CLPP_CKPT_DIR");
+  return dir == nullptr ? std::string{} : std::string{dir};
+}
+
+std::size_t checkpoint_every_from_env() {
+  const char* every = std::getenv("CLPP_CKPT_EVERY");
+  if (every == nullptr || every[0] == '\0') return 0;
+  std::size_t n = 0;
+  for (const char* p = every; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    n = n * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  return n;
+}
+
+namespace {
+// Any binary linking clpp_resil picks up CLPP_FAULTS at start.
+[[maybe_unused]] const bool g_env_applied = (init_faults_from_env(), true);
+}  // namespace
+
+}  // namespace clpp::resil

@@ -1,0 +1,28 @@
+// clpp::resil — fault tolerance: atomic durable artifacts, checksummed
+// checkpoint containers, retry with backoff, and deterministic fault
+// injection. See DESIGN.md "Fault tolerance & checkpointing".
+//
+// Environment integration (applied once at process start for any binary
+// that links clpp_resil):
+//   CLPP_FAULTS=seam:N,...   install a fault-injection plan (fault.h)
+//   CLPP_CKPT_DIR=PATH       default trainer checkpoint directory
+//   CLPP_CKPT_EVERY=N        checkpoint every N batches (0: epoch ends only)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "resil/atomic_file.h"
+#include "resil/container.h"
+#include "resil/fault.h"
+#include "resil/retry.h"
+
+namespace clpp::resil {
+
+/// CLPP_CKPT_DIR, or "" when unset.
+std::string checkpoint_dir_from_env();
+
+/// CLPP_CKPT_EVERY parsed as a batch count; 0 when unset or non-numeric.
+std::size_t checkpoint_every_from_env();
+
+}  // namespace clpp::resil

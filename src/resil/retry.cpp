@@ -1,0 +1,29 @@
+#include "resil/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace clpp::resil::detail {
+
+void sleep_ms(double ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void note_retry(const char* what, int attempt, const std::exception& error,
+                double delay_ms) {
+  obs::metrics().counter("clpp.resil.retries").add(1);
+  if (obs::log_enabled(obs::LogLevel::kWarn)) {
+    Json fields = Json::object();
+    fields["op"] = what;
+    fields["attempt"] = attempt;
+    fields["delay_ms"] = delay_ms;
+    fields["error"] = error.what();
+    obs::log_warn("resil", "transient I/O failure, retrying", std::move(fields));
+  }
+}
+
+}  // namespace clpp::resil::detail

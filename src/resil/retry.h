@@ -1,0 +1,64 @@
+// Retry with exponential backoff and deterministic jitter.
+//
+// `with_retry` re-runs an operation that failed with an IoError (the class
+// of transient failures: NFS hiccups, ENOSPC races, injected faults).
+// ParseError and other exceptions propagate immediately — corruption is
+// deterministic, retrying it only wastes time. Backoff delays multiply per
+// attempt and are jittered by a seam-seeded splitmix64 stream so reruns of
+// a test produce identical schedules. Every retry is counted under
+// `clpp.resil.retries` and logged at warn level.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace clpp::resil {
+
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, including the first
+  double base_delay_ms = 1.0;  // delay after the first failure
+  double multiplier = 4.0;     // growth per subsequent failure
+  double max_delay_ms = 50.0;  // backoff ceiling
+  std::uint64_t jitter_seed = 0x7e57ab1eULL;
+};
+
+namespace detail {
+
+/// Jittered backoff before retry number `attempt` (1-based): the
+/// exponential delay scaled by a uniform factor in [0.5, 1.5).
+inline double backoff_delay_ms(const RetryPolicy& policy, int attempt,
+                               std::uint64_t& jitter_state) {
+  double delay = policy.base_delay_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy.multiplier;
+  if (delay > policy.max_delay_ms) delay = policy.max_delay_ms;
+  const double unit =
+      static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+  return delay * (0.5 + unit);
+}
+
+void sleep_ms(double ms);
+void note_retry(const char* what, int attempt, const std::exception& error,
+                double delay_ms);
+
+}  // namespace detail
+
+/// Runs `fn`, retrying on IoError up to `policy.max_attempts` total tries;
+/// the final failure is rethrown. Returns whatever `fn` returns.
+template <typename Fn>
+auto with_retry(const char* what, Fn&& fn, RetryPolicy policy = {}) -> decltype(fn()) {
+  std::uint64_t jitter_state = policy.jitter_seed;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const IoError& e) {
+      if (attempt >= policy.max_attempts) throw;
+      const double delay = detail::backoff_delay_ms(policy, attempt, jitter_state);
+      detail::note_retry(what, attempt, e, delay);
+      detail::sleep_ms(delay);
+    }
+  }
+}
+
+}  // namespace clpp::resil

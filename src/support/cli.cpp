@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.h"
+#include "support/json.h"
 #include "support/strings.h"
 
 namespace clpp {
@@ -116,6 +117,22 @@ std::string ArgParser::help() const {
     os << "\n";
   }
   return os.str();
+}
+
+int report_cli_error(const std::string& program, const std::exception& error) {
+  const char* kind = "exception";
+  if (dynamic_cast<const IoError*>(&error) != nullptr) kind = "io_error";
+  else if (dynamic_cast<const ParseError*>(&error) != nullptr) kind = "parse_error";
+  else if (dynamic_cast<const InvalidArgument*>(&error) != nullptr)
+    kind = "invalid_argument";
+  else if (dynamic_cast<const Error*>(&error) != nullptr) kind = "error";
+  Json line = Json::object();
+  line["event"] = "fatal";
+  line["program"] = program;
+  line["kind"] = std::string(kind);
+  line["message"] = std::string(error.what());
+  std::fprintf(stderr, "%s\n", line.dump().c_str());
+  return 2;
 }
 
 }  // namespace clpp

@@ -60,4 +60,11 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+/// Top-level exception boundary for CLI tools. Prints a one-line structured
+/// JSON diagnostic to stderr ({"event":"fatal","program":...,"kind":...,
+/// "message":...}) and returns the conventional exit code 2. `kind` is the
+/// most-derived clpp error class ("io_error", "parse_error",
+/// "invalid_argument", "error") or "exception" for foreign std::exceptions.
+int report_cli_error(const std::string& program, const std::exception& error);
+
 }  // namespace clpp

@@ -7,6 +7,7 @@
 // both are tiny, fast, and have no global state (unlike std::rand).
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
@@ -119,6 +120,15 @@ class Rng {
 
   /// Derives an independent child generator (for per-worker streams).
   Rng split() { return Rng{(*this)()}; }
+
+  /// Raw generator state, for crash-safe checkpoint/resume: restoring a
+  /// saved state continues the stream bit-for-bit where it left off.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
