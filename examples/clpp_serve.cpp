@@ -1,0 +1,323 @@
+// clpp-serve: resident micro-batching advisor server (clpp::serve).
+//
+//   clpp-serve --model advisor.bin                  # JSON-lines on stdin/stdout
+//   clpp-serve --random-model                       # demo weights, no training
+//   clpp-serve --random-model --loadgen 256 --concurrency 32
+//   clpp-serve --random-model --loadgen 256 --sequential    # baseline
+//
+// JSON-lines protocol: one request object per stdin line,
+//     {"id": 7, "code": "for (i = 0; i < n; i++) a[i] = b[i];"}
+// and one verdict object per stdout line, in submission order:
+//     {"id":7,"p_directive":0.93,...,"suggestion":"#pragma omp parallel for"}
+// `id` defaults to the 1-based line number. A malformed line produces an
+// "error" object on stdout and does not kill the server. Because requests
+// are submitted as they are read and printed in FIFO order by a separate
+// writer thread, a burst of piped lines is served in micro-batches while
+// interactive use still answers line by line.
+//
+// `--loadgen N` skips the stdin protocol and instead drives the server with
+// closed-loop clients (each keeps one request in flight) over a fixed
+// snippet mix, then reports throughput, client-side latency percentiles,
+// and the server's batching stats. `--sequential` runs the same N requests
+// through plain single-request `advise()` for an A/B baseline.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/advisor.h"
+#include "serve/server.h"
+#include "support/cli.h"
+#include "support/json.h"
+#include "tokenize/representation.h"
+#include "tokenize/vocabulary.h"
+
+namespace {
+
+using namespace clpp;
+using Clock = std::chrono::steady_clock;
+
+const std::vector<std::string>& demo_mix() {
+  static const std::vector<std::string> mix = {
+      "for (i = 0; i < n; i++) a[i] = b[i];",
+      "for (i = 0; i < n; i++) c[i] = a[i] + b[i];",
+      "for (i = 0; i < n; i++) sum += a[i] * b[i];",
+      "for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;",
+      "for (i = 0; i < n; i++) { t = a[i] * 0.5; b[i] = t + a[i]; }",
+      "for (i = 0; i < n; i++) { if (a[i] > 0.5) a[i] = evolve(a[i]); }",
+      "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) c[i] += a[i] * b[j]; }",
+      "for (i = 0; i < n; i++) best = a[i] > best ? a[i] : best;",
+  };
+  return mix;
+}
+
+/// Untrained advisor on the default encoder shape: lets the binary run (and
+/// the load generator measure batching) without a training run first.
+core::ParallelAdvisor random_advisor() {
+  std::vector<std::vector<std::string>> documents;
+  for (const std::string& code : demo_mix())
+    documents.push_back(tokenize::tokenize(code, tokenize::Representation::kText));
+  tokenize::Vocabulary vocab = tokenize::Vocabulary::build(documents);
+
+  core::PipelineConfig defaults;
+  core::PragFormerConfig config;
+  config.encoder = defaults.encoder;
+  config.encoder.vocab_size = vocab.size();
+  Rng rng(2023);
+  auto directive = std::make_unique<core::PragFormer>(config, rng);
+  auto private_model = std::make_unique<core::PragFormer>(config, rng);
+  auto reduction = std::make_unique<core::PragFormer>(config, rng);
+  auto schedule = std::make_unique<core::PragFormer>(config, rng);
+  core::ParallelAdvisor advisor(std::move(directive), std::move(private_model),
+                                std::move(reduction), std::move(vocab),
+                                tokenize::Representation::kText, defaults.max_len);
+  advisor.set_schedule_model(std::move(schedule));
+  return advisor;
+}
+
+Json advice_to_json(std::int64_t id, const core::Advice& advice) {
+  Json obj = Json::object();
+  obj["id"] = id;
+  obj["p_directive"] = static_cast<double>(advice.p_directive);
+  obj["needs_directive"] = advice.needs_directive;
+  if (advice.needs_directive) {
+    obj["p_private"] = static_cast<double>(advice.p_private);
+    obj["p_reduction"] = static_cast<double>(advice.p_reduction);
+    obj["p_dynamic"] = static_cast<double>(advice.p_dynamic);
+    obj["needs_private"] = advice.needs_private;
+    obj["needs_reduction"] = advice.needs_reduction;
+    obj["dynamic_schedule"] = advice.wants_dynamic_schedule;
+    obj["suggestion"] = advice.suggestion;
+  }
+  if (!advice.compar_suggestion.empty()) obj["compar"] = advice.compar_suggestion;
+  return obj;
+}
+
+Json error_line(std::int64_t id, const std::string& what) {
+  Json obj = Json::object();
+  if (id >= 0) obj["id"] = id;
+  obj["error"] = what;
+  return obj;
+}
+
+/// One in-flight request of the JSON-lines loop: the submission id plus the
+/// future the writer thread will resolve (an empty future slot means the
+/// line failed before reaching the server; `error` carries the message).
+struct Pending {
+  std::int64_t id = -1;
+  std::future<core::Advice> future;
+  std::string error;
+};
+
+int run_jsonl(serve::InferenceServer& server) {
+  std::mutex mu;
+  std::condition_variable ready;
+  std::deque<Pending> inflight;
+  bool done = false;
+
+  // Writer: resolves futures in submission order, so output order matches
+  // input order and a pipe full of requests still gets micro-batched.
+  std::thread writer([&] {
+    for (;;) {
+      Pending next;
+      {
+        std::unique_lock lock(mu);
+        ready.wait(lock, [&] { return !inflight.empty() || done; });
+        if (inflight.empty()) return;
+        next = std::move(inflight.front());
+        inflight.pop_front();
+      }
+      std::string line;
+      if (!next.error.empty()) {
+        line = error_line(next.id, next.error).dump();
+      } else {
+        try {
+          line = advice_to_json(next.id, next.future.get()).dump();
+        } catch (const std::exception& e) {
+          line = error_line(next.id, e.what()).dump();
+        }
+      }
+      std::fputs(line.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+  });
+
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Pending pending;
+    pending.id = line_number;
+    try {
+      const Json request = Json::parse(line);
+      pending.id = request.get_int("id", line_number);
+      const std::string code = request.at("code").as_string();
+      pending.future = server.submit(code);
+    } catch (const std::exception& e) {
+      pending.error = e.what();
+    }
+    {
+      std::lock_guard lock(mu);
+      inflight.push_back(std::move(pending));
+    }
+    ready.notify_one();
+  }
+  {
+    std::lock_guard lock(mu);
+    done = true;
+  }
+  ready.notify_one();
+  writer.join();
+  server.shutdown();
+
+  const serve::ServeStats stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu requests in %llu batches (%.1f rows/batch, "
+               "%llu coalesced, %llu failed)\n",
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.batches),
+               stats.mean_batch_rows(),
+               static_cast<unsigned long long>(stats.coalesced),
+               static_cast<unsigned long long>(stats.failed));
+  return 0;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+void report_loadgen(const char* label, std::size_t total, double seconds,
+                    std::vector<double> latencies_us) {
+  std::sort(latencies_us.begin(), latencies_us.end());
+  std::fprintf(stderr,
+               "%s: %zu requests in %.3f s -> %.1f req/s "
+               "(latency p50 %.0f us, p95 %.0f us)\n",
+               label, total, seconds, static_cast<double>(total) / seconds,
+               percentile(latencies_us, 0.50), percentile(latencies_us, 0.95));
+}
+
+int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
+                std::size_t total, std::size_t concurrency, bool sequential) {
+  const auto& mix = demo_mix();
+  if (sequential) {
+    // Baseline: the stateful advisor serves one request at a time.
+    std::vector<double> latencies;
+    latencies.reserve(total);
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < total; ++r) {
+      const auto s0 = Clock::now();
+      advisor.advise(mix[r % mix.size()], config.options);
+      latencies.push_back(std::chrono::duration<double, std::micro>(Clock::now() - s0).count());
+    }
+    const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    report_loadgen("sequential", total, seconds, std::move(latencies));
+    return 0;
+  }
+
+  serve::InferenceServer server(advisor, config);
+  std::atomic<std::size_t> next{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const std::size_t r = next.fetch_add(1);
+        if (r >= total) return;
+        const auto s0 = Clock::now();
+        try {
+          server.submit(mix[r % mix.size()]).get();
+        } catch (const serve::ServeOverload&) {
+          continue;  // shed; the run still counts the request as issued
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - s0).count();
+        std::lock_guard lock(lat_mu);
+        latencies.push_back(us);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  server.shutdown();
+
+  report_loadgen("serve", total, seconds, std::move(latencies));
+  const serve::ServeStats stats = server.stats();
+  std::fprintf(stderr,
+               "  %llu batches, %.1f rows/batch, %llu coalesced, %llu rejected\n",
+               static_cast<unsigned long long>(stats.batches), stats.mean_batch_rows(),
+               static_cast<unsigned long long>(stats.coalesced),
+               static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("clpp-serve",
+                   "micro-batching advisor server: JSON-lines on stdin/stdout, "
+                   "or a closed-loop load generator (--loadgen)");
+  parser.add_string("model", "", "path of a saved advisor (clpp_cli train --out ...)");
+  parser.add_flag("random-model", "use untrained demo weights instead of --model");
+  parser.add_int("max-batch", static_cast<std::int64_t>(core::kDefaultInferBatch),
+                 "largest micro-batch per inference pass");
+  parser.add_int("max-delay-us", 2000, "longest a batch waits for company");
+  parser.add_int("workers", 1, "worker threads (one advisor replica each)");
+  parser.add_int("queue-capacity", 1024, "bounded request-queue size");
+  parser.add_flag("reject", "shed load when the queue is full instead of blocking");
+  parser.add_flag("no-analysis", "skip dependence-analyzer clause naming");
+  parser.add_flag("no-compar", "skip the ComPar comparison column");
+  parser.add_int("loadgen", 0, "run a load generator for N requests instead of stdin");
+  parser.add_int("concurrency", 32, "closed-loop clients for --loadgen");
+  parser.add_flag("sequential", "loadgen baseline: single-request advise() loop");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+
+    serve::ServeConfig config;
+    config.max_batch = static_cast<std::size_t>(parser.get_int("max-batch"));
+    config.max_delay_us = static_cast<std::uint64_t>(parser.get_int("max-delay-us"));
+    config.workers = static_cast<std::size_t>(parser.get_int("workers"));
+    config.queue_capacity = static_cast<std::size_t>(parser.get_int("queue-capacity"));
+    config.overflow = parser.get_flag("reject") ? serve::OverflowPolicy::kReject
+                                                : serve::OverflowPolicy::kBlock;
+    config.options.with_analysis = !parser.get_flag("no-analysis");
+    config.options.with_compar = !parser.get_flag("no-compar");
+    config.validate();
+
+    const std::string model = parser.get_string("model");
+    if (model.empty() && !parser.get_flag("random-model"))
+      throw InvalidArgument("pass --model <path> or --random-model");
+    const core::ParallelAdvisor advisor =
+        model.empty() ? random_advisor() : core::ParallelAdvisor::load(model);
+
+    const auto total = static_cast<std::size_t>(parser.get_int("loadgen"));
+    if (total > 0) {
+      return run_loadgen(advisor, config, total,
+                         static_cast<std::size_t>(parser.get_int("concurrency")),
+                         parser.get_flag("sequential"));
+    }
+    serve::InferenceServer server(advisor, config);
+    return run_jsonl(server);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clpp-serve: %s\n", e.what());
+    return 1;
+  }
+}

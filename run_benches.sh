@@ -5,19 +5,26 @@
 # artifacts into $OUT_DIR (default bench_artifacts/):
 #   BENCH_<name>.trace.json    Chrome trace_event JSON (chrome://tracing)
 #   BENCH_<name>.metrics.json  clpp::obs metrics snapshot
-# and bench_micro_kernels additionally writes its google-benchmark report
-# next to them as BENCH_bench_micro_kernels.json. After the loop the
-# per-bench artifacts are merged into $OUT_DIR/BENCH_summary.json, the
-# single-file capture clpp-profdiff compares runs with.
+# and the google-benchmark harnesses (bench_micro_kernels, bench_serve)
+# additionally write their reports next to them as BENCH_<name>.json. After
+# the loop the per-bench artifacts are merged into $OUT_DIR/BENCH_summary.json,
+# the single-file capture clpp-profdiff compares runs with.
+#
+# BENCH_GLOB narrows the sweep to space-separated glob patterns (e.g.
+# BENCH_GLOB='bench_micro_kernels bench_serve' for the CI perf job, which
+# times a stable subset rather than every paper table).
 cd "$(dirname "$0")"
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-bench_artifacts}"
+BENCH_GLOB="${BENCH_GLOB:-bench_*}"
 mkdir -p "$OUT_DIR"
-for b in "$BUILD_DIR"/bench/bench_*; do
+for pattern in $BENCH_GLOB; do
+for b in "$BUILD_DIR"/bench/$pattern; do
+  [ -x "$b" ] || continue
   name=$(basename "$b")
   extra=""
   case "$name" in
-    bench_micro_kernels)
+    bench_micro_kernels|bench_serve)
       extra="--benchmark_out=$OUT_DIR/BENCH_${name}.json --benchmark_out_format=json"
       ;;
   esac
@@ -27,6 +34,7 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   CLPP_METRICS_OUT="$OUT_DIR/BENCH_${name}.metrics.json" \
   "$b" $extra
   echo
+done
 done
 
 if [ -x "$BUILD_DIR/examples/clpp-profdiff" ]; then

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Lint self-audit gate: clpp-lint seeds directive defects into a generated
+# corpus and must catch 100% of them, while conservative disagreement on
+# clean loops (e.g. linearized matmul subscripts the analyzer cannot prove
+# safe) stays under 10% of linted records — the guarantee the linter PR
+# established (tests/lint_test.cpp LintAudit suite), continuously enforced.
+#
+#   $ scripts/check_lint_audit.sh
+#   $ SIZE=1000 BUGGY=0.25 scripts/check_lint_audit.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci-release}"
+SIZE="${SIZE:-400}"
+BUGGY="${BUGGY:-0.15}"
+
+if [ ! -x "$BUILD_DIR/examples/clpp-lint" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j --target clpp-lint >/dev/null
+fi
+
+# --audit exits 1 whenever seeded bugs are (correctly) reported as errors,
+# so exit codes 0 and 1 both mean "the audit ran"; judge on the report.
+rc=0
+report=$("$BUILD_DIR/examples/clpp-lint" --audit --json --size "$SIZE" --buggy "$BUGGY") || rc=$?
+if [ "$rc" -gt 1 ]; then
+  echo "check_lint_audit: clpp-lint --audit failed (rc=$rc)" >&2
+  exit "$rc"
+fi
+
+echo "$report" | python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+seeded, caught = report["seeded_bugs"], report["bugs_caught"]
+false_pos, linted = report["clean_flagged"], report["linted"]
+print(f"lint audit: {caught}/{seeded} seeded bugs caught, "
+      f"{false_pos}/{linted} clean loops flagged")
+if seeded == 0:
+    sys.exit("check_lint_audit: corpus seeded no bugs; raise SIZE/BUGGY")
+if caught != seeded:
+    sys.exit(f"check_lint_audit: catch rate {caught/seeded:.0%} < 100%")
+if false_pos * 10 >= linted:
+    sys.exit(f"check_lint_audit: {false_pos} clean loops flagged "
+             f"(>= 10% of {linted} linted)")
+'

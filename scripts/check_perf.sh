@@ -4,22 +4,26 @@
 #
 #   $ scripts/check_perf.sh            # threshold defaults to 20%
 #   $ THRESHOLD=0.1 scripts/check_perf.sh
+#   $ WARN_ONLY=1 scripts/check_perf.sh   # report regressions but exit 0
 #
 # Exits non-zero when any tracked time-like series (benchmark real/cpu time,
 # latency-histogram means) regressed beyond THRESHOLD. When no baseline has
 # been recorded yet this warns and exits 0, so the script is safe to wire
-# into CI before the first baseline lands.
+# into CI before the first baseline lands. WARN_ONLY=1 keeps the job
+# non-blocking (shared CI runners time benchmarks noisily); promote to
+# blocking by dropping it once the baseline has proven stable.
 set -e
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-perf}"
 THRESHOLD="${THRESHOLD:-0.2}"
 BASELINE_DIR="${BASELINE_DIR:-bench_baseline}"
+WARN_ONLY="${WARN_ONLY:-}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j >/dev/null
 
-BUILD_DIR="$BUILD_DIR" OUT_DIR=bench_artifacts ./run_benches.sh
+BUILD_DIR="$BUILD_DIR" OUT_DIR=bench_artifacts BENCH_GLOB="${BENCH_GLOB:-}" ./run_benches.sh
 
 if [ ! -d "$BASELINE_DIR" ]; then
   echo "check_perf: no $BASELINE_DIR/ recorded; skipping the diff." >&2
@@ -27,5 +31,11 @@ if [ ! -d "$BASELINE_DIR" ]; then
   exit 0
 fi
 
-"$BUILD_DIR/examples/clpp-profdiff" --threshold "$THRESHOLD" \
-  "$BASELINE_DIR" bench_artifacts
+if [ -n "$WARN_ONLY" ]; then
+  "$BUILD_DIR/examples/clpp-profdiff" --threshold "$THRESHOLD" \
+    "$BASELINE_DIR" bench_artifacts ||
+    echo "check_perf: regressions above ${THRESHOLD} (WARN_ONLY set; not failing)" >&2
+else
+  "$BUILD_DIR/examples/clpp-profdiff" --threshold "$THRESHOLD" \
+    "$BASELINE_DIR" bench_artifacts
+fi

@@ -1,0 +1,21 @@
+#!/bin/sh
+# ThreadSanitizer gate for the serving scheduler: build with
+# -DCLPP_SANITIZE_THREAD=ON and run the `serve`-labeled tests (request
+# queue, micro-batching workers, backpressure, drain-on-shutdown). TSan is
+# mutually exclusive with ASan/UBSan, hence a separate build tree from
+# check_sanitize.sh.
+#
+#   $ scripts/check_tsan.sh
+#   $ CTEST_ARGS="--repeat until-fail:5" scripts/check_tsan.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE_THREAD=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "$BUILD_DIR" -j >/dev/null
+
+cd "$BUILD_DIR"
+# halt_on_error turns any reported race into a test failure.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+ctest --output-on-failure -j"$(nproc)" -L serve ${CTEST_ARGS:-}

@@ -1,11 +1,17 @@
 #include "core/advisor.h"
 
 #include <fstream>
+#include <functional>
+#include <map>
+#include <numeric>
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
 
 #include "analysis/depend.h"
 #include "frontend/parser.h"
 #include "nn/checkpoint.h"
+#include "obs/trace.h"
 #include "resil/container.h"
 #include "support/json.h"
 #include "tensor/io.h"
@@ -30,63 +36,146 @@ void ParallelAdvisor::set_schedule_model(std::unique_ptr<PragFormer> schedule_mo
   schedule_model_ = std::move(schedule_model);
 }
 
-float ParallelAdvisor::score(const PragFormer& model, const std::string& code) const {
-  const auto tokens = tokenize::tokenize(code, rep_);
-  const auto encoded = vocab_.encode(tokens, max_len_);
-  nn::TokenBatch batch;
-  batch.batch = 1;
-  batch.seq = encoded.size();
-  batch.ids = encoded;
-  batch.lengths = {static_cast<int>(encoded.size())};
-  // predict_proba is stateful (caches activations) but logically const here.
-  return const_cast<PragFormer&>(model).predict_proba(batch)[0];
+Advice ParallelAdvisor::advise(const std::string& code) const {
+  return advise(code, AdviseOptions{});
 }
 
-Advice ParallelAdvisor::advise(const std::string& code) const {
-  Advice advice;
-  advice.p_directive = score(*directive_model_, code);
-  advice.needs_directive = advice.p_directive > 0.5f;
-  if (advice.needs_directive) {
-    advice.p_private = score(*private_model_, code);
-    advice.p_reduction = score(*reduction_model_, code);
-    advice.needs_private = advice.p_private > 0.5f;
-    advice.needs_reduction = advice.p_reduction > 0.5f;
-    if (schedule_model_) {
-      advice.p_dynamic = score(*schedule_model_, code);
-      advice.wants_dynamic_schedule = advice.p_dynamic > 0.5f;
-    }
+Advice ParallelAdvisor::advise(const std::string& code,
+                               const AdviseOptions& options) const {
+  return advise_batch({code}, options).front();
+}
 
-    // Ask the dependence analyzer to *name* the clause variables.
-    frontend::OmpDirective directive;
-    directive.parallel = true;
-    directive.for_loop = true;
-    if (advice.wants_dynamic_schedule)
-      directive.schedule = frontend::ScheduleKind::kDynamic;
-    try {
-      const frontend::NodePtr unit = frontend::parse_snippet(code);
-      const frontend::Node* loop = s2s::find_target_loop(*unit);
-      if (loop) {
-        analysis::SideEffectOracle oracle(*unit);
-        analysis::AnalyzerOptions options;
-        options.assume_unknown_calls_pure = true;  // the model already decided
-        options.bail_on_struct_access = false;
-        options.recognize_minmax_reduction = true;
-        const analysis::LoopVerdict verdict =
-            analysis::DependenceAnalyzer(oracle, options).analyze(*loop);
-        if (advice.needs_private) directive.private_vars = verdict.private_candidates;
-        if (advice.needs_reduction) directive.reductions = verdict.reductions;
-      }
-    } catch (const ParseError&) {
-      // Unparseable code still gets the bare suggestion below.
+std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>& codes,
+                                                  const AdviseOptions& options) const {
+  std::vector<Advice> out(codes.size());
+  if (codes.empty()) return out;
+  CLPP_TRACE_SPAN_ARG("advise.batch", codes.size());
+
+  // Coalesce duplicate snippets before any tokenization or inference: advice
+  // is a pure function of the code text, so identical requests in one batch
+  // share a single forward pass (and a single analyzer/ComPar run) and all
+  // receive copies of the same verdict. Concurrent advisor traffic is
+  // duplicate-heavy — the same idiomatic loop forms recur across a codebase —
+  // so this is the dominant batching win on a single core, where the
+  // per-row transformer FLOPs themselves cannot be amortized.
+  std::vector<std::size_t> unique_of(codes.size());
+  std::vector<std::size_t> uniques;  // first-occurrence index per distinct code
+  {
+    std::unordered_map<std::string_view, std::size_t> first;
+    first.reserve(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const auto [it, inserted] = first.try_emplace(codes[i], uniques.size());
+      if (inserted) uniques.push_back(i);
+      unique_of[i] = it->second;
     }
-    advice.suggestion = directive.to_string();
+  }
+  std::vector<Advice> advices(uniques.size());
+
+  // Encode every distinct snippet once, then bucket by exact encoded length:
+  // a bucket packs into a TokenBatch with zero padding, so no FLOPs are
+  // spent on pad positions and — because every NN kernel computes batch rows
+  // independently, in the same order — each row's verdict is bitwise equal
+  // to a batch-of-one forward.
+  std::vector<std::vector<std::int32_t>> encoded(uniques.size());
+  for (std::size_t u = 0; u < uniques.size(); ++u)
+    encoded[u] = vocab_.encode(tokenize::tokenize(codes[uniques[u]], rep_), max_len_);
+
+  // Runs `model` over `subset` (indices into codes), one forward per
+  // length-bucket, and writes each probability via `sink(index, p)`.
+  const auto score_subset = [&](PragFormer& model,
+                                const std::vector<std::size_t>& subset,
+                                const std::function<void(std::size_t, float)>& sink) {
+    std::map<std::size_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i : subset) buckets[encoded[i].size()].push_back(i);
+    for (const auto& [len, members] : buckets) {
+      nn::TokenBatch batch;
+      batch.batch = members.size();
+      batch.seq = len;
+      batch.ids.reserve(members.size() * len);
+      batch.lengths.reserve(members.size());
+      for (std::size_t i : members) {
+        batch.ids.insert(batch.ids.end(), encoded[i].begin(), encoded[i].end());
+        batch.lengths.push_back(static_cast<int>(len));
+      }
+      const std::vector<float> probs = model.predict_proba(batch);
+      for (std::size_t k = 0; k < members.size(); ++k) sink(members[k], probs[k]);
+    }
+  };
+
+  std::vector<std::size_t> all(uniques.size());
+  std::iota(all.begin(), all.end(), 0);
+  score_subset(*directive_model_, all, [&](std::size_t i, float p) {
+    advices[i].p_directive = p;
+    advices[i].needs_directive = p > 0.5f;
+  });
+
+  // The clause/schedule models only run for snippets the directive model
+  // marked positive — exactly the sequential path's conditional scoring.
+  std::vector<std::size_t> positive;
+  for (std::size_t i = 0; i < advices.size(); ++i)
+    if (advices[i].needs_directive) positive.push_back(i);
+  if (!positive.empty()) {
+    score_subset(*private_model_, positive, [&](std::size_t i, float p) {
+      advices[i].p_private = p;
+      advices[i].needs_private = p > 0.5f;
+    });
+    score_subset(*reduction_model_, positive, [&](std::size_t i, float p) {
+      advices[i].p_reduction = p;
+      advices[i].needs_reduction = p > 0.5f;
+    });
+    if (schedule_model_) {
+      score_subset(*schedule_model_, positive, [&](std::size_t i, float p) {
+        advices[i].p_dynamic = p;
+        advices[i].wants_dynamic_schedule = p > 0.5f;
+      });
+    }
   }
 
-  const s2s::ComPar compar;
-  const s2s::ComParResult result = compar.process_source(code);
-  if (result.predicts_directive())
-    advice.compar_suggestion = result.combined.directive->to_string();
-  return advice;
+  // Deterministic per-snippet machinery (clause naming, ComPar comparison),
+  // still once per *distinct* snippet.
+  for (std::size_t u = 0; u < uniques.size(); ++u) {
+    const std::string& code = codes[uniques[u]];
+    Advice& advice = advices[u];
+    if (advice.needs_directive) {
+      frontend::OmpDirective directive;
+      directive.parallel = true;
+      directive.for_loop = true;
+      if (advice.wants_dynamic_schedule)
+        directive.schedule = frontend::ScheduleKind::kDynamic;
+      if (options.with_analysis) {
+        // Ask the dependence analyzer to *name* the clause variables.
+        try {
+          const frontend::NodePtr unit = frontend::parse_snippet(code);
+          const frontend::Node* loop = s2s::find_target_loop(*unit);
+          if (loop) {
+            analysis::SideEffectOracle oracle(*unit);
+            analysis::AnalyzerOptions analyzer_options;
+            analyzer_options.assume_unknown_calls_pure = true;  // the model already decided
+            analyzer_options.bail_on_struct_access = false;
+            analyzer_options.recognize_minmax_reduction = true;
+            const analysis::LoopVerdict verdict =
+                analysis::DependenceAnalyzer(oracle, analyzer_options).analyze(*loop);
+            if (advice.needs_private) directive.private_vars = verdict.private_candidates;
+            if (advice.needs_reduction) directive.reductions = verdict.reductions;
+          }
+        } catch (const ParseError&) {
+          // Unparseable code still gets the bare suggestion below.
+        }
+      }
+      advice.suggestion = directive.to_string();
+    }
+
+    if (options.with_compar) {
+      const s2s::ComPar compar;
+      const s2s::ComParResult result = compar.process_source(code);
+      if (result.predicts_directive())
+        advice.compar_suggestion = result.combined.directive->to_string();
+    }
+  }
+
+  // Fan the per-unique verdicts back out to every request position.
+  for (std::size_t i = 0; i < codes.size(); ++i) out[i] = advices[unique_of[i]];
+  return out;
 }
 
 namespace {
@@ -150,7 +239,7 @@ std::unique_ptr<PragFormer> read_model(std::istream& in) {
 
 }  // namespace
 
-void ParallelAdvisor::save(const std::string& path) const {
+std::string ParallelAdvisor::serialize() const {
   std::ostringstream out;
   write_string(out, kAdvisorMagic);
   write_string(out, tokenize::representation_name(rep_));
@@ -163,7 +252,11 @@ void ParallelAdvisor::save(const std::string& path) const {
   write_model(out, *private_model_);
   write_model(out, *reduction_model_);
   if (schedule_model_) write_model(out, *schedule_model_);
-  resil::write_container(path, out.view());
+  return std::move(out).str();
+}
+
+void ParallelAdvisor::save(const std::string& path) const {
+  resil::write_container(path, serialize());
 }
 
 namespace {
@@ -203,6 +296,15 @@ ParallelAdvisor ParallelAdvisor::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open advisor file: " + path);
   return load_advisor_stream(in, path);
+}
+
+ParallelAdvisor ParallelAdvisor::deserialize(const std::string& payload) {
+  std::istringstream in(payload);
+  return load_advisor_stream(in, "<memory>");
+}
+
+std::unique_ptr<ParallelAdvisor> ParallelAdvisor::clone() const {
+  return std::make_unique<ParallelAdvisor>(deserialize(serialize()));
 }
 
 Explanation ParallelAdvisor::explain(const std::string& code) const {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/explain.h"
 #include "core/pipeline.h"
@@ -34,6 +35,17 @@ struct Advice {
   std::string compar_suggestion;
 };
 
+/// Which parts of an Advice to compute. The model verdicts (the paper's
+/// contribution) always run; the deterministic extras are optional so a
+/// serving path can trade them against latency.
+struct AdviseOptions {
+  /// Run the dependence analyzer to name private/reduction variables in the
+  /// suggested pragma. Off, the suggestion is the bare directive.
+  bool with_analysis = true;
+  /// Run the ComPar S2S ensemble for the comparison suggestion.
+  bool with_compar = true;
+};
+
 /// Bundles three trained models and a vocabulary into an advisor.
 class ParallelAdvisor {
  public:
@@ -53,6 +65,17 @@ class ParallelAdvisor {
   /// on unparseable input; the default Text representation accepts any
   /// lexable code.
   Advice advise(const std::string& code) const;
+  Advice advise(const std::string& code, const AdviseOptions& options) const;
+
+  /// Batched multi-task inference: one Advice per input snippet, in input
+  /// order. Snippets are bucketed by *exact* encoded length and each bucket
+  /// runs as one padding-free `predict_proba` per task model, so the
+  /// transformer forward is amortized across concurrent requests while every
+  /// verdict stays bitwise identical to the single-snippet `advise` path
+  /// (all NN kernels are batch-row independent). This is the entry point the
+  /// clpp::serve micro-batching scheduler drives.
+  std::vector<Advice> advise_batch(const std::vector<std::string>& codes,
+                                   const AdviseOptions& options = {}) const;
 
   /// Convenience: trains a full advisor (directive + private + reduction +
   /// schedule models) from a fresh pipeline.
@@ -63,12 +86,22 @@ class ParallelAdvisor {
   void save(const std::string& path) const;
   static ParallelAdvisor load(const std::string& path);
 
+  /// In-memory (de)serialization — the byte payload `save` wraps in a
+  /// checksummed resil container. `deserialize(serialize())` reconstructs an
+  /// advisor with bitwise-identical behaviour; serve worker replicas are
+  /// cloned this way.
+  std::string serialize() const;
+  static ParallelAdvisor deserialize(const std::string& payload);
+
+  /// Deep copy with independent model state, safe to drive from another
+  /// thread (inference caches activations, so two threads must never share
+  /// one advisor).
+  std::unique_ptr<ParallelAdvisor> clone() const;
+
   /// Attention-map explanation of the directive prediction for `code`.
   Explanation explain(const std::string& code) const;
 
  private:
-  float score(const PragFormer& model, const std::string& code) const;
-
   mutable std::unique_ptr<PragFormer> directive_model_;
   mutable std::unique_ptr<PragFormer> private_model_;
   mutable std::unique_ptr<PragFormer> reduction_model_;

@@ -10,6 +10,14 @@
 
 namespace clpp::core {
 
+/// Default number of rows per forward pass for batched *inference* — shared
+/// by the eval/predict helpers below and by the serving scheduler's
+/// `ServeConfig::max_batch` (src/serve), so the batch-size knob is tuned in
+/// exactly one place. Training batch sizes are a separate hyperparameter
+/// (`TrainConfig::batch_size`): they affect the optimization trajectory,
+/// whereas this constant only trades latency against GEMM efficiency.
+inline constexpr std::size_t kDefaultInferBatch = 64;
+
 /// Fine-tuning hyperparameters (§4.3: AdamW + dropout).
 struct TrainConfig {
   std::size_t epochs = 10;
@@ -66,14 +74,14 @@ std::vector<EpochCurve> train_classifier(
 /// Loss + accuracy of `model` on a dataset (eval mode, batched).
 std::pair<float, float> evaluate_loss_accuracy(PragFormer& model,
                                                const EncodedDataset& dataset,
-                                               std::size_t batch_size = 64);
+                                               std::size_t batch_size = kDefaultInferBatch);
 
 /// P(positive) for every row of `dataset` (eval mode, batched).
 std::vector<float> predict_dataset(PragFormer& model, const EncodedDataset& dataset,
-                                   std::size_t batch_size = 64);
+                                   std::size_t batch_size = kDefaultInferBatch);
 
 /// Metrics of `model` on `dataset` at the 0.5 threshold.
 BinaryMetrics evaluate_metrics(PragFormer& model, const EncodedDataset& dataset,
-                               std::size_t batch_size = 64);
+                               std::size_t batch_size = kDefaultInferBatch);
 
 }  // namespace clpp::core

@@ -1,0 +1,87 @@
+#include "serve/queue.h"
+
+#include <chrono>
+
+namespace clpp::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  CLPP_CHECK_MSG(capacity_ > 0, "RequestQueue capacity must be positive");
+}
+
+bool RequestQueue::push(PendingRequest request) {
+  std::unique_lock lock(mu_);
+  if (policy_ == OverflowPolicy::kBlock)
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  if (closed_) throw ServeShutdown("request queue is closed");
+  if (items_.size() >= capacity_) return false;  // kReject, full
+  items_.push_back(std::move(request));
+  // notify_all, not notify_one: with several workers parked on not_empty_
+  // (some in the initial wait, some waiting out a batch delay), a single
+  // notify can land on a worker whose predicate stays false and strand a
+  // ready request until the next push or a delay expiry.
+  not_empty_.notify_all();
+  return true;
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(std::size_t max_batch,
+                                                    std::uint64_t max_delay_us) {
+  CLPP_CHECK_MSG(max_batch > 0, "pop_batch needs max_batch >= 1");
+  std::unique_lock lock(mu_);
+  for (;;) {
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return {};  // closed and drained
+    if (!closed_ && items_.size() < max_batch && max_delay_us > 0) {
+      // Micro-batching window: the batch is anchored at the moment this
+      // worker saw its first pending request; stragglers arriving within
+      // the window ride along, anything later forms the next batch.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(max_delay_us);
+      not_empty_.wait_until(lock, deadline, [&] {
+        return items_.size() >= max_batch || items_.empty() || closed_;
+      });
+    }
+    if (items_.empty()) continue;  // another worker raced us to the items
+    const std::size_t count = std::min(max_batch, items_.size());
+    std::vector<PendingRequest> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_all();
+    return batch;
+  }
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+std::vector<PendingRequest> RequestQueue::take_remaining() {
+  std::lock_guard lock(mu_);
+  std::vector<PendingRequest> remaining;
+  remaining.reserve(items_.size());
+  while (!items_.empty()) {
+    remaining.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return remaining;
+}
+
+}  // namespace clpp::serve

@@ -1,0 +1,73 @@
+// Bounded thread-safe request queue feeding the micro-batching scheduler.
+//
+// The queue is MPMC: any number of client threads push, any number of
+// workers pop. `pop_batch` implements the scheduler's collection rule —
+// return as soon as `max_batch` requests are available, otherwise flush
+// whatever arrived once `max_delay_us` has elapsed since the popping worker
+// first saw a pending request. Items remain queued while a worker waits out
+// the delay, so a second idle worker can still grab them (work stealing
+// falls out of the locking for free).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "serve/serve.h"
+
+namespace clpp::serve {
+
+/// One queued inference request: the snippet, the promise the worker
+/// completes, and the steady-clock enqueue stamp for time-in-queue metrics.
+struct PendingRequest {
+  std::string code;
+  std::promise<core::Advice> result;
+  std::uint64_t enqueue_ns = 0;
+};
+
+/// Bounded MPMC queue with reject-vs-block overflow and drain-on-close.
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t capacity, OverflowPolicy policy);
+
+  /// Enqueues one request. Returns false when the queue is full under
+  /// kReject; blocks until space under kBlock. Throws ServeShutdown when
+  /// the queue has been closed (including while blocked).
+  bool push(PendingRequest request);
+
+  /// Blocks until at least one request is pending (or the queue closes),
+  /// then collects up to `max_batch` requests, waiting at most
+  /// `max_delay_us` for stragglers. Returns an empty vector only when the
+  /// queue is closed *and* fully drained — the workers' exit signal.
+  std::vector<PendingRequest> pop_batch(std::size_t max_batch,
+                                        std::uint64_t max_delay_us);
+
+  /// Stops accepting pushes and wakes every waiter; poppers drain the
+  /// remaining items.
+  void close();
+  bool closed() const;
+
+  /// Requests currently queued (not yet collected by a worker).
+  std::size_t depth() const;
+
+  /// Removes and returns everything still queued. Only meaningful after
+  /// `close()` once no worker is popping (used to fail undrainable
+  /// requests instead of abandoning their futures).
+  std::vector<PendingRequest> take_remaining();
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace clpp::serve

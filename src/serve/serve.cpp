@@ -1,0 +1,18 @@
+#include "serve/serve.h"
+
+namespace clpp::serve {
+
+void ServeConfig::validate() const {
+  CLPP_CHECK_MSG(max_batch > 0, "ServeConfig::max_batch must be positive");
+  CLPP_CHECK_MSG(queue_capacity > 0, "ServeConfig::queue_capacity must be positive");
+  CLPP_CHECK_MSG(max_delay_us <= 60'000'000,
+                 "ServeConfig::max_delay_us " << max_delay_us
+                                              << " exceeds the 60s sanity bound");
+}
+
+double ServeStats::mean_batch_rows() const {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(batch_rows) / static_cast<double>(batches);
+}
+
+}  // namespace clpp::serve

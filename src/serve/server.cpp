@@ -1,0 +1,184 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "resil/fault.h"
+
+namespace clpp::serve {
+
+namespace {
+
+/// Batch-size buckets: powers of two up to 512 rows.
+std::vector<double> batch_size_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& gauge = obs::metrics().gauge("clpp.serve.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const core::ParallelAdvisor& advisor,
+                                 ServeConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity, config_.overflow) {
+  config_.validate();
+  replicas_.reserve(config_.workers);
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    replicas_.push_back(advisor.clone());
+  // Start threads only after every clone exists: a throwing clone must not
+  // leave workers running over a half-built replica vector.
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    workers_.emplace_back([this, w] { worker_loop(*replicas_[w]); });
+}
+
+InferenceServer::~InferenceServer() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw; shutdown failures already surfaced
+    // through the request futures.
+  }
+}
+
+std::future<core::Advice> InferenceServer::submit(std::string code) {
+  if (stopped_.load(std::memory_order_acquire))
+    throw ServeShutdown("InferenceServer::submit after shutdown");
+  resil::fault_point("serve.enqueue");
+  PendingRequest request;
+  request.code = std::move(code);
+  request.enqueue_ns = obs::Tracer::now_ns();
+  std::future<core::Advice> future = request.result.get_future();
+  if (!queue_.push(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled())
+      obs::metrics().counter("clpp.serve.rejected").add(1);
+    throw ServeOverload("serve queue full (" +
+                        std::to_string(config_.queue_capacity) +
+                        " requests) under kReject policy");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::metrics().counter("clpp.serve.requests").add(1);
+    depth_gauge().set(static_cast<double>(queue_.depth()));
+  }
+  return future;
+}
+
+void InferenceServer::worker_loop(core::ParallelAdvisor& advisor) {
+  obs::Tracer::instance().set_thread_name("serve worker");
+  for (;;) {
+    std::vector<PendingRequest> batch =
+        queue_.pop_batch(config_.max_batch, config_.max_delay_us);
+    if (batch.empty()) return;  // queue closed and drained
+    if (obs::enabled()) depth_gauge().set(static_cast<double>(queue_.depth()));
+    serve_batch(advisor, batch);
+  }
+}
+
+void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
+                                  std::vector<PendingRequest>& batch) {
+  CLPP_TRACE_SPAN_ARG("serve.batch", batch.size());
+  const std::uint64_t start_ns = obs::Tracer::now_ns();
+  try {
+    resil::fault_point("serve.batch");
+    std::vector<std::string> codes;
+    codes.reserve(batch.size());
+    for (const PendingRequest& request : batch) codes.push_back(request.code);
+    std::vector<core::Advice> advices = advisor.advise_batch(codes, config_.options);
+    // advise_batch coalesces duplicate snippets into one forward pass;
+    // recount here so stats/metrics can attribute the saving.
+    std::unordered_set<std::string_view> distinct(codes.begin(), codes.end());
+    const std::uint64_t coalesced = codes.size() - distinct.size();
+
+    const std::uint64_t end_ns = obs::Tracer::now_ns();
+    if (obs::enabled()) {
+      static obs::Histogram& batch_hist =
+          obs::metrics().histogram("clpp.serve.batch_size", batch_size_bounds());
+      static obs::Histogram& wait_hist =
+          obs::metrics().histogram("clpp.serve.queue_wait_us");
+      static obs::Histogram& latency_hist =
+          obs::metrics().histogram("clpp.serve.latency_us");
+      batch_hist.record(static_cast<double>(batch.size()));
+      for (const PendingRequest& request : batch) {
+        wait_hist.record(static_cast<double>(start_ns - request.enqueue_ns) / 1e3);
+        latency_hist.record(static_cast<double>(end_ns - request.enqueue_ns) / 1e3);
+      }
+      obs::metrics().counter("clpp.serve.batches").add(1);
+      if (coalesced > 0)
+        obs::metrics().counter("clpp.serve.coalesced").add(coalesced);
+    }
+    // Counters first, promises second: a caller woken by its future must
+    // already see this batch reflected in stats().
+    completed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_rows_.fetch_add(batch.size(), std::memory_order_relaxed);
+    coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i].result.set_value(std::move(advices[i]));
+  } catch (...) {
+    // A failing inference pass (injected fault, OOM, hostile input) fails
+    // exactly the requests of this batch; the worker and every other
+    // request keep going.
+    const std::exception_ptr error = std::current_exception();
+    failed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (PendingRequest& request : batch) request.result.set_exception(error);
+    if (obs::enabled())
+      obs::metrics().counter("clpp.serve.batch_failures").add(1);
+    if (obs::log_enabled(obs::LogLevel::kWarn)) {
+      Json fields = Json::object();
+      fields["requests"] = static_cast<std::int64_t>(batch.size());
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        fields["error"] = std::string(e.what());
+      } catch (...) {
+        fields["error"] = std::string("unknown exception");
+      }
+      obs::log_warn("serve", "batch failed; futures carry the error",
+                    std::move(fields));
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard lock(shutdown_mu_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_.close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // With zero workers (or a worker that died on a non-exception path)
+  // requests may still sit in the queue; fail their futures explicitly so
+  // no caller blocks forever on an abandoned promise.
+  std::vector<PendingRequest> leftovers = queue_.take_remaining();
+  if (!leftovers.empty()) {
+    const auto error = std::make_exception_ptr(
+        ServeShutdown("server shut down before this request was served"));
+    for (PendingRequest& request : leftovers) request.result.set_exception(error);
+    failed_.fetch_add(leftovers.size(), std::memory_order_relaxed);
+  }
+  if (obs::enabled()) depth_gauge().set(0.0);
+}
+
+ServeStats InferenceServer::stats() const {
+  ServeStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batch_rows = batch_rows_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace clpp::serve

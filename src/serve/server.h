@@ -1,0 +1,70 @@
+// InferenceServer: worker pool + dynamic micro-batching over a
+// ParallelAdvisor (see serve.h for the scheduling model).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.h"
+#include "serve/serve.h"
+
+namespace clpp::serve {
+
+/// Thread-safe serving front end. Construction clones one advisor replica
+/// per worker (inference caches activations, so replicas never share), so
+/// the advisor passed in stays untouched and usable by the caller.
+class InferenceServer {
+ public:
+  explicit InferenceServer(const core::ParallelAdvisor& advisor,
+                           ServeConfig config = {});
+  /// Drains and joins (shutdown()) if the caller has not already.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one snippet; the future completes with all four task verdicts
+  /// once a worker serves the batch carrying it. Throws ServeOverload
+  /// (kReject policy, queue full) or ServeShutdown (after shutdown). A
+  /// worker-side failure (e.g. an injected fault) surfaces through the
+  /// future instead.
+  std::future<core::Advice> submit(std::string code);
+
+  /// Graceful drain: stops accepting new requests, lets the workers serve
+  /// everything already queued, joins them, and fails any request that no
+  /// worker could drain (workers == 0) with ServeShutdown. Idempotent.
+  void shutdown();
+
+  /// Requests queued but not yet collected by a worker.
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+  ServeStats stats() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  void worker_loop(core::ParallelAdvisor& advisor);
+  void serve_batch(core::ParallelAdvisor& advisor,
+                   std::vector<PendingRequest>& batch);
+
+  ServeConfig config_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<core::ParallelAdvisor>> replicas_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+  std::mutex shutdown_mu_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_rows_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace clpp::serve

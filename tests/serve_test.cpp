@@ -1,0 +1,393 @@
+// Tests for clpp::serve (dynamic micro-batching inference server) and the
+// batched ParallelAdvisor entry point it drives.
+//
+// The advisors here are deliberately *untrained* (random weights from a
+// fixed seed): batching correctness, scheduling, backpressure, and drain
+// semantics are independent of model quality, and skipping training keeps
+// the suite fast enough for the TSan CI job that runs it on every push.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/advisor.h"
+#include "resil/fault.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "tokenize/representation.h"
+#include "tokenize/vocabulary.h"
+
+namespace clpp::serve {
+namespace {
+
+using core::Advice;
+using core::AdviseOptions;
+using core::ParallelAdvisor;
+
+/// Snippets of varied token lengths so advise_batch exercises several
+/// length buckets per call.
+const std::vector<std::string>& snippets() {
+  static const std::vector<std::string> list = {
+      "for (i = 0; i < n; i++) a[i] = b[i];",
+      "for (i = 0; i < n; i++) c[i] = a[i] + b[i];",
+      "for (i = 0; i < n; i++) sum += a[i];",
+      "for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;",
+      "for (i = 0; i < n; i++) { t = a[i] * 0.5; b[i] = t + a[i]; }",
+      "for (i = 0; i < n; i++) printf(\"%d\", a[i]);",
+      "for (i = 0; i < n; i++) { if (a[i] > 0.5) a[i] = evolve(a[i]); }",
+      "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) c[i] += a[i] * b[j]; }",
+      "for (i = 0; i < n; i++) best = a[i] > best ? a[i] : best;",
+      "for (i = 2; i < n; i++) a[i] = a[i - 2] * 2.0;",
+      "for (i = 0; i < n; i++) { x = f(i); y = g(x); d[i] = x + y; }",
+      "for (i = 0; i < n; i++) a[i] = 0;",
+  };
+  return list;
+}
+
+/// Builds a small untrained advisor whose vocabulary covers the snippets.
+std::unique_ptr<ParallelAdvisor> tiny_advisor() {
+  constexpr std::size_t kMaxLen = 48;
+  std::vector<std::vector<std::string>> documents;
+  for (const std::string& code : snippets())
+    documents.push_back(tokenize::tokenize(code, tokenize::Representation::kText));
+  tokenize::Vocabulary vocab = tokenize::Vocabulary::build(documents);
+
+  core::PragFormerConfig config;
+  config.encoder.vocab_size = vocab.size();
+  config.encoder.max_seq = kMaxLen;
+  config.encoder.dim = 16;
+  config.encoder.heads = 2;
+  config.encoder.layers = 1;
+  config.encoder.ffn_dim = 32;
+  Rng rng(4242);
+  auto directive = std::make_unique<core::PragFormer>(config, rng);
+  auto private_model = std::make_unique<core::PragFormer>(config, rng);
+  auto reduction = std::make_unique<core::PragFormer>(config, rng);
+  auto schedule = std::make_unique<core::PragFormer>(config, rng);
+  auto advisor = std::make_unique<ParallelAdvisor>(
+      std::move(directive), std::move(private_model), std::move(reduction),
+      std::move(vocab), tokenize::Representation::kText, kMaxLen);
+  advisor->set_schedule_model(std::move(schedule));
+  return advisor;
+}
+
+void expect_same_advice(const Advice& a, const Advice& b, const std::string& code) {
+  // Bitwise float equality is the contract: batched rows must reproduce
+  // the batch-of-one forward exactly, not approximately.
+  EXPECT_EQ(a.p_directive, b.p_directive) << code;
+  EXPECT_EQ(a.p_private, b.p_private) << code;
+  EXPECT_EQ(a.p_reduction, b.p_reduction) << code;
+  EXPECT_EQ(a.p_dynamic, b.p_dynamic) << code;
+  EXPECT_EQ(a.needs_directive, b.needs_directive) << code;
+  EXPECT_EQ(a.needs_private, b.needs_private) << code;
+  EXPECT_EQ(a.needs_reduction, b.needs_reduction) << code;
+  EXPECT_EQ(a.wants_dynamic_schedule, b.wants_dynamic_schedule) << code;
+  EXPECT_EQ(a.suggestion, b.suggestion) << code;
+  EXPECT_EQ(a.compar_suggestion, b.compar_suggestion) << code;
+}
+
+TEST(AdviseBatch, BitwiseIdenticalToSequentialAdvise) {
+  const auto advisor = tiny_advisor();
+  // Three copies of the snippet set → buckets larger than one row each.
+  std::vector<std::string> codes;
+  for (int round = 0; round < 3; ++round)
+    for (const std::string& code : snippets()) codes.push_back(code);
+
+  const std::vector<Advice> batched = advisor->advise_batch(codes);
+  ASSERT_EQ(batched.size(), codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const Advice sequential = advisor->advise(codes[i]);
+    expect_same_advice(batched[i], sequential, codes[i]);
+  }
+}
+
+TEST(AdviseBatch, EmptyAndSingle) {
+  const auto advisor = tiny_advisor();
+  EXPECT_TRUE(advisor->advise_batch({}).empty());
+  const std::vector<Advice> one = advisor->advise_batch({snippets()[0]});
+  ASSERT_EQ(one.size(), 1u);
+  expect_same_advice(one[0], advisor->advise(snippets()[0]), snippets()[0]);
+}
+
+TEST(AdviseBatch, CoalescesDuplicatesToTheSameVerdict) {
+  const auto advisor = tiny_advisor();
+  // Interleaved duplicates: every copy must carry the (bitwise) same verdict
+  // as its own sequential advise, i.e. coalescing is unobservable except in
+  // the work saved.
+  const std::vector<std::string> codes = {snippets()[0], snippets()[1],
+                                          snippets()[0], snippets()[2],
+                                          snippets()[1], snippets()[0]};
+  const std::vector<Advice> batched = advisor->advise_batch(codes);
+  ASSERT_EQ(batched.size(), codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    expect_same_advice(batched[i], advisor->advise(codes[i]), codes[i]);
+}
+
+TEST(AdviseBatch, OptionsSkipDeterministicExtras) {
+  const auto advisor = tiny_advisor();
+  AdviseOptions model_only;
+  model_only.with_analysis = false;
+  model_only.with_compar = false;
+  const std::vector<Advice> advices =
+      advisor->advise_batch(snippets(), model_only);
+  const std::vector<Advice> full = advisor->advise_batch(snippets());
+  for (std::size_t i = 0; i < advices.size(); ++i) {
+    // Model verdicts are untouched by the options...
+    EXPECT_EQ(advices[i].p_directive, full[i].p_directive);
+    // ...but the ComPar comparison is skipped entirely.
+    EXPECT_TRUE(advices[i].compar_suggestion.empty());
+    if (advices[i].needs_directive) {
+      EXPECT_NE(advices[i].suggestion.find("#pragma omp parallel for"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(AdvisorClone, CloneBehavesIdentically) {
+  const auto advisor = tiny_advisor();
+  const auto copy = advisor->clone();
+  for (const std::string& code : snippets())
+    expect_same_advice(copy->advise(code), advisor->advise(code), code);
+}
+
+TEST(ServeConfigTest, MaxBatchSharesTheInferBatchConstant) {
+  EXPECT_EQ(ServeConfig{}.max_batch, core::kDefaultInferBatch);
+  EXPECT_THROW(
+      [] {
+        ServeConfig config;
+        config.max_batch = 0;
+        config.validate();
+      }(),
+      InvalidArgument);
+  EXPECT_THROW(
+      [] {
+        ServeConfig config;
+        config.queue_capacity = 0;
+        config.validate();
+      }(),
+      InvalidArgument);
+}
+
+TEST(ServerTest, ConcurrentSubmissionsMatchSequentialVerdicts) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 500;
+  config.workers = 2;
+  InferenceServer server(*advisor, config);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::vector<std::vector<std::future<Advice>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r)
+        futures[c].push_back(
+            server.submit(snippets()[(c * kPerClient + r) % snippets().size()]));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kPerClient; ++r) {
+      const std::string& code = snippets()[(c * kPerClient + r) % snippets().size()];
+      const Advice served = futures[c][r].get();
+      expect_same_advice(served, advisor->advise(code), code);
+    }
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_rows, kClients * kPerClient);
+}
+
+TEST(ServerTest, MaxDelayFlushesPartialBatch) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 64;  // never reachable with one request
+  config.max_delay_us = 1000;
+  InferenceServer server(*advisor, config);
+
+  std::future<Advice> future = server.submit(snippets()[0]);
+  // The batch can never fill, so completion proves the delay-based flush.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  expect_same_advice(future.get(), advisor->advise(snippets()[0]), snippets()[0]);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(ServerTest, DuplicateRequestsCoalesceWithinABatch) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 8;
+  // Wide window: the batch flushes the moment all eight requests land, so
+  // they deterministically share one inference pass.
+  config.max_delay_us = 200'000;
+  InferenceServer server(*advisor, config);
+
+  const std::string code = snippets()[0];
+  const Advice sequential = advisor->advise(code);
+  std::vector<std::future<Advice>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.submit(code));
+  for (auto& future : futures) expect_same_advice(future.get(), sequential, code);
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_rows, 8u);
+  EXPECT_EQ(stats.coalesced, 7u);  // one forward served all eight copies
+}
+
+TEST(ServerTest, RejectPolicyShedsLoadWhenQueueIsFull) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.queue_capacity = 3;
+  config.overflow = OverflowPolicy::kReject;
+  config.workers = 0;  // nothing consumes: the queue fills deterministically
+  InferenceServer server(*advisor, config);
+
+  std::vector<std::future<Advice>> accepted;
+  for (int i = 0; i < 3; ++i) accepted.push_back(server.submit(snippets()[0]));
+  EXPECT_EQ(server.queue_depth(), 3u);
+  EXPECT_THROW(server.submit(snippets()[0]), ServeOverload);
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  // Shutdown with no workers cannot drain: every accepted future must still
+  // complete — with ServeShutdown, never by abandonment.
+  server.shutdown();
+  for (auto& future : accepted) EXPECT_THROW(future.get(), ServeShutdown);
+  EXPECT_THROW(server.submit(snippets()[0]), ServeShutdown);
+}
+
+TEST(ServerTest, BlockPolicyWaitsForSpace) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.queue_capacity = 2;
+  config.overflow = OverflowPolicy::kBlock;
+  config.max_batch = 1;
+  config.max_delay_us = 0;  // serve immediately, one request per batch
+  InferenceServer server(*advisor, config);
+
+  // Many more submissions than capacity: with kBlock none may be rejected,
+  // and all must eventually be served.
+  constexpr int kTotal = 24;
+  std::vector<std::future<Advice>> futures;
+  futures.reserve(kTotal);
+  for (int i = 0; i < kTotal; ++i)
+    futures.push_back(server.submit(snippets()[i % snippets().size()]));
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ServerTest, ShutdownDrainsAllInFlightRequests) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 200'000;  // long window: shutdown must cut it short
+  InferenceServer server(*advisor, config);
+
+  std::vector<std::future<Advice>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(server.submit(snippets()[i % snippets().size()]));
+  server.shutdown();  // graceful drain: every queued request still served
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  EXPECT_EQ(server.stats().completed, 10u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(ServerTest, InjectedWorkerFaultFailsOnlyItsOwnBatch) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 4;
+  // A wide window so each group of 4 submissions lands in exactly one batch
+  // (the batch flushes the moment max_batch is reached, not at the window).
+  config.max_delay_us = 200'000;
+  InferenceServer server(*advisor, config);
+
+  // First arrival at the serve.batch seam throws inside the worker.
+  resil::FaultPlan plan;
+  plan.triggers["serve.batch"] = {1};
+  resil::set_fault_plan(plan);
+
+  std::vector<std::future<Advice>> doomed;
+  for (int i = 0; i < 4; ++i) doomed.push_back(server.submit(snippets()[i]));
+  // The injected fault must surface through exactly these futures...
+  for (auto& future : doomed) EXPECT_THROW(future.get(), resil::InjectedFault);
+
+  // ...while the worker survives and serves subsequent requests normally.
+  std::vector<std::future<Advice>> healthy;
+  for (int i = 0; i < 4; ++i) healthy.push_back(server.submit(snippets()[i]));
+  for (auto& future : healthy) EXPECT_NO_THROW(future.get());
+  resil::clear_fault_plan();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(ServerTest, EnqueueFaultSeamRejectsTheSubmission) {
+  const auto advisor = tiny_advisor();
+  InferenceServer server(*advisor, ServeConfig{});
+  resil::FaultPlan plan;
+  plan.triggers["serve.enqueue"] = {1};
+  resil::set_fault_plan(plan);
+  EXPECT_THROW(server.submit(snippets()[0]), resil::InjectedFault);
+  resil::clear_fault_plan();
+  // The failed submission never entered the queue; the server still works.
+  EXPECT_NO_THROW(server.submit(snippets()[0]).get());
+}
+
+TEST(RequestQueueTest, PopBatchHonorsMaxBatch) {
+  RequestQueue queue(16, OverflowPolicy::kBlock);
+  for (int i = 0; i < 10; ++i) {
+    PendingRequest request;
+    request.code = "x";
+    ASSERT_TRUE(queue.push(std::move(request)));
+  }
+  EXPECT_EQ(queue.depth(), 10u);
+  EXPECT_EQ(queue.pop_batch(4, 0).size(), 4u);
+  EXPECT_EQ(queue.pop_batch(4, 0).size(), 4u);
+  EXPECT_EQ(queue.pop_batch(4, 0).size(), 2u);
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedPusherAndDrainsPoppers) {
+  RequestQueue queue(1, OverflowPolicy::kBlock);
+  {
+    PendingRequest request;
+    request.code = "first";
+    ASSERT_TRUE(queue.push(std::move(request)));
+  }
+  std::atomic<bool> pusher_threw{false};
+  std::thread pusher([&] {
+    PendingRequest request;
+    request.code = "blocked";
+    try {
+      queue.push(std::move(request));  // full queue: blocks until close
+    } catch (const ServeShutdown&) {
+      pusher_threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  pusher.join();
+  EXPECT_TRUE(pusher_threw.load());
+
+  // Poppers still drain the item that was queued before the close...
+  EXPECT_EQ(queue.pop_batch(8, 0).size(), 1u);
+  // ...and then get the closed-and-drained exit signal.
+  EXPECT_TRUE(queue.pop_batch(8, 0).empty());
+}
+
+}  // namespace
+}  // namespace clpp::serve
