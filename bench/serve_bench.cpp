@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "obs/obs.h"
 #include "serve/server.h"
 #include "tokenize/representation.h"
 #include "tokenize/vocabulary.h"
@@ -146,6 +147,44 @@ BENCHMARK(BM_ServerClosedLoop)
     ->Arg(1)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Observability overhead on the serve hot path: the same full-batching
+// closed loop with CLPP_OBS forced off (Arg 0) vs on (Arg 1). With obs on,
+// every request additionally mints flow-linked trace spans, records
+// registry histograms, and updates the queue-depth gauge. The items/s ratio
+// on/off is the evidence behind the <5% tracing-overhead SLO that
+// scripts/check_slo.sh enforces end-to-end via the loadgen.
+void BM_ServerClosedLoopObs(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  const auto& codes = snippet_mix();
+  serve::ServeConfig config;
+  config.max_batch = kConcurrency;
+  config.max_delay_us = 2000;
+  config.options = model_only();
+  serve::InferenceServer server(advisor(), config);
+  constexpr std::size_t kPerClient = 4;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kConcurrency);
+    for (std::size_t c = 0; c < kConcurrency; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t r = 0; r < kPerClient; ++r)
+          server.submit(codes[c % codes.size()]).get();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  server.shutdown();
+  obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kConcurrency * kPerClient));
+}
+BENCHMARK(BM_ServerClosedLoopObs)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

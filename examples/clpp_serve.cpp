@@ -8,18 +8,28 @@
 // JSON-lines protocol: one request object per stdin line,
 //     {"id": 7, "code": "for (i = 0; i < n; i++) a[i] = b[i];"}
 // and one verdict object per stdout line, in submission order:
-//     {"id":7,"p_directive":0.93,...,"suggestion":"#pragma omp parallel for"}
-// `id` defaults to the 1-based line number. A malformed line produces an
-// "error" object on stdout and does not kill the server. Because requests
-// are submitted as they are read and printed in FIFO order by a separate
-// writer thread, a burst of piped lines is served in micro-batches while
-// interactive use still answers line by line.
+//     {"id":7,"p_directive":0.93,...,"suggestion":"#pragma omp parallel for",
+//      "trace_id":"9f3c...","queue_us":412,"batch_us":1830,"infer_us":1600,
+//      "coalesced":false}
+// Every response carries its request-scoped trace id (the same id tags the
+// request's spans in a CLPP_TRACE_OUT Chrome trace) and the server-side
+// queue/batch/infer time split. `id` defaults to the 1-based line number. A
+// malformed line produces an "error" object on stdout and does not kill the
+// server. Because requests are submitted as they are read and printed in
+// FIFO order by a separate writer thread, a burst of piped lines is served
+// in micro-batches while interactive use still answers line by line.
+//
+// Admin verbs: a line {"cmd":"stats"} answers (in order, like any request)
+// with {"id":...,"stats":{...}} — live queue depth, batch occupancy,
+// coalesce rate, and streaming latency percentiles per task model.
 //
 // `--loadgen N` skips the stdin protocol and instead drives the server with
 // closed-loop clients (each keeps one request in flight) over a fixed
-// snippet mix, then reports throughput, client-side latency percentiles,
-// and the server's batching stats. `--sequential` runs the same N requests
-// through plain single-request `advise()` for an A/B baseline.
+// snippet mix, then reports throughput, client-side latency percentiles
+// (p50/p95/p99), the server-side percentiles, and the queue-wait vs compute
+// split. `--sequential` runs the same N requests through plain
+// single-request `advise()` for an A/B baseline. `--stats-out PATH` writes
+// the whole report as a JSON artifact (consumed by scripts/check_slo.sh).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -85,7 +95,15 @@ core::ParallelAdvisor random_advisor() {
   return advisor;
 }
 
-Json advice_to_json(std::int64_t id, const core::Advice& advice) {
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return hex;
+}
+
+Json advice_to_json(std::int64_t id, const serve::ServedAdvice& served) {
+  const core::Advice& advice = served.advice;
   Json obj = Json::object();
   obj["id"] = id;
   obj["p_directive"] = static_cast<double>(advice.p_directive);
@@ -100,6 +118,11 @@ Json advice_to_json(std::int64_t id, const core::Advice& advice) {
     obj["suggestion"] = advice.suggestion;
   }
   if (!advice.compar_suggestion.empty()) obj["compar"] = advice.compar_suggestion;
+  obj["trace_id"] = trace_id_hex(served.timing.trace_id);
+  obj["queue_us"] = static_cast<std::int64_t>(served.timing.queue_us);
+  obj["batch_us"] = static_cast<std::int64_t>(served.timing.batch_us);
+  obj["infer_us"] = static_cast<std::int64_t>(served.timing.infer_us);
+  obj["coalesced"] = served.timing.coalesced;
   return obj;
 }
 
@@ -111,12 +134,15 @@ Json error_line(std::int64_t id, const std::string& what) {
 }
 
 /// One in-flight request of the JSON-lines loop: the submission id plus the
-/// future the writer thread will resolve (an empty future slot means the
-/// line failed before reaching the server; `error` carries the message).
+/// future the writer thread will resolve. `error` carries the message when
+/// the line failed before reaching the server; `preformatted` carries the
+/// ready-to-print reply of an admin verb (e.g. {"cmd":"stats"}), which
+/// still flows through the writer so output order matches input order.
 struct Pending {
   std::int64_t id = -1;
-  std::future<core::Advice> future;
+  std::future<serve::ServedAdvice> future;
   std::string error;
+  std::string preformatted;
 };
 
 int run_jsonl(serve::InferenceServer& server) {
@@ -138,7 +164,9 @@ int run_jsonl(serve::InferenceServer& server) {
         inflight.pop_front();
       }
       std::string line;
-      if (!next.error.empty()) {
+      if (!next.preformatted.empty()) {
+        line = std::move(next.preformatted);
+      } else if (!next.error.empty()) {
         line = error_line(next.id, next.error).dump();
       } else {
         try {
@@ -163,8 +191,20 @@ int run_jsonl(serve::InferenceServer& server) {
     try {
       const Json request = Json::parse(line);
       pending.id = request.get_int("id", line_number);
-      const std::string code = request.at("code").as_string();
-      pending.future = server.submit(code);
+      if (request.contains("cmd")) {
+        const std::string cmd = request.at("cmd").as_string();
+        if (cmd == "stats") {
+          Json reply = Json::object();
+          reply["id"] = pending.id;
+          reply["stats"] = server.stats_json();
+          pending.preformatted = reply.dump();
+        } else {
+          pending.error = "unknown cmd: " + cmd;
+        }
+      } else {
+        const std::string code = request.at("code").as_string();
+        pending.future = server.submit(code);
+      }
     } catch (const std::exception& e) {
       pending.error = e.what();
     }
@@ -200,19 +240,44 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[rank];
 }
 
-void report_loadgen(const char* label, std::size_t total, double seconds,
+/// Prints the client-side summary line and returns it as the "client" block
+/// of the --stats-out artifact.
+Json report_loadgen(const char* label, std::size_t total, double seconds,
                     std::vector<double> latencies_us) {
   std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p95 = percentile(latencies_us, 0.95);
+  const double p99 = percentile(latencies_us, 0.99);
   std::fprintf(stderr,
                "%s: %zu requests in %.3f s -> %.1f req/s "
-               "(latency p50 %.0f us, p95 %.0f us)\n",
+               "(latency p50 %.0f us, p95 %.0f us, p99 %.0f us)\n",
                label, total, seconds, static_cast<double>(total) / seconds,
-               percentile(latencies_us, 0.50), percentile(latencies_us, 0.95));
+               p50, p95, p99);
+  Json client = Json::object();
+  client["p50_us"] = p50;
+  client["p95_us"] = p95;
+  client["p99_us"] = p99;
+  return client;
+}
+
+void write_stats_artifact(const std::string& path, const Json& report) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open stats-out file: " + path);
+  const std::string text = report.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "loadgen stats written to %s\n", path.c_str());
 }
 
 int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
-                std::size_t total, std::size_t concurrency, bool sequential) {
+                std::size_t total, std::size_t concurrency, bool sequential,
+                const std::string& stats_out) {
   const auto& mix = demo_mix();
+  Json report = Json::object();
+  report["schema"] = "clpp.serve_loadgen.v1";
+  report["requests"] = static_cast<std::int64_t>(total);
+
   if (sequential) {
     // Baseline: the stateful advisor serves one request at a time.
     std::vector<double> latencies;
@@ -224,7 +289,11 @@ int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
       latencies.push_back(std::chrono::duration<double, std::micro>(Clock::now() - s0).count());
     }
     const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-    report_loadgen("sequential", total, seconds, std::move(latencies));
+    report["mode"] = "sequential";
+    report["seconds"] = seconds;
+    report["throughput_rps"] = static_cast<double>(total) / seconds;
+    report["client"] = report_loadgen("sequential", total, seconds, std::move(latencies));
+    if (!stats_out.empty()) write_stats_artifact(stats_out, report);
     return 0;
   }
 
@@ -256,15 +325,39 @@ int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
   }
   for (std::thread& t : clients) t.join();
   const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // Snapshot server-side telemetry before shutdown resets nothing but
+  // *after* all client futures resolved, so the histograms cover every
+  // request of the run.
+  const Json server_stats = server.stats_json();
   server.shutdown();
 
-  report_loadgen("serve", total, seconds, std::move(latencies));
+  report["mode"] = "serve";
+  report["seconds"] = seconds;
+  report["throughput_rps"] = static_cast<double>(total) / seconds;
+  report["client"] = report_loadgen("serve", total, seconds, std::move(latencies));
+  report["server"] = server_stats;
+
   const serve::ServeStats stats = server.stats();
   std::fprintf(stderr,
                "  %llu batches, %.1f rows/batch, %llu coalesced, %llu rejected\n",
                static_cast<unsigned long long>(stats.batches), stats.mean_batch_rows(),
                static_cast<unsigned long long>(stats.coalesced),
                static_cast<unsigned long long>(stats.rejected));
+  // Server-side view: where a request's life went. queue-wait is time spent
+  // waiting for a worker + batch window; the remainder of the latency is
+  // compute (encode + model forwards + extras).
+  const Json& lat = server_stats.at("latency_us");
+  const Json& wait = server_stats.at("queue_wait_us");
+  const double mean_latency = lat.at("mean").as_double();
+  const double mean_wait = wait.at("mean").as_double();
+  const double wait_share = mean_latency > 0.0 ? mean_wait / mean_latency : 0.0;
+  std::fprintf(stderr,
+               "  server latency p50 %.0f us, p95 %.0f us, p99 %.0f us; "
+               "queue-wait %.0f%% of latency (wait %.0f us, compute %.0f us mean)\n",
+               lat.at("p50").as_double(), lat.at("p95").as_double(),
+               lat.at("p99").as_double(), wait_share * 100.0, mean_wait,
+               mean_latency - mean_wait);
+  if (!stats_out.empty()) write_stats_artifact(stats_out, report);
   return 0;
 }
 
@@ -287,6 +380,9 @@ int main(int argc, char** argv) {
   parser.add_int("loadgen", 0, "run a load generator for N requests instead of stdin");
   parser.add_int("concurrency", 32, "closed-loop clients for --loadgen");
   parser.add_flag("sequential", "loadgen baseline: single-request advise() loop");
+  parser.add_string("stats-out", "",
+                    "write the --loadgen report (client+server percentiles) "
+                    "as a JSON artifact");
 
   try {
     if (!parser.parse(argc, argv)) return 0;
@@ -312,7 +408,8 @@ int main(int argc, char** argv) {
     if (total > 0) {
       return run_loadgen(advisor, config, total,
                          static_cast<std::size_t>(parser.get_int("concurrency")),
-                         parser.get_flag("sequential"));
+                         parser.get_flag("sequential"),
+                         parser.get_string("stats-out"));
     }
     serve::InferenceServer server(advisor, config);
     return run_jsonl(server);

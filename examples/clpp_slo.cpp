@@ -1,0 +1,214 @@
+// clpp-slo: declarative SLO gate over serve loadgen artifacts.
+//
+//   clpp-slo --budget slo/budgets.json --stats SLO_serve.stats.json
+//   clpp-slo --budget slo/budgets.json --stats SLO_serve.stats.json
+//            --obs-stats SLO_serve_obs.stats.json
+//
+// `--stats` is a clpp.serve_loadgen.v1 artifact (clpp-serve --loadgen
+// --stats-out); `--budget` is a clpp.slo_budget.v1 document declaring
+// per-histogram percentile ceilings (p50_max/p95_max/p99_max/mean_max/
+// max_max), an error-rate ceiling, and a throughput floor. With
+// `--obs-stats` (the same loadgen re-run under CLPP_OBS=1), the gate
+// additionally checks that full instrumentation costs at most
+// `obs_overhead.max_fraction` of the uninstrumented throughput.
+//
+// Prints one PASS/FAIL line per check; `--json` emits a structured verdict
+// document on stdout instead. Exit code: 0 all checks pass, 1 at least one
+// violation, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace clpp;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot read " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct Check {
+  std::string name;
+  double value = 0.0;
+  double bound = 0.0;
+  bool ok = false;
+  /// "<=" for ceilings, ">=" for floors.
+  const char* op = "<=";
+};
+
+/// Percentile-ceiling budget keys understood inside a histogram budget
+/// object, paired with the stats field they constrain.
+constexpr struct {
+  const char* budget_key;
+  const char* stats_key;
+} kHistCeilings[] = {
+    {"p50_max", "p50"},   {"p95_max", "p95"}, {"p99_max", "p99"},
+    {"mean_max", "mean"}, {"max_max", "max"},
+};
+
+/// Appends one check per `*_max` ceiling the budget declares for a
+/// histogram block (skips silently when the stats artifact lacks the
+/// histogram — an older artifact should not hard-fail a newer budget).
+void check_histogram(const std::string& label, const Json& budget,
+                     const Json& stats, std::vector<Check>& out) {
+  if (!stats.is_null() && stats.contains("count") &&
+      stats.at("count").as_int() == 0)
+    return;  // nothing recorded: percentiles are meaningless zeros
+  for (const auto& ceiling : kHistCeilings) {
+    if (!budget.contains(ceiling.budget_key)) continue;
+    Check check;
+    check.name = label + "." + ceiling.stats_key;
+    check.bound = budget.at(ceiling.budget_key).as_double();
+    if (stats.is_null() || !stats.contains(ceiling.stats_key)) {
+      std::fprintf(stderr, "clpp-slo: stats artifact lacks %s, skipping\n",
+                   check.name.c_str());
+      continue;
+    }
+    check.value = stats.at(ceiling.stats_key).as_double();
+    check.ok = check.value <= check.bound;
+    out.push_back(std::move(check));
+  }
+}
+
+const Json* maybe_at(const Json& obj, const std::string& key) {
+  return obj.contains(key) ? &obj.at(key) : nullptr;
+}
+
+std::vector<Check> evaluate(const Json& budget, const Json& stats,
+                            const Json* obs_stats) {
+  std::vector<Check> checks;
+  const Json* server = maybe_at(stats, "server");
+  if (server == nullptr)
+    throw InvalidArgument(
+        "stats artifact has no \"server\" block (was the loadgen run "
+        "--sequential?)");
+
+  if (const Json* serve_budget = maybe_at(budget, "serve")) {
+    if (const Json* b = maybe_at(*serve_budget, "latency_us"))
+      check_histogram("serve.latency_us", *b, server->at("latency_us"), checks);
+    if (const Json* b = maybe_at(*serve_budget, "queue_wait_us"))
+      check_histogram("serve.queue_wait_us", *b, server->at("queue_wait_us"),
+                      checks);
+    if (serve_budget->contains("error_rate_max")) {
+      const double submitted =
+          static_cast<double>(server->at("submitted").as_int());
+      const double failed = static_cast<double>(server->at("failed").as_int());
+      Check check;
+      check.name = "serve.error_rate";
+      check.value = submitted > 0 ? failed / submitted : 0.0;
+      check.bound = serve_budget->at("error_rate_max").as_double();
+      check.ok = check.value <= check.bound;
+      checks.push_back(std::move(check));
+    }
+    if (serve_budget->contains("min_throughput_rps")) {
+      Check check;
+      check.name = "serve.throughput_rps";
+      check.op = ">=";
+      check.value = stats.at("throughput_rps").as_double();
+      check.bound = serve_budget->at("min_throughput_rps").as_double();
+      check.ok = check.value >= check.bound;
+      checks.push_back(std::move(check));
+    }
+  }
+
+  if (const Json* tasks_budget = maybe_at(budget, "tasks")) {
+    const Json* tasks = maybe_at(*server, "tasks");
+    for (const auto& [task, ceilings] : tasks_budget->fields()) {
+      const Json* task_stats = tasks ? maybe_at(*tasks, task) : nullptr;
+      check_histogram("tasks." + task, ceilings,
+                      task_stats ? *task_stats : Json(), checks);
+    }
+  }
+
+  if (obs_stats != nullptr) {
+    const Json* overhead_budget = maybe_at(budget, "obs_overhead");
+    if (overhead_budget != nullptr &&
+        overhead_budget->contains("max_fraction")) {
+      const double off_rps = stats.at("throughput_rps").as_double();
+      const double on_rps = obs_stats->at("throughput_rps").as_double();
+      Check check;
+      check.name = "obs_overhead.fraction";
+      // Overhead is the throughput lost with CLPP_OBS=1; instrumentation
+      // coming out *faster* (scheduling noise) counts as zero overhead.
+      check.value = off_rps > 0 ? std::max(0.0, (off_rps - on_rps) / off_rps)
+                                : 0.0;
+      check.bound = overhead_budget->at("max_fraction").as_double();
+      check.ok = check.value <= check.bound;
+      checks.push_back(std::move(check));
+    }
+  }
+  return checks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("clpp-slo",
+                   "evaluate serve loadgen artifacts against declarative "
+                   "latency/error/overhead budgets");
+  parser.add_string("budget", "slo/budgets.json",
+                    "clpp.slo_budget.v1 budget document");
+  parser.add_string("stats", "",
+                    "clpp.serve_loadgen.v1 artifact (clpp-serve --loadgen "
+                    "--stats-out)");
+  parser.add_string("obs-stats", "",
+                    "same artifact re-run under CLPP_OBS=1, enabling the "
+                    "instrumentation-overhead check");
+  parser.add_flag("json", "emit a structured verdict document on stdout");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    const std::string stats_path = parser.get_string("stats");
+    if (stats_path.empty()) throw InvalidArgument("pass --stats <artifact>");
+    const Json budget = Json::parse(slurp(parser.get_string("budget")));
+    const Json stats = Json::parse(slurp(stats_path));
+    Json obs_stats;
+    const std::string obs_path = parser.get_string("obs-stats");
+    if (!obs_path.empty()) obs_stats = Json::parse(slurp(obs_path));
+
+    const std::vector<Check> checks =
+        evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats);
+
+    std::size_t failures = 0;
+    for (const Check& check : checks)
+      if (!check.ok) ++failures;
+
+    if (parser.get_flag("json")) {
+      Json verdict = Json::object();
+      verdict["schema"] = "clpp.slo_verdict.v1";
+      verdict["checks"] = Json::array();
+      for (const Check& check : checks) {
+        Json entry = Json::object();
+        entry["name"] = check.name;
+        entry["value"] = check.value;
+        entry["bound"] = check.bound;
+        entry["op"] = check.op;
+        entry["ok"] = check.ok;
+        verdict["checks"].push_back(std::move(entry));
+      }
+      verdict["failures"] = static_cast<std::int64_t>(failures);
+      verdict["ok"] = failures == 0;
+      std::printf("%s\n", verdict.dump().c_str());
+    } else {
+      for (const Check& check : checks)
+        std::printf("%s %s: %.3f %s %.3f\n", check.ok ? "PASS" : "FAIL",
+                    check.name.c_str(), check.value, check.op, check.bound);
+      std::printf("%zu/%zu checks passed\n", checks.size() - failures,
+                  checks.size());
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    return report_cli_error("clpp-slo", e);
+  }
+}

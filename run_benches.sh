@@ -37,6 +37,17 @@ for b in "$BUILD_DIR"/bench/$pattern; do
 done
 done
 
+# When the serve bench ran, also capture a loadgen stats artifact
+# (clpp.serve_loadgen.v1: throughput + client/server latency percentiles +
+# queue-wait vs compute split). clpp-profdiff ignores its shape; it is the
+# input scripts/check_slo.sh evaluates against slo/budgets.json.
+if [ -f "$OUT_DIR/BENCH_bench_serve.json" ] && [ -x "$BUILD_DIR/examples/clpp-serve" ]; then
+  echo "########## clpp-serve --loadgen ##########"
+  "$BUILD_DIR/examples/clpp-serve" --random-model --no-analysis --no-compar \
+    --loadgen 128 --stats-out "$OUT_DIR/BENCH_serve_loadgen.stats.json"
+  echo
+fi
+
 if [ -x "$BUILD_DIR/examples/clpp-profdiff" ]; then
   "$BUILD_DIR/examples/clpp-profdiff" --summarize "$OUT_DIR"
 fi

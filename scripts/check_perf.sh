@@ -7,7 +7,8 @@
 #   $ WARN_ONLY=1 scripts/check_perf.sh   # report regressions but exit 0
 #
 # Exits non-zero when any tracked time-like series (benchmark real/cpu time,
-# latency-histogram means) regressed beyond THRESHOLD. When no baseline has
+# latency-histogram mean/p95/p99 — tails included, so a regression that only
+# fattens the tail still fails) regressed beyond THRESHOLD. When no baseline has
 # been recorded yet this warns and exits 0, so the script is safe to wire
 # into CI before the first baseline lands. WARN_ONLY=1 keeps the job
 # non-blocking (shared CI runners time benchmarks noisily); promote to

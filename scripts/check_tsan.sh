@@ -1,7 +1,9 @@
 #!/bin/sh
-# ThreadSanitizer gate for the serving scheduler: build with
-# -DCLPP_SANITIZE_THREAD=ON and run the `serve`-labeled tests (request
-# queue, micro-batching workers, backpressure, drain-on-shutdown). TSan is
+# ThreadSanitizer gate for the serving scheduler and the observability
+# plumbing it leans on: build with -DCLPP_SANITIZE_THREAD=ON and run the
+# `serve`- and `obs`-labeled tests (request queue, micro-batching workers,
+# backpressure, drain-on-shutdown, sharded histograms under concurrent
+# writers, flight-recorder rings, the metrics streamer thread). TSan is
 # mutually exclusive with ASan/UBSan, hence a separate build tree from
 # check_sanitize.sh.
 #
@@ -18,4 +20,4 @@ cmake --build "$BUILD_DIR" -j >/dev/null
 cd "$BUILD_DIR"
 # halt_on_error turns any reported race into a test failure.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --output-on-failure -j"$(nproc)" -L serve ${CTEST_ARGS:-}
+ctest --output-on-failure -j"$(nproc)" -L "serve|obs" ${CTEST_ARGS:-}

@@ -47,9 +47,24 @@ Advice ParallelAdvisor::advise(const std::string& code,
 
 std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>& codes,
                                                   const AdviseOptions& options) const {
+  return advise_batch(codes, options, nullptr);
+}
+
+std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>& codes,
+                                                  const AdviseOptions& options,
+                                                  BatchTiming* timing) const {
   std::vector<Advice> out(codes.size());
   if (codes.empty()) return out;
   CLPP_TRACE_SPAN_ARG("advise.batch", codes.size());
+
+  // Stage stopwatch: reads the tracer's steady clock only when the caller
+  // asked for a timing breakdown, so the plain path pays nothing.
+  const auto stage_clock = [&]() -> std::uint64_t {
+    return timing != nullptr ? obs::Tracer::now_ns() : 0;
+  };
+  const auto charge = [&](std::uint64_t BatchTiming::*slot, std::uint64_t begin_ns) {
+    if (timing != nullptr) timing->*slot += obs::Tracer::now_ns() - begin_ns;
+  };
 
   // Coalesce duplicate snippets before any tokenization or inference: advice
   // is a pure function of the code text, so identical requests in one batch
@@ -69,6 +84,13 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
       unique_of[i] = it->second;
     }
   }
+  if (timing != nullptr) {
+    timing->unique_rows = uniques.size();
+    timing->coalesced = codes.size() - uniques.size();
+    timing->coalesced_of.assign(codes.size(), 0);
+    for (std::size_t i = 0; i < codes.size(); ++i)
+      if (uniques[unique_of[i]] != i) timing->coalesced_of[i] = 1;
+  }
   std::vector<Advice> advices(uniques.size());
 
   // Encode every distinct snippet once, then bucket by exact encoded length:
@@ -77,8 +99,10 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
   // independently, in the same order — each row's verdict is bitwise equal
   // to a batch-of-one forward.
   std::vector<std::vector<std::int32_t>> encoded(uniques.size());
+  const std::uint64_t encode_begin = stage_clock();
   for (std::size_t u = 0; u < uniques.size(); ++u)
     encoded[u] = vocab_.encode(tokenize::tokenize(codes[uniques[u]], rep_), max_len_);
+  charge(&BatchTiming::encode_ns, encode_begin);
 
   // Runs `model` over `subset` (indices into codes), one forward per
   // length-bucket, and writes each probability via `sink(index, p)`.
@@ -104,10 +128,12 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
 
   std::vector<std::size_t> all(uniques.size());
   std::iota(all.begin(), all.end(), 0);
+  const std::uint64_t directive_begin = stage_clock();
   score_subset(*directive_model_, all, [&](std::size_t i, float p) {
     advices[i].p_directive = p;
     advices[i].needs_directive = p > 0.5f;
   });
+  charge(&BatchTiming::directive_ns, directive_begin);
 
   // The clause/schedule models only run for snippets the directive model
   // marked positive — exactly the sequential path's conditional scoring.
@@ -115,24 +141,31 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
   for (std::size_t i = 0; i < advices.size(); ++i)
     if (advices[i].needs_directive) positive.push_back(i);
   if (!positive.empty()) {
+    const std::uint64_t private_begin = stage_clock();
     score_subset(*private_model_, positive, [&](std::size_t i, float p) {
       advices[i].p_private = p;
       advices[i].needs_private = p > 0.5f;
     });
+    charge(&BatchTiming::private_ns, private_begin);
+    const std::uint64_t reduction_begin = stage_clock();
     score_subset(*reduction_model_, positive, [&](std::size_t i, float p) {
       advices[i].p_reduction = p;
       advices[i].needs_reduction = p > 0.5f;
     });
+    charge(&BatchTiming::reduction_ns, reduction_begin);
     if (schedule_model_) {
+      const std::uint64_t schedule_begin = stage_clock();
       score_subset(*schedule_model_, positive, [&](std::size_t i, float p) {
         advices[i].p_dynamic = p;
         advices[i].wants_dynamic_schedule = p > 0.5f;
       });
+      charge(&BatchTiming::schedule_ns, schedule_begin);
     }
   }
 
   // Deterministic per-snippet machinery (clause naming, ComPar comparison),
   // still once per *distinct* snippet.
+  const std::uint64_t extras_begin = stage_clock();
   for (std::size_t u = 0; u < uniques.size(); ++u) {
     const std::string& code = codes[uniques[u]];
     Advice& advice = advices[u];
@@ -172,6 +205,7 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
         advice.compar_suggestion = result.combined.directive->to_string();
     }
   }
+  charge(&BatchTiming::extras_ns, extras_begin);
 
   // Fan the per-unique verdicts back out to every request position.
   for (std::size_t i = 0; i < codes.size(); ++i) out[i] = advices[unique_of[i]];

@@ -46,6 +46,32 @@ struct AdviseOptions {
   bool with_compar = true;
 };
 
+/// Where one `advise_batch` call spent its time, broken down by stage, plus
+/// which input rows were answered by coalescing onto an earlier duplicate.
+/// Filled only when a caller passes a non-null pointer; the measurement
+/// itself is a handful of steady-clock reads, cheap enough for the serve
+/// path to request on every batch.
+struct BatchTiming {
+  std::uint64_t encode_ns = 0;     // tokenize + vocab encode of distinct rows
+  std::uint64_t directive_ns = 0;  // directive-model forward passes
+  std::uint64_t private_ns = 0;    // private-clause model forward passes
+  std::uint64_t reduction_ns = 0;  // reduction-clause model forward passes
+  std::uint64_t schedule_ns = 0;   // schedule model forward passes (if attached)
+  std::uint64_t extras_ns = 0;     // analyzer + ComPar deterministic extras
+  /// Distinct snippets actually run through the models.
+  std::size_t unique_rows = 0;
+  /// Inputs answered from another row's verdict (batch size − unique_rows).
+  std::size_t coalesced = 0;
+  /// Per-input flag: 1 when input i re-used an earlier duplicate's verdict.
+  std::vector<std::uint8_t> coalesced_of;
+
+  /// Total model-forward time — the "inference" share a serving layer
+  /// reports per request.
+  std::uint64_t infer_ns() const {
+    return directive_ns + private_ns + reduction_ns + schedule_ns;
+  }
+};
+
 /// Bundles three trained models and a vocabulary into an advisor.
 class ParallelAdvisor {
  public:
@@ -76,6 +102,13 @@ class ParallelAdvisor {
   /// clpp::serve micro-batching scheduler drives.
   std::vector<Advice> advise_batch(const std::vector<std::string>& codes,
                                    const AdviseOptions& options = {}) const;
+
+  /// As above, additionally reporting the per-stage time split and
+  /// coalescing map in `*timing` (ignored when null). The verdicts are
+  /// identical to the two-argument overload.
+  std::vector<Advice> advise_batch(const std::vector<std::string>& codes,
+                                   const AdviseOptions& options,
+                                   BatchTiming* timing) const;
 
   /// Convenience: trains a full advisor (directive + private + reduction +
   /// schedule models) from a fresh pipeline.

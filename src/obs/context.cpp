@@ -1,0 +1,61 @@
+#include "obs/context.h"
+
+#include <chrono>
+
+namespace clpp::obs {
+
+namespace detail {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Sequential ids mixed through splitmix64: unique within the process, and
+/// salted with the wall clock once so two processes tracing into the same
+/// artifact directory do not collide on trace ids.
+std::uint64_t next_id() {
+  static const std::uint64_t salt = mix64(static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id =
+      mix64(salt ^ counter.fetch_add(1, std::memory_order_relaxed));
+  // 0 is the sentinel for "no context"; remap the (astronomically rare) hit.
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
+}  // namespace detail
+
+TraceContext TraceContext::mint() {
+  TraceContext context;
+  context.trace_id = detail::next_id();
+  context.span_id = context.trace_id;
+  context.parent_span_id = 0;
+  return context;
+}
+
+TraceContext TraceContext::child() const {
+  TraceContext next;
+  next.trace_id = trace_id;
+  next.span_id = detail::next_id();
+  next.parent_span_id = span_id;
+  return next;
+}
+
+std::string TraceContext::trace_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = trace_id;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace clpp::obs

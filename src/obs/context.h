@@ -1,0 +1,58 @@
+// Request-scoped trace context: the causal identity a request carries as it
+// hops threads (submitter → queue → batch worker → response).
+//
+// A `TraceContext` is minted once per request (`TraceContext::mint()`), and
+// every span recorded on the request's behalf — on whichever thread — tags
+// itself with the context's `trace_id` plus a flow phase. The Chrome trace
+// exporter turns those tags into `trace_event` *flow events* (ph "s"/"t"/"f"
+// sharing one id), so Perfetto draws arrows linking the request's
+// queue-wait, batch-wait, and compute segments across thread lanes into one
+// connected story. `span_id`/`parent_span_id` give the same events a
+// parent/child shape for consumers that want a span tree rather than a
+// timeline (the JSON-lines serve response reports `trace_id` so a client
+// can grep the trace for its own request).
+//
+// Minting is wait-free (one relaxed fetch_add plus a splitmix64 hash) and
+// happens regardless of `obs::enabled()` — a request id is part of the
+// serving contract, not an observability extra.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace clpp::obs {
+
+/// How a tagged span participates in its request's flow lane.
+enum class FlowPhase : std::uint8_t {
+  kNone = 0,   ///< span carries no flow linkage
+  kStart = 1,  ///< first segment of the request (Chrome ph "s")
+  kStep = 2,   ///< intermediate segment (Chrome ph "t")
+  kEnd = 3,    ///< final segment (Chrome ph "f")
+};
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< nonzero once minted; stable per request
+  std::uint64_t span_id = 0;   ///< this hop's span
+  std::uint64_t parent_span_id = 0;  ///< 0 for the root hop
+
+  bool active() const { return trace_id != 0; }
+
+  /// Fresh root context: new trace_id, span_id == trace_id, no parent.
+  static TraceContext mint();
+
+  /// Child context for the next hop: same trace, new span_id, parented on
+  /// this context's span_id.
+  TraceContext child() const;
+
+  /// 16-hex-digit trace id (the wire form used in serve responses and as
+  /// the Chrome flow-event id).
+  std::string trace_hex() const;
+};
+
+namespace detail {
+/// splitmix64 — the mixer minting uses to decorrelate sequential ids.
+std::uint64_t mix64(std::uint64_t x);
+}  // namespace detail
+
+}  // namespace clpp::obs

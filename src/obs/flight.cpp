@@ -1,0 +1,191 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace clpp::obs {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{true};
+}  // namespace detail
+
+namespace {
+
+/// One ring slot. Fields are individually-relaxed atomics so a dump racing
+/// a wrap-around writer reads a possibly mixed but never torn event — the
+/// flight recorder must stay readable from a crash path while every other
+/// thread keeps running.
+struct Slot {
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<const char*> kind{nullptr};
+  std::atomic<std::int64_t> a{0};
+  std::atomic<std::int64_t> b{0};
+};
+
+struct ThreadRing {
+  explicit ThreadRing(std::uint32_t id) : tid(id), slots(kFlightCapacity) {}
+  std::uint32_t tid;
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> count{0};  // monotonic; slot = count % capacity
+};
+
+struct FlightState {
+  std::mutex mu;  // guards ring registration, reset, and the dump path
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::atomic<std::uint64_t> reset_generation{0};
+  std::string out_path = "clpp_flight.json";
+  std::atomic<bool> dump_on_fault{false};
+};
+
+FlightState& state() {
+  static FlightState* s = new FlightState;  // leaked: usable during exit/crash
+  return *s;
+}
+
+ThreadRing& ring_for_this_thread() {
+  struct Cache {
+    ThreadRing* ring = nullptr;
+    std::uint64_t generation = 0;
+  };
+  thread_local Cache cache;
+  FlightState& s = state();
+  const std::uint64_t generation =
+      s.reset_generation.load(std::memory_order_acquire);
+  if (cache.ring == nullptr || cache.generation != generation) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto ring =
+        std::make_unique<ThreadRing>(static_cast<std::uint32_t>(s.rings.size()));
+    cache.ring = ring.get();
+    cache.generation = generation;
+    s.rings.push_back(std::move(ring));
+  }
+  return *cache.ring;
+}
+
+}  // namespace
+
+void set_flight_enabled(bool on) {
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void flight_record(const char* kind, std::int64_t a, std::int64_t b) {
+  if (!flight_enabled()) return;
+  ThreadRing& ring = ring_for_this_thread();
+  const std::uint64_t i = ring.count.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[i % kFlightCapacity];
+  slot.ts_ns.store(Tracer::now_ns(), std::memory_order_relaxed);
+  slot.kind.store(kind, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  ring.count.store(i + 1, std::memory_order_release);
+}
+
+Json flight_json(const std::string& reason) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  Json events = Json::array();
+  for (const auto& ring : s.rings) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    recorded += n;
+    if (n > kFlightCapacity) dropped += n - kFlightCapacity;
+    const std::uint64_t live = std::min<std::uint64_t>(n, kFlightCapacity);
+    for (std::uint64_t i = n - live; i < n; ++i) {
+      const Slot& slot = ring->slots[i % kFlightCapacity];
+      const char* kind = slot.kind.load(std::memory_order_relaxed);
+      if (kind == nullptr) continue;  // slot raced a concurrent wrap
+      Json ev = Json::object();
+      ev["ts_us"] =
+          static_cast<double>(slot.ts_ns.load(std::memory_order_relaxed)) / 1e3;
+      ev["tid"] = static_cast<std::int64_t>(ring->tid);
+      ev["kind"] = std::string(kind);
+      ev["a"] = slot.a.load(std::memory_order_relaxed);
+      ev["b"] = slot.b.load(std::memory_order_relaxed);
+      events.push_back(std::move(ev));
+    }
+  }
+  Json doc = Json::object();
+  doc["schema"] = "clpp.flight.v1";
+  doc["reason"] = reason;
+  doc["recorded"] = static_cast<std::int64_t>(recorded);
+  doc["dropped"] = static_cast<std::int64_t>(dropped);
+  doc["events"] = std::move(events);
+  return doc;
+}
+
+void set_flight_out(std::string path) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.out_path = std::move(path);
+  s.dump_on_fault.store(!s.out_path.empty(), std::memory_order_relaxed);
+}
+
+std::string flight_out() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.out_path;
+}
+
+bool flight_dump_on_fault() {
+  return state().dump_on_fault.load(std::memory_order_relaxed);
+}
+
+bool dump_flight(const std::string& reason) noexcept {
+  try {
+    if (!flight_enabled()) return false;
+    const std::string path = flight_out();
+    if (path.empty()) return false;
+    const std::string text = flight_json(reason).dump();
+    // Plain fopen/fwrite, no temp+rename: this runs on crash paths where
+    // simplicity beats atomicity, and a half-written dump still beats none.
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (written != text.size()) return false;
+    std::fprintf(stderr, "clpp::obs: flight recorder dumped to %s (%s)\n",
+                 path.c_str(), reason.c_str());
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::uint64_t flight_recorded() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : s.rings)
+    total += ring->count.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t flight_dropped() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : s.rings) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    if (n > kFlightCapacity) total += n - kFlightCapacity;
+  }
+  return total;
+}
+
+void reset_flight() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Abandon old rings (writers mid-record stay safe until they observe the
+  // new generation), mirroring Tracer::reset.
+  s.reset_generation.fetch_add(1, std::memory_order_release);
+  for (auto& ring : s.rings) ring->count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace clpp::obs

@@ -3,9 +3,12 @@
 #include <cstdlib>
 #include <cstdio>
 
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
+#include "support/cli.h"
 #include "support/error.h"
 #include "support/json.h"
 
@@ -97,11 +100,28 @@ void init_from_env() {
   if (const char* v = std::getenv("CLPP_LOG_LEVEL"))
     set_log_level(parse_log_level(v));
   if (const char* v = std::getenv("CLPP_LOG_OUT")) set_log_path(v);
+  if (const char* v = std::getenv("CLPP_FLIGHT"))
+    set_flight_enabled(v[0] != '\0' && v[0] != '0');
+  if (const char* v = std::getenv("CLPP_FLIGHT_OUT")) set_flight_out(v);
+  if (const char* v = std::getenv("CLPP_METRICS_STREAM")) {
+    std::uint64_t interval_ms = 500;
+    if (const char* ms = std::getenv("CLPP_METRICS_STREAM_MS")) {
+      const long parsed = std::atol(ms);
+      if (parsed > 0) interval_ms = static_cast<std::uint64_t>(parsed);
+    }
+    MetricsStreamer::instance().start(v, interval_ms);
+  }
 }
 
 namespace {
-// Any binary linking clpp_obs picks up the CLPP_* environment at start.
-[[maybe_unused]] const bool g_env_applied = (init_from_env(), true);
+// Any binary linking clpp_obs picks up the CLPP_* environment at start, and
+// installs the fatal hook that dumps the flight recorder from the CLI
+// exception boundary (support cannot link obs, so obs reaches down).
+[[maybe_unused]] const bool g_env_applied = [] {
+  init_from_env();
+  set_fatal_hook([] { dump_flight("cli_fatal"); });
+  return true;
+}();
 }  // namespace
 
 }  // namespace clpp::obs

@@ -13,6 +13,11 @@
 //   CLPP_METRICS_OUT=PATH   write the metrics snapshot JSON here at exit
 //   CLPP_LOG_LEVEL=debug|info|warn|error|off   structured-log threshold
 //   CLPP_LOG_OUT=PATH       JSON-lines log sink (default stderr)
+//   CLPP_FLIGHT=0           disable the always-on flight recorder (flight.h)
+//   CLPP_FLIGHT_OUT=PATH    crash-dump destination; also arms dumping on
+//                           injected resil faults
+//   CLPP_METRICS_STREAM=PATH        stream metrics deltas as JSON lines
+//   CLPP_METRICS_STREAM_MS=500      streaming interval (stream.h)
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,151 @@
+#include "obs/stream.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace clpp::obs {
+
+struct MetricsStreamer::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread worker;
+  bool stopping = false;
+  bool running = false;
+  std::string path;
+  std::uint64_t interval_ms = 500;
+  std::atomic<std::uint64_t> emitted{0};
+
+  // Last-tick cumulative values, for delta computation.
+  std::map<std::string, double> last_counters;
+  std::map<std::string, double> last_hist_counts;
+  std::uint64_t seq = 0;
+  std::FILE* sink = nullptr;
+
+  void emit_line() {
+    const Json snapshot = metrics().to_json();
+    Json line = Json::object();
+    line["schema"] = "clpp.metrics_stream.v1";
+    line["seq"] = static_cast<std::int64_t>(seq++);
+    line["ts_ms"] = static_cast<double>(Tracer::now_ns()) / 1e6;
+
+    Json counters = Json::object();
+    for (const auto& [name, v] : snapshot.at("counters").fields()) {
+      const double now = v.as_double();
+      const double delta = now - last_counters[name];
+      last_counters[name] = now;
+      if (delta != 0.0) counters[name] = delta;
+    }
+    line["counters"] = std::move(counters);
+
+    Json gauges = Json::object();
+    for (const auto& [name, v] : snapshot.at("gauges").fields())
+      gauges[name] = v.as_double();
+    line["gauges"] = std::move(gauges);
+
+    Json histograms = Json::object();
+    for (const auto& [name, stats] : snapshot.at("histograms").fields()) {
+      const double count = stats.at("count").as_double();
+      const double delta = count - last_hist_counts[name];
+      last_hist_counts[name] = count;
+      if (delta == 0.0) continue;  // nothing recorded since the last tick
+      Json h = Json::object();
+      h["count"] = delta;
+      for (const char* q : {"p50", "p95", "p99", "mean", "max"})
+        h[q] = stats.at(q).as_double();
+      histograms[name] = std::move(h);
+    }
+    line["histograms"] = std::move(histograms);
+
+    const std::string text = line.dump();
+    std::fwrite(text.data(), 1, text.size(), sink);
+    std::fputc('\n', sink);
+    std::fflush(sink);
+    emitted.fetch_add(1, std::memory_order_release);
+  }
+
+  void loop() {
+    std::unique_lock lock(mu);
+    while (!stopping) {
+      cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                  [&] { return stopping; });
+      if (stopping) break;  // stop() emits the final line after the join
+      if (sink != nullptr) emit_line();
+    }
+  }
+};
+
+MetricsStreamer::MetricsStreamer() : impl_(new Impl) {}
+
+MetricsStreamer& MetricsStreamer::instance() {
+  static MetricsStreamer* streamer = new MetricsStreamer();
+  return *streamer;
+}
+
+void MetricsStreamer::start(std::string path, std::uint64_t interval_ms) {
+  stop();
+  // Force-construct the statics the streamer thread touches before
+  // registering the atexit stop, so destruction order can never beat the
+  // final flush (same discipline as obs.cpp's register_exit_export).
+  metrics();
+  Tracer::now_ns();
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->sink = std::fopen(path.c_str(), "a");
+    if (impl_->sink == nullptr) {
+      std::fprintf(stderr, "clpp::obs: cannot open metrics stream sink: %s\n",
+                   path.c_str());
+      return;
+    }
+    impl_->path = std::move(path);
+    impl_->interval_ms = interval_ms == 0 ? 1 : interval_ms;
+    impl_->stopping = false;
+    impl_->running = true;
+    impl_->worker = std::thread([this] { impl_->loop(); });
+  }
+  static const bool exit_hook_registered = [] {
+    std::atexit([] { MetricsStreamer::instance().stop(); });
+    return true;
+  }();
+  (void)exit_hook_registered;
+}
+
+void MetricsStreamer::stop() {
+  std::thread worker;
+  {
+    std::lock_guard lock(impl_->mu);
+    if (!impl_->running) return;
+    impl_->stopping = true;
+    worker = std::move(impl_->worker);
+  }
+  impl_->cv.notify_all();
+  if (worker.joinable()) worker.join();
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->sink != nullptr) {
+      impl_->emit_line();  // final flush: deltas since the last tick
+      std::fclose(impl_->sink);
+      impl_->sink = nullptr;
+    }
+    impl_->running = false;
+    impl_->stopping = false;
+  }
+}
+
+bool MetricsStreamer::running() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->running;
+}
+
+std::uint64_t MetricsStreamer::emitted() const {
+  return impl_->emitted.load(std::memory_order_acquire);
+}
+
+}  // namespace clpp::obs

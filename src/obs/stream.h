@@ -1,0 +1,53 @@
+// Live telemetry streamer: a background thread that periodically snapshots
+// the metrics registry and appends one JSON line of *deltas* to a sink —
+// a poll-free time series an operator (or a test) can tail while the
+// process serves traffic:
+//
+//   {"schema":"clpp.metrics_stream.v1","seq":3,"ts_ms":1500,
+//    "counters":{"clpp.serve.requests":128},          // delta since last line
+//    "gauges":{"clpp.serve.queue_depth":7},           // current value
+//    "histograms":{"clpp.serve.latency_us":
+//        {"count":128,"p50":others,"p95":...,"p99":...}}}  // count is a delta,
+//                                                          // quantiles cumulative
+//
+// Counters and histogram counts are reported as deltas (unchanged metrics
+// are omitted, so an idle process streams near-empty lines); gauges and
+// histogram quantiles are instantaneous. The final line on `stop()` flushes
+// whatever changed since the previous tick.
+//
+// Activation: CLPP_METRICS_STREAM=PATH [CLPP_METRICS_STREAM_MS=500] at
+// process start, or programmatic `start()`. The snapshot thread only reads
+// registry atomics, so it is safe (and TSan-clean) against concurrent
+// recorders on every other thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clpp::obs {
+
+class MetricsStreamer {
+ public:
+  /// The process-wide streamer.
+  static MetricsStreamer& instance();
+
+  /// Starts (or restarts) streaming to `path`, one line every
+  /// `interval_ms`. Restarting flushes and joins the previous thread first.
+  void start(std::string path, std::uint64_t interval_ms = 500);
+
+  /// Flushes a final delta line, joins the thread, closes the sink.
+  /// Idempotent; registered atexit by `start`.
+  void stop();
+
+  bool running() const;
+
+  /// Lines written since the streamer was created (tests poll this).
+  std::uint64_t emitted() const;
+
+ private:
+  MetricsStreamer();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: see Tracer
+};
+
+}  // namespace clpp::obs

@@ -21,6 +21,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/context.h"
 #include "obs/obs.h"
 
 namespace clpp {
@@ -40,9 +41,13 @@ class Tracer {
   /// Nanoseconds since the process trace epoch (steady clock).
   static std::uint64_t now_ns();
 
-  /// Appends one complete event to the calling thread's ring buffer.
+  /// Appends one complete event to the calling thread's ring buffer. A
+  /// nonzero `flow_id` with a non-kNone `phase` additionally links the span
+  /// into a cross-thread flow lane (Chrome "s"/"t"/"f" events sharing the
+  /// id), the request-scoped causal linkage clpp::serve uses.
   void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
-              std::int64_t arg = kNoArg);
+              std::int64_t arg = kNoArg, std::uint64_t flow_id = 0,
+              FlowPhase phase = FlowPhase::kNone);
 
   /// Chrome trace_event JSON document ({"traceEvents": [...]}) over every
   /// event currently held in the ring buffers.
@@ -79,6 +84,8 @@ class Tracer {
     std::uint64_t begin_ns;
     std::uint64_t end_ns;
     std::int64_t arg;
+    std::uint64_t flow_id;  // 0 = span is not part of a request flow
+    FlowPhase flow;
   };
 
  private:

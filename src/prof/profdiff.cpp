@@ -146,8 +146,13 @@ bool series_is_tracked(const std::string& key) {
   };
   if (key.find(":bench:") != std::string::npos)
     return ends_with(":real_time_ns") || ends_with(":cpu_time_ns");
+  // Latency histograms gate on tail percentiles as well as the mean: a
+  // regression that only fattens the tail (lock contention, a stalled
+  // batch window) leaves the mean almost untouched but is exactly what a
+  // serving path must catch.
   if (key.find(":hist:") != std::string::npos)
-    return key.find("latency_us") != std::string::npos && ends_with(":mean");
+    return key.find("latency_us") != std::string::npos &&
+           (ends_with(":mean") || ends_with(":p95") || ends_with(":p99"));
   return false;
 }
 

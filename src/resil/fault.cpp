@@ -6,6 +6,7 @@
 #include <mutex>
 #include <new>
 
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "support/strings.h"
@@ -40,12 +41,19 @@ bool arm_seam(const char* seam) {
   const auto& t = seam_state.triggers;
   if (!std::binary_search(t.begin(), t.end(), seam_state.hits)) return false;
   obs::metrics().counter("clpp.resil.faults_injected").add(1);
+  obs::flight_record("resil.fault",
+                     static_cast<std::int64_t>(seam_state.hits));
   if (obs::log_enabled(obs::LogLevel::kWarn)) {
     Json fields = Json::object();
     fields["seam"] = seam;
     fields["arrival"] = static_cast<std::int64_t>(seam_state.hits);
     obs::log_warn("resil", "injecting fault", std::move(fields));
   }
+  // An injected fault models a production failure about to unwind the
+  // stack: when a dump destination is configured, ship the flight recorder
+  // *before* throwing so the artifact exists even if nothing catches.
+  if (obs::flight_dump_on_fault())
+    obs::dump_flight(std::string("resil.fault:") + seam);
   return true;
 }
 

@@ -18,15 +18,19 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "obs/context.h"
 #include "serve/serve.h"
 
 namespace clpp::serve {
 
 /// One queued inference request: the snippet, the promise the worker
-/// completes, and the steady-clock enqueue stamp for time-in-queue metrics.
+/// completes, the trace context minted at submit() (carried across the
+/// queue so client and worker spans share one flow id), and the
+/// steady-clock enqueue stamp for time-in-queue metrics.
 struct PendingRequest {
   std::string code;
-  std::promise<core::Advice> result;
+  std::promise<ServedAdvice> result;
+  obs::TraceContext trace;
   std::uint64_t enqueue_ns = 0;
 };
 

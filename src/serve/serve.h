@@ -71,6 +71,33 @@ struct ServeConfig {
   void validate() const;
 };
 
+/// Where one served request spent its life, measured on the serve path and
+/// returned with every response (so a client can see "was I queued, batched,
+/// or slow to infer?" without server-side log spelunking).
+struct RequestTiming {
+  /// Request-scoped trace id minted at submit(); the same id tags the
+  /// request's spans in the Chrome trace (flow events), so a slow response
+  /// can be looked up in the timeline by this value.
+  std::uint64_t trace_id = 0;
+  /// submit() to the moment a worker collected the request into a batch.
+  std::uint64_t queue_us = 0;
+  /// Batch collection to verdicts ready (the whole serve_batch pass the
+  /// request rode in, including encode + extras).
+  std::uint64_t batch_us = 0;
+  /// Model-forward share of batch_us (all task models, whole batch).
+  std::uint64_t infer_us = 0;
+  /// True when this request re-used a batchmate's verdict instead of its
+  /// own forward pass (duplicate snippet coalescing).
+  bool coalesced = false;
+};
+
+/// What `InferenceServer::submit` futures resolve to: the verdict plus the
+/// request's timing breakdown.
+struct ServedAdvice {
+  core::Advice advice;
+  RequestTiming timing;
+};
+
 /// Monotonic counters snapshot (see InferenceServer::stats).
 struct ServeStats {
   std::uint64_t submitted = 0;  ///< accepted into the queue

@@ -1,14 +1,13 @@
 #include "serve/server.h"
 
 #include <exception>
-#include <string_view>
-#include <unordered_set>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/log.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resil/fault.h"
+#include "support/json.h"
 
 namespace clpp::serve {
 
@@ -24,12 +23,35 @@ obs::Gauge& depth_gauge() {
   return gauge;
 }
 
+/// Streaming percentile snapshot of one histogram for stats_json(). Empty
+/// histograms report zeros (their min/max sentinels are non-finite and
+/// would not round-trip through JSON).
+Json hist_block(const obs::Histogram& hist) {
+  Json block = Json::object();
+  const std::uint64_t count = hist.count();
+  block["count"] = static_cast<std::int64_t>(count);
+  block["mean"] = count > 0 ? hist.mean() : 0.0;
+  block["p50"] = count > 0 ? hist.quantile(0.50) : 0.0;
+  block["p95"] = count > 0 ? hist.quantile(0.95) : 0.0;
+  block["p99"] = count > 0 ? hist.quantile(0.99) : 0.0;
+  block["max"] = count > 0 ? hist.max() : 0.0;
+  return block;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(const core::ParallelAdvisor& advisor,
                                  ServeConfig config)
     : config_(std::move(config)),
-      queue_(config_.queue_capacity, config_.overflow) {
+      queue_(config_.queue_capacity, config_.overflow),
+      latency_us_(obs::default_latency_buckets_us()),
+      queue_wait_us_(obs::default_latency_buckets_us()),
+      infer_us_(obs::default_latency_buckets_us()),
+      batch_size_(batch_size_bounds()),
+      directive_us_(obs::default_latency_buckets_us()),
+      private_us_(obs::default_latency_buckets_us()),
+      reduction_us_(obs::default_latency_buckets_us()),
+      schedule_us_(obs::default_latency_buckets_us()) {
   config_.validate();
   replicas_.reserve(config_.workers);
   workers_.reserve(config_.workers);
@@ -50,16 +72,25 @@ InferenceServer::~InferenceServer() {
   }
 }
 
-std::future<core::Advice> InferenceServer::submit(std::string code) {
+std::future<ServedAdvice> InferenceServer::submit(std::string code) {
   if (stopped_.load(std::memory_order_acquire))
     throw ServeShutdown("InferenceServer::submit after shutdown");
   resil::fault_point("serve.enqueue");
   PendingRequest request;
   request.code = std::move(code);
+  // Mint the request's trace context unconditionally: the trace id rides
+  // back in the response (and tags flight-recorder events) even when span
+  // tracing is off. Minting is a wait-free counter mix, ~free.
+  request.trace = obs::TraceContext::mint();
   request.enqueue_ns = obs::Tracer::now_ns();
-  std::future<core::Advice> future = request.result.get_future();
+  const std::uint64_t trace_id = request.trace.trace_id;
+  const std::uint64_t enqueue_ns = request.enqueue_ns;
+  std::future<ServedAdvice> future = request.result.get_future();
+  obs::flight_record("serve.submit", static_cast<std::int64_t>(trace_id),
+                     static_cast<std::int64_t>(queue_.depth()));
   if (!queue_.push(std::move(request))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::flight_record("serve.reject", static_cast<std::int64_t>(trace_id));
     if (obs::enabled())
       obs::metrics().counter("clpp.serve.rejected").add(1);
     throw ServeOverload("serve queue full (" +
@@ -68,6 +99,11 @@ std::future<core::Advice> InferenceServer::submit(std::string code) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
+    // Flow start: the submit span on the client thread opens the request's
+    // cross-thread lane; the worker's queue_wait/infer spans continue it.
+    obs::Tracer::instance().record("serve.submit", enqueue_ns,
+                                   obs::Tracer::now_ns(), obs::kNoArg,
+                                   trace_id, obs::FlowPhase::kStart);
     obs::metrics().counter("clpp.serve.requests").add(1);
     depth_gauge().set(static_cast<double>(queue_.depth()));
   }
@@ -89,18 +125,37 @@ void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
                                   std::vector<PendingRequest>& batch) {
   CLPP_TRACE_SPAN_ARG("serve.batch", batch.size());
   const std::uint64_t start_ns = obs::Tracer::now_ns();
+  obs::flight_record("serve.batch", static_cast<std::int64_t>(batch.size()),
+                     static_cast<std::int64_t>(queue_.depth()));
   try {
     resil::fault_point("serve.batch");
     std::vector<std::string> codes;
     codes.reserve(batch.size());
     for (const PendingRequest& request : batch) codes.push_back(request.code);
-    std::vector<core::Advice> advices = advisor.advise_batch(codes, config_.options);
-    // advise_batch coalesces duplicate snippets into one forward pass;
-    // recount here so stats/metrics can attribute the saving.
-    std::unordered_set<std::string_view> distinct(codes.begin(), codes.end());
-    const std::uint64_t coalesced = codes.size() - distinct.size();
+    core::BatchTiming timing;
+    std::vector<core::Advice> advices =
+        advisor.advise_batch(codes, config_.options, &timing);
+    const std::uint64_t coalesced = timing.coalesced;
 
     const std::uint64_t end_ns = obs::Tracer::now_ns();
+    const std::uint64_t batch_us = (end_ns - start_ns) / 1000;
+    const std::uint64_t infer_us = timing.infer_ns() / 1000;
+
+    // Always-on server-owned telemetry (record_always — independent of the
+    // CLPP_OBS gate), feeding stats_json()'s streaming percentiles.
+    batch_size_.record_always(static_cast<double>(batch.size()));
+    infer_us_.record_always(static_cast<double>(timing.infer_ns()) / 1e3);
+    directive_us_.record_always(static_cast<double>(timing.directive_ns) / 1e3);
+    private_us_.record_always(static_cast<double>(timing.private_ns) / 1e3);
+    reduction_us_.record_always(static_cast<double>(timing.reduction_ns) / 1e3);
+    schedule_us_.record_always(static_cast<double>(timing.schedule_ns) / 1e3);
+    for (const PendingRequest& request : batch) {
+      queue_wait_us_.record_always(
+          static_cast<double>(start_ns - request.enqueue_ns) / 1e3);
+      latency_us_.record_always(
+          static_cast<double>(end_ns - request.enqueue_ns) / 1e3);
+    }
+
     if (obs::enabled()) {
       static obs::Histogram& batch_hist =
           obs::metrics().histogram("clpp.serve.batch_size", batch_size_bounds());
@@ -109,9 +164,20 @@ void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
       static obs::Histogram& latency_hist =
           obs::metrics().histogram("clpp.serve.latency_us");
       batch_hist.record(static_cast<double>(batch.size()));
+      obs::Tracer& tracer = obs::Tracer::instance();
       for (const PendingRequest& request : batch) {
         wait_hist.record(static_cast<double>(start_ns - request.enqueue_ns) / 1e3);
         latency_hist.record(static_cast<double>(end_ns - request.enqueue_ns) / 1e3);
+        // Continue + terminate each request's flow lane on the worker
+        // thread: the queue-wait span (enqueue → collection) steps the
+        // flow, the infer span (collection → verdict) ends it. Perfetto
+        // then draws one connected arrow chain per request across the
+        // client and worker tracks.
+        tracer.record("serve.queue_wait", request.enqueue_ns, start_ns,
+                      obs::kNoArg, request.trace.trace_id,
+                      obs::FlowPhase::kStep);
+        tracer.record("serve.infer", start_ns, end_ns, obs::kNoArg,
+                      request.trace.trace_id, obs::FlowPhase::kEnd);
       }
       obs::metrics().counter("clpp.serve.batches").add(1);
       if (coalesced > 0)
@@ -123,13 +189,23 @@ void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
     batches_.fetch_add(1, std::memory_order_relaxed);
     batch_rows_.fetch_add(batch.size(), std::memory_order_relaxed);
     coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      batch[i].result.set_value(std::move(advices[i]));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ServedAdvice served;
+      served.advice = std::move(advices[i]);
+      served.timing.trace_id = batch[i].trace.trace_id;
+      served.timing.queue_us = (start_ns - batch[i].enqueue_ns) / 1000;
+      served.timing.batch_us = batch_us;
+      served.timing.infer_us = infer_us;
+      served.timing.coalesced = timing.coalesced_of[i] != 0;
+      batch[i].result.set_value(std::move(served));
+    }
   } catch (...) {
     // A failing inference pass (injected fault, OOM, hostile input) fails
     // exactly the requests of this batch; the worker and every other
     // request keep going.
     const std::exception_ptr error = std::current_exception();
+    obs::flight_record("serve.batch_fail",
+                       static_cast<std::int64_t>(batch.size()));
     failed_.fetch_add(batch.size(), std::memory_order_relaxed);
     for (PendingRequest& request : batch) request.result.set_exception(error);
     if (obs::enabled())
@@ -179,6 +255,40 @@ ServeStats InferenceServer::stats() const {
   stats.batch_rows = batch_rows_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   return stats;
+}
+
+Json InferenceServer::stats_json() const {
+  const ServeStats snapshot = stats();
+  Json out = Json::object();
+  out["schema"] = "clpp.serve_stats.v1";
+  out["queue_depth"] = static_cast<std::int64_t>(queue_.depth());
+  out["workers"] = static_cast<std::int64_t>(config_.workers);
+  out["max_batch"] = static_cast<std::int64_t>(config_.max_batch);
+  out["max_delay_us"] = static_cast<std::int64_t>(config_.max_delay_us);
+  out["submitted"] = static_cast<std::int64_t>(snapshot.submitted);
+  out["rejected"] = static_cast<std::int64_t>(snapshot.rejected);
+  out["completed"] = static_cast<std::int64_t>(snapshot.completed);
+  out["failed"] = static_cast<std::int64_t>(snapshot.failed);
+  out["batches"] = static_cast<std::int64_t>(snapshot.batches);
+  out["batch_rows"] = static_cast<std::int64_t>(snapshot.batch_rows);
+  out["coalesced"] = static_cast<std::int64_t>(snapshot.coalesced);
+  out["coalesce_rate"] =
+      snapshot.batch_rows > 0
+          ? static_cast<double>(snapshot.coalesced) /
+                static_cast<double>(snapshot.batch_rows)
+          : 0.0;
+  out["mean_batch_rows"] = snapshot.mean_batch_rows();
+  out["latency_us"] = hist_block(latency_us_);
+  out["queue_wait_us"] = hist_block(queue_wait_us_);
+  out["infer_us"] = hist_block(infer_us_);
+  out["batch_size"] = hist_block(batch_size_);
+  Json tasks = Json::object();
+  tasks["directive_us"] = hist_block(directive_us_);
+  tasks["private_us"] = hist_block(private_us_);
+  tasks["reduction_us"] = hist_block(reduction_us_);
+  tasks["schedule_us"] = hist_block(schedule_us_);
+  out["tasks"] = std::move(tasks);
+  return out;
 }
 
 }  // namespace clpp::serve

@@ -10,8 +10,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/queue.h"
 #include "serve/serve.h"
+
+namespace clpp {
+class Json;  // support/json.h — needed only by stats_json callers
+}
 
 namespace clpp::serve {
 
@@ -29,11 +34,12 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Enqueues one snippet; the future completes with all four task verdicts
-  /// once a worker serves the batch carrying it. Throws ServeOverload
-  /// (kReject policy, queue full) or ServeShutdown (after shutdown). A
-  /// worker-side failure (e.g. an injected fault) surfaces through the
-  /// future instead.
-  std::future<core::Advice> submit(std::string code);
+  /// plus the request's timing breakdown (queue wait / batch / infer split
+  /// and its trace id) once a worker serves the batch carrying it. Throws
+  /// ServeOverload (kReject policy, queue full) or ServeShutdown (after
+  /// shutdown). A worker-side failure (e.g. an injected fault) surfaces
+  /// through the future instead.
+  std::future<ServedAdvice> submit(std::string code);
 
   /// Graceful drain: stops accepting new requests, lets the workers serve
   /// everything already queued, joins them, and fails any request that no
@@ -44,6 +50,15 @@ class InferenceServer {
   std::size_t queue_depth() const { return queue_.depth(); }
 
   ServeStats stats() const;
+
+  /// Live telemetry snapshot as JSON: counters, queue depth, coalesce rate,
+  /// and streaming latency/queue-wait/infer/batch-size percentiles plus a
+  /// per-task model-time block. Backed by always-on server-owned histograms
+  /// (recorded regardless of CLPP_OBS), so the `{"cmd":"stats"}` admin verb
+  /// works on an un-instrumented server. Safe to call concurrently with
+  /// serving.
+  Json stats_json() const;
+
   const ServeConfig& config() const { return config_; }
 
  private:
@@ -65,6 +80,18 @@ class InferenceServer {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_rows_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+
+  // Always-on streaming telemetry (record_always — independent of the
+  // global CLPP_OBS gate), owned by the server so stats_json() reflects
+  // this server instance rather than process-global registry state.
+  obs::Histogram latency_us_;     // submit → verdict, per request
+  obs::Histogram queue_wait_us_;  // submit → batch collection, per request
+  obs::Histogram infer_us_;       // model-forward share, per batch
+  obs::Histogram batch_size_;     // rows per inference pass
+  obs::Histogram directive_us_;   // per-batch task-model time splits
+  obs::Histogram private_us_;
+  obs::Histogram reduction_us_;
+  obs::Histogram schedule_us_;
 };
 
 }  // namespace clpp::serve

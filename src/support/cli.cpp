@@ -1,5 +1,6 @@
 #include "support/cli.h"
 
+#include <atomic>
 #include <cstdio>
 #include <sstream>
 
@@ -8,6 +9,14 @@
 #include "support/strings.h"
 
 namespace clpp {
+
+namespace {
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+}  // namespace
+
+void set_fatal_hook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
 
 ArgParser::ArgParser(std::string program, std::string blurb)
     : program_(std::move(program)), blurb_(std::move(blurb)) {}
@@ -132,6 +141,8 @@ int report_cli_error(const std::string& program, const std::exception& error) {
   line["kind"] = std::string(kind);
   line["message"] = std::string(error.what());
   std::fprintf(stderr, "%s\n", line.dump().c_str());
+  if (const FatalHook hook = g_fatal_hook.load(std::memory_order_acquire))
+    hook();
   return 2;
 }
 

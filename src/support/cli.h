@@ -62,9 +62,17 @@ class ArgParser {
 
 /// Top-level exception boundary for CLI tools. Prints a one-line structured
 /// JSON diagnostic to stderr ({"event":"fatal","program":...,"kind":...,
-/// "message":...}) and returns the conventional exit code 2. `kind` is the
-/// most-derived clpp error class ("io_error", "parse_error",
-/// "invalid_argument", "error") or "exception" for foreign std::exceptions.
+/// "message":...}), invokes the fatal hook (if installed), and returns the
+/// conventional exit code 2. `kind` is the most-derived clpp error class
+/// ("io_error", "parse_error", "invalid_argument", "error") or "exception"
+/// for foreign std::exceptions.
 int report_cli_error(const std::string& program, const std::exception& error);
+
+/// Callback invoked by `report_cli_error` after printing the diagnostic.
+/// clpp::obs installs one at process start that dumps the flight recorder,
+/// so crashing CLIs ship their recent event history (support cannot depend
+/// on obs, hence the upward-registered hook). Must not throw.
+using FatalHook = void (*)();
+void set_fatal_hook(FatalHook hook);
 
 }  // namespace clpp

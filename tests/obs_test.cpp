@@ -1,17 +1,25 @@
 // clpp::obs — counters/gauges/histograms, concurrent recording through
 // parallel_for, span nesting, Chrome-trace JSON well-formedness, the
-// structured logger, and the disabled-flag fast path.
+// structured logger, the disabled-flag fast path, request trace contexts,
+// the flight recorder, and the live metrics streamer.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/context.h"
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
 #include "support/json.h"
 #include "support/parallel.h"
@@ -324,6 +332,207 @@ TEST_F(ObsTest, StructuredLoggerWritesJsonLines) {
   EXPECT_EQ(lines[0].at("epoch").as_int(), 3);
   EXPECT_GT(lines[0].at("ts").as_double(), 0.0);
   std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, TraceContextMintAndChild) {
+  const obs::TraceContext a = obs::TraceContext::mint();
+  const obs::TraceContext b = obs::TraceContext::mint();
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  // Root context: the trace IS the root span.
+  EXPECT_EQ(a.span_id, a.trace_id);
+  EXPECT_EQ(a.parent_span_id, 0u);
+
+  const obs::TraceContext hop = a.child();
+  EXPECT_EQ(hop.trace_id, a.trace_id);  // same request
+  EXPECT_NE(hop.span_id, a.span_id);
+  EXPECT_EQ(hop.parent_span_id, a.span_id);
+
+  const std::string hex = a.trace_hex();
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_NE(hex, b.trace_hex());
+}
+
+TEST_F(ObsTest, FlightRecorderRecordsAndDumps) {
+  obs::reset_flight();
+  obs::flight_record("test.alpha", 11, 22);
+  obs::flight_record("test.beta", -3);
+  EXPECT_EQ(obs::flight_recorded(), 2u);
+  EXPECT_EQ(obs::flight_dropped(), 0u);
+
+  const Json doc = obs::flight_json("unit-test");
+  EXPECT_EQ(doc.at("schema").as_string(), "clpp.flight.v1");
+  EXPECT_EQ(doc.at("reason").as_string(), "unit-test");
+  const Json& events = doc.at("events");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events.at(0).at("kind").as_string(), "test.alpha");
+  EXPECT_EQ(events.at(0).at("a").as_int(), 11);
+  EXPECT_EQ(events.at(0).at("b").as_int(), 22);
+  EXPECT_EQ(events.at(1).at("kind").as_string(), "test.beta");
+  EXPECT_EQ(events.at(1).at("a").as_int(), -3);
+  // Oldest-first within the thread's ring.
+  EXPECT_LE(events.at(0).at("ts_us").as_double(),
+            events.at(1).at("ts_us").as_double());
+
+  const std::string path = ::testing::TempDir() + "clpp_obs_flight_test.json";
+  std::remove(path.c_str());
+  const std::string saved = obs::flight_out();
+  obs::set_flight_out(path);
+  EXPECT_TRUE(obs::flight_dump_on_fault());
+  EXPECT_TRUE(obs::dump_flight("unit-test"));
+  obs::set_flight_out(saved);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const Json reparsed = Json::parse(text);
+  EXPECT_EQ(reparsed.at("schema").as_string(), "clpp.flight.v1");
+  EXPECT_EQ(reparsed.at("events").size(), 2u);
+  std::remove(path.c_str());
+
+  obs::reset_flight();
+  EXPECT_EQ(obs::flight_recorded(), 0u);
+  EXPECT_EQ(obs::flight_json("empty").at("events").size(), 0u);
+}
+
+TEST_F(ObsTest, FlightRecorderRingKeepsNewestAndCountsDrops) {
+  obs::reset_flight();
+  const std::size_t total = obs::kFlightCapacity + 16;
+  for (std::size_t i = 0; i < total; ++i)
+    obs::flight_record("test.wrap", static_cast<std::int64_t>(i));
+  EXPECT_EQ(obs::flight_recorded(), total);
+  EXPECT_EQ(obs::flight_dropped(), 16u);
+  const Json doc = obs::flight_json("wrap");
+  const Json& events = doc.at("events");
+  ASSERT_EQ(events.size(), obs::kFlightCapacity);
+  // The ring keeps the newest events: the oldest 16 were overwritten.
+  EXPECT_EQ(events.at(0).at("a").as_int(), 16);
+  EXPECT_EQ(events.at(events.size() - 1).at("a").as_int(),
+            static_cast<std::int64_t>(total) - 1);
+  obs::reset_flight();
+}
+
+TEST_F(ObsTest, FlightRecorderDisableIsAFastPathNoop) {
+  obs::reset_flight();
+  obs::set_flight_enabled(false);
+  obs::flight_record("test.off");
+  obs::set_flight_enabled(true);
+  EXPECT_EQ(obs::flight_recorded(), 0u);
+}
+
+TEST_F(ObsTest, MetricsStreamerEmitsDeltaLines) {
+  const std::string path = ::testing::TempDir() + "clpp_obs_stream_test.jsonl";
+  std::remove(path.c_str());
+  obs::MetricsStreamer& streamer = obs::MetricsStreamer::instance();
+  const std::uint64_t before = streamer.emitted();
+  streamer.start(path, /*interval_ms=*/10);
+  EXPECT_TRUE(streamer.running());
+  obs::metrics().counter("clpp.test.stream.ticks").add(7);
+  // Poll until at least one line lands (generous deadline; 10ms interval).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (streamer.emitted() == before &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  streamer.stop();  // flushes the final delta line
+  EXPECT_FALSE(streamer.running());
+  EXPECT_GT(streamer.emitted(), before);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  bool saw_delta = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json parsed = Json::parse(line);  // throws on malformed output
+    EXPECT_EQ(parsed.at("schema").as_string(), "clpp.metrics_stream.v1");
+    EXPECT_GE(parsed.at("seq").as_int(), 0);
+    if (parsed.contains("counters") &&
+        parsed.at("counters").contains("clpp.test.stream.ticks") &&
+        parsed.at("counters").at("clpp.test.stream.ticks").as_int() == 7)
+      saw_delta = true;
+  }
+  EXPECT_TRUE(saw_delta) << "no stream line carried the counter delta";
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, HistogramSnapshotsAreConsistentUnderConcurrentWriters) {
+  obs::Histogram& h = obs::metrics().histogram("clpp.test.load.latency_us");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&h, &stop, t] {
+      // Record at least once even if the stop flag lands before this
+      // thread is first scheduled (single-core machines).
+      std::uint64_t i = 0;
+      do {
+        h.record(static_cast<double>((t * 131 + i++) % 1000));
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  // Snapshot while the writers hammer the shards: counts must only grow,
+  // and every read (count/mean/quantile/to_json) must stay self-consistent.
+  std::uint64_t last_count = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::this_thread::yield();
+    const std::uint64_t count = h.count();
+    EXPECT_GE(count, last_count);
+    last_count = count;
+    if (count > 0) {
+      EXPECT_GE(h.mean(), 0.0);
+      const double p50 = h.quantile(0.50);
+      const double p99 = h.quantile(0.99);
+      EXPECT_LE(p50, p99);
+      EXPECT_FALSE(std::isnan(p50));
+    }
+    const Json snap = obs::metrics().to_json();
+    EXPECT_TRUE(snap.at("histograms").contains("clpp.test.load.latency_us"));
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(h.count(), h.count());  // quiesced: stable final count
+  EXPECT_GT(h.count(), 0u);
+}
+
+TEST_F(ObsTest, ChromeTraceEmitsFlowEventsForFlowedSpans) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const obs::TraceContext ctx = obs::TraceContext::mint();
+  const std::uint64_t t0 = obs::Tracer::now_ns();
+  burn();
+  const std::uint64_t t1 = obs::Tracer::now_ns();
+  tracer.record("flow.begin", t0, t1, obs::kNoArg, ctx.trace_id,
+                obs::FlowPhase::kStart);
+  tracer.record("flow.mid", t1, t1 + 10, obs::kNoArg, ctx.trace_id,
+                obs::FlowPhase::kStep);
+  tracer.record("flow.end", t1 + 10, t1 + 20, obs::kNoArg, ctx.trace_id,
+                obs::FlowPhase::kEnd);
+  tracer.record("flow.none", t1 + 20, t1 + 30);  // no linkage
+
+  const std::string text = tracer.chrome_trace().dump();
+  const Json doc = Json::parse(text);  // flow events keep the JSON valid
+  const Json& events = doc.at("traceEvents");
+  const std::string hex = ctx.trace_hex();
+  bool saw_start = false, saw_step = false, saw_finish = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    const std::string ph = e.get_string("ph", "");
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    EXPECT_EQ(e.at("id").as_string(), hex);
+    EXPECT_EQ(e.at("cat").as_string(), "clpp.flow");
+    if (ph == "s") saw_start = true;
+    if (ph == "t") saw_step = true;
+    if (ph == "f") {
+      saw_finish = true;
+      // Binding point "enclosing slice": the arrow lands on the span.
+      EXPECT_EQ(e.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_finish);
 }
 
 TEST_F(ObsTest, LogLevelParsing) {

@@ -260,6 +260,27 @@ TEST_F(ProfdiffTest, UntrackedSeriesNeverRegress) {
   EXPECT_FALSE(report.rows[0].tracked);
 }
 
+TEST_F(ProfdiffTest, LatencyHistogramTailsAreTracked) {
+  // A regression that only fattens the tail must gate: p95/p99 are tracked
+  // series alongside the mean, while count/p50/max stay informational.
+  const std::string hist = "serve:hist:clpp.serve.latency_us";
+  EXPECT_TRUE(prof::series_is_tracked(hist + ":mean"));
+  EXPECT_TRUE(prof::series_is_tracked(hist + ":p95"));
+  EXPECT_TRUE(prof::series_is_tracked(hist + ":p99"));
+  EXPECT_FALSE(prof::series_is_tracked(hist + ":count"));
+  EXPECT_FALSE(prof::series_is_tracked(hist + ":p50"));
+  EXPECT_FALSE(prof::series_is_tracked(hist + ":max"));
+  // Non-latency histograms never gate, whatever the stat.
+  EXPECT_FALSE(prof::series_is_tracked("serve:hist:clpp.serve.batch_rows:p99"));
+
+  std::map<std::string, double> base{{hist + ":p99", 100.0},
+                                     {hist + ":mean", 50.0}};
+  std::map<std::string, double> current{{hist + ":p99", 300.0},  // 3x tail
+                                        {hist + ":mean", 51.0}};
+  const prof::DiffReport report = prof::diff_series(base, current, 0.2);
+  EXPECT_EQ(report.regressions(), 1u);  // the tail alone trips the gate
+}
+
 TEST_F(ProfdiffTest, SummaryWriteAndRescan) {
   write_bench("BENCH_micro.json", 1000.0, 900.0);
   const std::string path = prof::write_summary(dir_);

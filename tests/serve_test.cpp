@@ -9,14 +9,24 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/advisor.h"
+#include "obs/flight.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "resil/fault.h"
 #include "serve/queue.h"
 #include "serve/server.h"
+#include "support/json.h"
 #include "tokenize/representation.h"
 #include "tokenize/vocabulary.h"
 
@@ -181,7 +191,7 @@ TEST(ServerTest, ConcurrentSubmissionsMatchSequentialVerdicts) {
 
   constexpr int kClients = 6;
   constexpr int kPerClient = 8;
-  std::vector<std::vector<std::future<Advice>>> futures(kClients);
+  std::vector<std::vector<std::future<ServedAdvice>>> futures(kClients);
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -195,8 +205,9 @@ TEST(ServerTest, ConcurrentSubmissionsMatchSequentialVerdicts) {
   for (int c = 0; c < kClients; ++c) {
     for (int r = 0; r < kPerClient; ++r) {
       const std::string& code = snippets()[(c * kPerClient + r) % snippets().size()];
-      const Advice served = futures[c][r].get();
-      expect_same_advice(served, advisor->advise(code), code);
+      const ServedAdvice served = futures[c][r].get();
+      expect_same_advice(served.advice, advisor->advise(code), code);
+      EXPECT_NE(served.timing.trace_id, 0u);
     }
   }
   const ServeStats stats = server.stats();
@@ -214,10 +225,10 @@ TEST(ServerTest, MaxDelayFlushesPartialBatch) {
   config.max_delay_us = 1000;
   InferenceServer server(*advisor, config);
 
-  std::future<Advice> future = server.submit(snippets()[0]);
+  std::future<ServedAdvice> future = server.submit(snippets()[0]);
   // The batch can never fill, so completion proves the delay-based flush.
   ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
-  expect_same_advice(future.get(), advisor->advise(snippets()[0]), snippets()[0]);
+  expect_same_advice(future.get().advice, advisor->advise(snippets()[0]), snippets()[0]);
   EXPECT_EQ(server.stats().completed, 1u);
 }
 
@@ -232,9 +243,10 @@ TEST(ServerTest, DuplicateRequestsCoalesceWithinABatch) {
 
   const std::string code = snippets()[0];
   const Advice sequential = advisor->advise(code);
-  std::vector<std::future<Advice>> futures;
+  std::vector<std::future<ServedAdvice>> futures;
   for (int i = 0; i < 8; ++i) futures.push_back(server.submit(code));
-  for (auto& future : futures) expect_same_advice(future.get(), sequential, code);
+  for (auto& future : futures)
+    expect_same_advice(future.get().advice, sequential, code);
 
   const ServeStats stats = server.stats();
   EXPECT_EQ(stats.completed, 8u);
@@ -251,7 +263,7 @@ TEST(ServerTest, RejectPolicyShedsLoadWhenQueueIsFull) {
   config.workers = 0;  // nothing consumes: the queue fills deterministically
   InferenceServer server(*advisor, config);
 
-  std::vector<std::future<Advice>> accepted;
+  std::vector<std::future<ServedAdvice>> accepted;
   for (int i = 0; i < 3; ++i) accepted.push_back(server.submit(snippets()[0]));
   EXPECT_EQ(server.queue_depth(), 3u);
   EXPECT_THROW(server.submit(snippets()[0]), ServeOverload);
@@ -278,7 +290,7 @@ TEST(ServerTest, BlockPolicyWaitsForSpace) {
   // Many more submissions than capacity: with kBlock none may be rejected,
   // and all must eventually be served.
   constexpr int kTotal = 24;
-  std::vector<std::future<Advice>> futures;
+  std::vector<std::future<ServedAdvice>> futures;
   futures.reserve(kTotal);
   for (int i = 0; i < kTotal; ++i)
     futures.push_back(server.submit(snippets()[i % snippets().size()]));
@@ -296,7 +308,7 @@ TEST(ServerTest, ShutdownDrainsAllInFlightRequests) {
   config.max_delay_us = 200'000;  // long window: shutdown must cut it short
   InferenceServer server(*advisor, config);
 
-  std::vector<std::future<Advice>> futures;
+  std::vector<std::future<ServedAdvice>> futures;
   for (int i = 0; i < 10; ++i)
     futures.push_back(server.submit(snippets()[i % snippets().size()]));
   server.shutdown();  // graceful drain: every queued request still served
@@ -319,13 +331,13 @@ TEST(ServerTest, InjectedWorkerFaultFailsOnlyItsOwnBatch) {
   plan.triggers["serve.batch"] = {1};
   resil::set_fault_plan(plan);
 
-  std::vector<std::future<Advice>> doomed;
+  std::vector<std::future<ServedAdvice>> doomed;
   for (int i = 0; i < 4; ++i) doomed.push_back(server.submit(snippets()[i]));
   // The injected fault must surface through exactly these futures...
   for (auto& future : doomed) EXPECT_THROW(future.get(), resil::InjectedFault);
 
   // ...while the worker survives and serves subsequent requests normally.
-  std::vector<std::future<Advice>> healthy;
+  std::vector<std::future<ServedAdvice>> healthy;
   for (int i = 0; i < 4; ++i) healthy.push_back(server.submit(snippets()[i]));
   for (auto& future : healthy) EXPECT_NO_THROW(future.get());
   resil::clear_fault_plan();
@@ -345,6 +357,160 @@ TEST(ServerTest, EnqueueFaultSeamRejectsTheSubmission) {
   resil::clear_fault_plan();
   // The failed submission never entered the queue; the server still works.
   EXPECT_NO_THROW(server.submit(snippets()[0]).get());
+}
+
+TEST(ServerTest, ResponsesCarryTraceAndTiming) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 200'000;  // all four submissions share one batch
+  InferenceServer server(*advisor, config);
+
+  // Second submission duplicates the first: exactly one coalesced row.
+  const std::vector<std::string> codes = {snippets()[0], snippets()[0],
+                                          snippets()[1], snippets()[2]};
+  std::vector<std::future<ServedAdvice>> futures;
+  for (const std::string& code : codes) futures.push_back(server.submit(code));
+
+  std::set<std::uint64_t> trace_ids;
+  std::vector<ServedAdvice> served;
+  for (auto& future : futures) served.push_back(future.get());
+  ASSERT_EQ(server.stats().batches, 1u) << "submissions split across batches";
+
+  for (const ServedAdvice& response : served) {
+    EXPECT_NE(response.timing.trace_id, 0u);
+    trace_ids.insert(response.timing.trace_id);
+    // The batch pass contains the model forwards, so batch time bounds
+    // infer time; a batch that did any work has a nonzero forward share.
+    EXPECT_GE(response.timing.batch_us, response.timing.infer_us);
+    EXPECT_GT(response.timing.infer_us, 0u);
+    // All four rode the same batch, so they report the same batch split.
+    EXPECT_EQ(response.timing.batch_us, served[0].timing.batch_us);
+  }
+  // Trace ids are per-request, not per-batch: duplicates get their own id.
+  EXPECT_EQ(trace_ids.size(), codes.size());
+  EXPECT_FALSE(served[0].timing.coalesced);
+  EXPECT_TRUE(served[1].timing.coalesced);  // duplicate of request 0
+  EXPECT_FALSE(served[2].timing.coalesced);
+  EXPECT_FALSE(served[3].timing.coalesced);
+}
+
+TEST(ServerTest, ChromeTraceLinksRequestAcrossThreads) {
+  const auto advisor = tiny_advisor();
+  obs::Tracer::instance().reset();
+  obs::set_enabled(true);
+
+  std::uint64_t trace_id = 0;
+  {
+    ServeConfig config;
+    config.max_batch = 2;
+    config.max_delay_us = 1000;
+    InferenceServer server(*advisor, config);
+    trace_id = server.submit(snippets()[0]).get().timing.trace_id;
+    server.shutdown();
+  }
+  obs::set_enabled(false);
+  ASSERT_NE(trace_id, 0u);
+
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  const Json doc = obs::Tracer::instance().chrome_trace();
+  obs::Tracer::instance().reset();
+
+  // Collect the flow events ("s" start / "t" step / "f" finish) carrying
+  // this request's id and the spans that anchor them.
+  std::map<std::string, std::set<std::int64_t>> flow_tids;  // ph -> tids
+  const Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    const std::string ph = e.get_string("ph", "");
+    if ((ph == "s" || ph == "t" || ph == "f") &&
+        e.get_string("id", "") == hex)
+      flow_tids[ph].insert(e.at("tid").as_int());
+  }
+  // The flow starts at submit (client thread) and finishes at the infer
+  // span (worker thread) — one connected lane across two threads.
+  ASSERT_EQ(flow_tids.count("s"), 1u) << "missing flow start";
+  ASSERT_EQ(flow_tids.count("f"), 1u) << "missing flow finish";
+  EXPECT_NE(*flow_tids["s"].begin(), *flow_tids["f"].begin())
+      << "flow start and finish landed on the same thread";
+}
+
+TEST(ServerTest, FlightRecorderDumpsOnInjectedServeFault) {
+  const auto advisor = tiny_advisor();
+  const std::string dump_path =
+      testing::TempDir() + "clpp_serve_flight_test.json";
+  std::remove(dump_path.c_str());
+  obs::set_flight_out(dump_path);  // also arms dump-on-injected-fault
+
+  ServeConfig config;
+  config.max_batch = 2;
+  config.max_delay_us = 1000;
+  InferenceServer server(*advisor, config);
+  resil::FaultPlan plan;
+  plan.triggers["serve.batch"] = {1};
+  resil::set_fault_plan(plan);
+  EXPECT_THROW(server.submit(snippets()[0]).get(), resil::InjectedFault);
+  resil::clear_fault_plan();
+  obs::set_flight_out("");  // disarm for the rest of the suite
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << dump_path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Json dump = Json::parse(text.str());
+  EXPECT_EQ(dump.at("schema").as_string(), "clpp.flight.v1");
+  EXPECT_NE(dump.at("reason").as_string().find("serve.batch"),
+            std::string::npos);
+  bool saw_fault = false;
+  bool saw_submit = false;
+  const Json& dumped = dump.at("events");
+  for (std::size_t i = 0; i < dumped.size(); ++i) {
+    const std::string kind = dumped.at(i).at("kind").as_string();
+    if (kind == "resil.fault") saw_fault = true;
+    if (kind == "serve.submit") saw_submit = true;
+  }
+  EXPECT_TRUE(saw_fault) << "dump lacks the injected-fault event";
+  EXPECT_TRUE(saw_submit) << "dump lacks the submit that led to the fault";
+  std::remove(dump_path.c_str());
+}
+
+TEST(ServerTest, StatsJsonReportsLiveTelemetry) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 200'000;
+  InferenceServer server(*advisor, config);
+
+  std::vector<std::future<ServedAdvice>> futures;
+  futures.push_back(server.submit(snippets()[0]));
+  futures.push_back(server.submit(snippets()[0]));  // coalesces
+  futures.push_back(server.submit(snippets()[1]));
+  futures.push_back(server.submit(snippets()[2]));
+  for (auto& future : futures) future.get();
+
+  // stats_json is always-on telemetry: it must be populated even though
+  // this test never enabled CLPP_OBS.
+  const Json stats = server.stats_json();
+  EXPECT_EQ(stats.at("schema").as_string(), "clpp.serve_stats.v1");
+  EXPECT_EQ(stats.at("completed").as_int(), 4);
+  EXPECT_EQ(stats.at("queue_depth").as_int(), 0);
+  EXPECT_EQ(stats.at("coalesced").as_int(), 1);
+  EXPECT_DOUBLE_EQ(stats.at("coalesce_rate").as_double(), 0.25);
+  EXPECT_EQ(stats.at("latency_us").at("count").as_int(), 4);
+  EXPECT_EQ(stats.at("queue_wait_us").at("count").as_int(), 4);
+  EXPECT_GT(stats.at("latency_us").at("p99").as_double(), 0.0);
+  // Latency includes the queue wait, so the percentiles must order.
+  EXPECT_GE(stats.at("latency_us").at("p50").as_double(),
+            stats.at("queue_wait_us").at("p50").as_double());
+  // One batch ran: the per-batch histograms saw exactly one sample, and
+  // every task model (directive + clause heads + schedule) was timed.
+  EXPECT_EQ(stats.at("batch_size").at("count").as_int(), 1);
+  EXPECT_EQ(stats.at("infer_us").at("count").as_int(), 1);
+  const Json& tasks = stats.at("tasks");
+  EXPECT_EQ(tasks.at("directive_us").at("count").as_int(), 1);
+  EXPECT_GT(tasks.at("directive_us").at("mean").as_double(), 0.0);
 }
 
 TEST(RequestQueueTest, PopBatchHonorsMaxBatch) {
