@@ -1,0 +1,17 @@
+/* PolyBench/C 4.2 `atax` (y = A' * (A * x)).
+ *
+ * expected: the outer i loop is NOT parallelizable — every iteration
+ * accumulates into all of y (y[j] read and written at every i), an exact
+ * loop-carried dependence at the i level. The tmp[i] accumulation is
+ * pinned to the iteration and does not block it. */
+void atax(double A[2000][1900], double *x, double *y, double *tmp,
+          int nx, int ny) {
+    int i, j;
+    for (i = 0; i < nx; i++) {
+        tmp[i] = 0.0;
+        for (j = 0; j < ny; j++)
+            tmp[i] = tmp[i] + A[i][j] * x[j];
+        for (j = 0; j < ny; j++)
+            y[j] = y[j] + A[i][j] * tmp[i];
+    }
+}

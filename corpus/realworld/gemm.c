@@ -1,0 +1,19 @@
+/* PolyBench/C 4.2 `gemm` (C = alpha*A*B + beta*C), arrays linearized
+ * row-major the way tuned C codes ship it.
+ *
+ * expected: outer i loop parallelizable with private(j, k); the v2 engine
+ * resolves the C[i * nj + j] subscripts exactly (identical-subscript rule
+ * pins every pair to the same i), where the seed engine reported
+ * "subscript too complex" and refused the directive. */
+void gemm(double *C, double *A, double *B, double alpha, double beta,
+          int ni, int nj, int nk) {
+    int i, j, k;
+#pragma omp parallel for schedule(static) private(j, k)
+    for (i = 0; i < ni; i++) {
+        for (j = 0; j < nj; j++)
+            C[i * nj + j] = C[i * nj + j] * beta;
+        for (k = 0; k < nk; k++)
+            for (j = 0; j < nj; j++)
+                C[i * nj + j] = C[i * nj + j] + alpha * A[i * nk + k] * B[k * nj + j];
+    }
+}

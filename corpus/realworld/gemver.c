@@ -1,0 +1,12 @@
+/* PolyBench/C 4.2 `gemver`, rank-two update (A = A + u1*v1' + u2*v2').
+ *
+ * expected: outer i loop parallelizable, exact — each A[i][j] is written
+ * exactly once at iteration (i, j); u1/v1/u2/v2 are read-only. */
+void gemver(double A[2000][2000], double *u1, double *v1, double *u2,
+            double *v2, int n) {
+    int i, j;
+#pragma omp parallel for private(j)
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+}

@@ -1,0 +1,17 @@
+/* PolyBench/C 4.2 `jacobi-1d`, 3-point stencil with explicit copy-back.
+ *
+ * expected: the outer time loop is NOT parallelizable — iteration t reads
+ * the A written at t-1 (and writes the B read back at t-1). The v2 engine
+ * proves the cross-loop A/B dependences exactly through the imperfect
+ * nest; the seed engine compared the differing invariant subscript texts
+ * ("i" vs "i - 1") and gave up as unknown. Each inner space loop on its
+ * own is parallelizable. */
+void jacobi_1d(double *A, double *B, int tsteps, int n) {
+    int t, i;
+    for (t = 0; t < tsteps; t++) {
+        for (i = 1; i < n - 1; i++)
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        for (i = 1; i < n - 1; i++)
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+    }
+}

@@ -1,0 +1,11 @@
+/* PolyBench/C 4.2 `mvt`, first mat-vect half (x1 = x1 + A * y_1).
+ *
+ * expected: outer i loop parallelizable, exact — x1[i] is pinned to the
+ * iteration (strong SIV, distance 0), A and y_1 are read-only. */
+void mvt(double A[2000][2000], double *x1, double *y_1, int n) {
+    int i, j;
+#pragma omp parallel for private(j)
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            x1[i] = x1[i] + A[i][j] * y_1[j];
+}

@@ -1,0 +1,11 @@
+/* First-order IIR filter (exponential smoothing) — the canonical serial
+ * loop every parallelization survey opens with.
+ *
+ * expected: NOT parallelizable — loop-carried dependence on y with
+ * direction < and distance exactly 1; no clause or safelen can license
+ * it, and `omp simd` on it is an error (simd-unsafe-carried-dependence). */
+void iir(double *y, double *x, double alpha, int n) {
+    int i;
+    for (i = 1; i < n; i++)
+        y[i] = y[i - 1] + alpha * x[i];
+}

@@ -29,8 +29,9 @@
 namespace {
 
 int lint_files(const std::vector<std::string>& files, const clpp::lint::Linter& linter,
-               bool as_json) {
+               bool as_json, bool as_sarif) {
   bool any_errors = false;
+  std::vector<clpp::lint::LintReport> reports;
   for (const std::string& path : files) {
     std::string source;
     if (path == "-") {
@@ -49,12 +50,16 @@ int lint_files(const std::vector<std::string>& files, const clpp::lint::Linter& 
     }
     const clpp::lint::LintReport report =
         linter.lint_source(source, path == "-" ? "<stdin>" : path);
-    if (as_json)
+    if (as_sarif)
+      reports.push_back(report);
+    else if (as_json)
       std::cout << report.to_json().dump() << "\n";
     else
       std::cout << report.to_text();
     any_errors = any_errors || report.errors() > 0;
   }
+  if (as_sarif)
+    std::cout << clpp::lint::sarif_document(reports).dump() << "\n";
   return any_errors ? 1 : 0;
 }
 
@@ -71,10 +76,12 @@ int print_audit(const clpp::lint::AuditReport& report, bool as_json) {
 int main(int argc, char** argv) {
   clpp::ArgParser args("clpp-lint",
                        "Static OpenMP race detector and directive linter.");
-  args.add_flag("json", "emit SARIF-lite JSON instead of text diagnostics");
+  args.add_flag("json", "emit schema-versioned JSON instead of text diagnostics");
+  args.add_flag("sarif", "emit one SARIF 2.1.0 document covering all input files");
   args.add_flag("no-fixits", "suppress corrected-pragma fix-its");
   args.add_int("trip-threshold", 8, "small-trip-count warning threshold");
   args.add_flag("audit", "lint a generated corpus' own directive labels");
+  args.add_flag("no-simd", "audit: leave the omp simd snippet families out");
   args.add_flag("audit-model",
                 "train a small advisor and lint its predicted directives");
   args.add_int("size", 400, "audit corpus size");
@@ -97,6 +104,7 @@ int main(int argc, char** argv) {
       generator.seed = static_cast<std::uint64_t>(args.get_int("seed"));
       generator.label_noise = args.get_double("noise");
       generator.buggy_directive_rate = args.get_double("buggy");
+      generator.simd_families = !args.get_flag("no-simd");
       const clpp::corpus::Corpus corpus = clpp::codegen::generate_corpus(generator);
 
       if (args.get_flag("audit-model")) {
@@ -125,7 +133,7 @@ int main(int argc, char** argv) {
       std::cout << args.help();
       return 2;
     }
-    return lint_files(args.positional(), linter, as_json);
+    return lint_files(args.positional(), linter, as_json, args.get_flag("sarif"));
   } catch (const std::exception& e) {
     std::cerr << "clpp-lint: " << e.what() << "\n";
     return 2;

@@ -24,7 +24,7 @@ for b in "$BUILD_DIR"/bench/$pattern; do
   name=$(basename "$b")
   extra=""
   case "$name" in
-    bench_micro_kernels|bench_serve)
+    bench_micro_kernels|bench_serve|bench_analysis)
       extra="--benchmark_out=$OUT_DIR/BENCH_${name}.json --benchmark_out_format=json"
       ;;
   esac

@@ -1,0 +1,142 @@
+// Exact data-dependence testing over affine loop nests (engine v2).
+//
+// The seed engine compared one subscript against one induction variable and
+// degraded to "unknown" on strides, scaled coefficients, multi-variable
+// subscripts (a*i + b*j + c), and imperfect nests. This module replaces the
+// per-dimension comparison with a dependence-equation solver:
+//
+//   * every access site is located on its chain of enclosing canonical
+//     loops (the analyzed loop at depth 0);
+//   * each subscript dimension is lowered to a linear form over per-side
+//     iteration-count variables (index = lower + step * t, t in [0, trip)),
+//     so strides and non-zero lower bounds are handled exactly, including
+//     lower bounds that reference outer inductions (triangular nests);
+//   * the dependence equation src_d = snk_d is tested per dimension with
+//     the classic hierarchy — ZIV, strong SIV (exact distance), weak SIV
+//     and restricted MIV via a GCD divisibility test plus Banerjee-style
+//     interval bounds — separately for each direction class (<, =, >) of
+//     the tracked loop level;
+//   * per-dimension results are intersected across dimensions
+//     (subscript-by-subscript); coupled subscripts stay sound because every
+//     per-dimension class set is a necessary condition, so the intersection
+//     over-approximates the simultaneous solution set.
+//
+// The result is a direction/distance vector indexed by nest depth. All
+// conservatism is one-sided: the solver may report a dependence that does
+// not exist, never the reverse (see tests/depend_oracle_test.cpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/accesses.h"
+#include "analysis/loopinfo.h"
+#include "frontend/ast.h"
+
+namespace clpp::analysis {
+
+/// Multi-variable affine form: sum of coeff*var over quantified induction
+/// variables, plus a literal offset, plus symbolic loop-invariant addends
+/// with literal coefficients (`n - 1` is symbols{n: 1}, offset -1).
+/// `affine == false` means the expression is not representable.
+struct AffineForm {
+  bool affine = false;
+  std::map<std::string, long long> coeffs;   // induction var -> coefficient
+  std::map<std::string, long long> symbols;  // invariant text -> coefficient
+  long long offset = 0;
+
+  bool operator==(const AffineForm&) const = default;
+};
+
+/// Environment for affine analysis of one subscript expression.
+struct SubscriptEnv {
+  /// Names that are quantified induction variables of the nest.
+  std::set<std::string> vars;
+  /// Names written anywhere in the analyzed body. A mutated name is neither
+  /// a usable induction nor a cancelable invariant; mentioning one outside
+  /// `vars` makes the form non-affine (conservative).
+  std::set<std::string> mutated;
+};
+
+/// Analyzes `expr` as an affine function over `env.vars`. Loop-invariant
+/// subtrees (no vars, no mutated names) that are not otherwise affine fold
+/// into a single opaque symbol keyed by their printed text, matching the
+/// seed engine's same-text cancellation rule.
+AffineForm analyze_affine(const frontend::Node& expr, const SubscriptEnv& env);
+
+/// Direction classes of one nest level, as a bitmask over the sign of
+/// (t_snk - t_src) in iteration space: "<" means the source iteration is
+/// earlier, "=" same iteration, ">" later.
+enum : unsigned {
+  kDirLt = 1u << 0,
+  kDirEq = 1u << 1,
+  kDirGt = 1u << 2,
+  kDirAll = kDirLt | kDirEq | kDirGt,
+};
+
+/// Per-level entry of a direction/distance vector.
+struct DepLevel {
+  std::string var;          // induction variable of this level
+  unsigned dirs = kDirAll;  // admissible direction classes
+  std::optional<long long> distance;  // exact iteration distance when pinned
+
+  bool operator==(const DepLevel&) const = default;
+};
+
+/// Renders one direction set as "<", "=", ">", "<=", "*", ...
+std::string direction_text(unsigned dirs);
+
+/// Result of testing one pair of accesses to the same array.
+struct PairResult {
+  /// False when the solver proved no two iterations of the analyzed loop
+  /// (equal or distinct) can touch the same element.
+  bool possible = true;
+  /// False when any step fell back to a conservative answer (non-affine
+  /// subscript, unresolved symbol, unknown binding).
+  bool exact = true;
+  /// Direction/distance vector; levels[0] is the analyzed loop, deeper
+  /// entries are the common enclosing canonical loops in nesting order.
+  std::vector<DepLevel> levels;
+
+  /// True when the accesses can collide on two distinct iterations of the
+  /// analyzed loop (levels[0] admits "<" or ">").
+  bool carried() const;
+  /// Exact carried distance at the analyzed level, when pinned.
+  std::optional<long long> carried_distance() const;
+};
+
+/// Loop-nest context for one analyzed loop: canonical info for every `for`
+/// in the nest plus the chain of enclosing loops for every AST node.
+class NestContext {
+ public:
+  /// `loop` must be a For node that canonicalizes.
+  explicit NestContext(const frontend::Node& loop);
+
+  /// Tests whether `src` and `snk` (accesses inside the analyzed loop, at
+  /// least one a write) can reference the same element, and on which
+  /// iteration-distance vectors. Ranks must match (caller's concern).
+  PairResult test_pair(const Access& src, const Access& snk) const;
+
+  const CanonicalLoop& analyzed() const { return analyzed_; }
+
+ private:
+  struct LoopRec {
+    const frontend::Node* node = nullptr;
+    CanonicalLoop canon;
+    std::optional<long long> trip;
+  };
+
+  const std::vector<const LoopRec*>* chain_of(const frontend::Node* site) const;
+
+  const frontend::Node* loop_ = nullptr;
+  CanonicalLoop analyzed_;
+  std::vector<std::unique_ptr<LoopRec>> loops_;
+  std::map<const frontend::Node*, std::vector<const LoopRec*>> chains_;
+  SubscriptEnv env_;
+};
+
+}  // namespace clpp::analysis

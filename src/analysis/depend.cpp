@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -22,6 +23,15 @@ bool mentions(const Node& expr, const std::string& name) {
     if (n.kind == NodeKind::kID && n.text == name) found = true;
   });
   return found;
+}
+
+Dependence array_dep(std::string name, std::string detail, int line, int column) {
+  Dependence d;
+  d.variable = std::move(name);
+  d.detail = std::move(detail);
+  d.line = line;
+  d.column = column;
+  return d;
 }
 
 }  // namespace
@@ -186,7 +196,7 @@ LoopVerdict DependenceAnalyzer::analyze(const Node& loop) const {
     }
   }
 
-  analyze_arrays(body, canonical->induction, accesses, verdict);
+  analyze_arrays(loop, canonical->induction, accesses, verdict);
   analyze_scalars(body, canonical->induction, accesses, verdict);
 
   if (!verdict.dependences.empty()) {
@@ -209,10 +219,77 @@ LoopVerdict DependenceAnalyzer::analyze(const Node& loop) const {
   return verdict;
 }
 
-void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
-                                        const std::string& induction,
+void DependenceAnalyzer::analyze_arrays(const Node& loop, const std::string& induction,
                                         const AccessSet& accesses,
                                         LoopVerdict& verdict) const {
+  if (!options_.exact_dependence_engine) {
+    analyze_arrays_legacy(induction, accesses, verdict);
+    return;
+  }
+
+  // v2 exact engine: direction/distance vectors per access pair over the
+  // whole canonical nest (see ddtest.h).
+  const NestContext nest(loop);
+
+  std::map<std::string, std::vector<const Access*>> arrays;
+  for (const Access& a : accesses.accesses)
+    if (a.is_array) arrays[a.variable].push_back(&a);
+
+  for (const auto& [name, list] : arrays) {
+    const bool any_write =
+        std::any_of(list.begin(), list.end(), [](const Access* a) { return a->is_write; });
+    if (!any_write) continue;
+
+    bool reported = false;
+    for (std::size_t wi = 0; wi < list.size() && !reported; ++wi) {
+      const Access* w = list[wi];
+      if (!w->is_write) continue;
+      const int dep_line = w->site ? w->site->line : 0;
+      const int dep_column = w->site ? w->site->column : 0;
+      // Every (write, other) pair, including the write against itself:
+      // `a[0] = i` self-conflicts across iterations (output dependence).
+      // Write-write pairs are tested once (oi >= wi).
+      for (std::size_t oi = 0; oi < list.size(); ++oi) {
+        const Access* other = list[oi];
+        if (other->is_write && oi < wi) continue;
+        if (w->subscripts.size() != other->subscripts.size()) {
+          ++verdict.dep_pairs_tested;
+          ++verdict.dep_pairs_unknown;
+          verdict.dependences.push_back(array_dep(
+              name, "accesses with different dimensionality", dep_line, dep_column));
+          reported = true;
+          break;
+        }
+        ++verdict.dep_pairs_tested;
+        const PairResult pair = nest.test_pair(*w, *other);
+        if (!pair.exact) ++verdict.dep_pairs_unknown;
+        if (!pair.possible || !pair.carried()) continue;
+
+        Dependence dep;
+        dep.variable = name;
+        dep.line = dep_line;
+        dep.column = dep_column;
+        dep.detail = pair.exact ? "loop-carried dependence"
+                                : "subscript too complex for dependence test";
+        dep.distance = pair.carried_distance();
+        if (dep.distance) dep.distance = std::abs(*dep.distance);
+        std::string direction = "(";
+        for (std::size_t l = 0; l < pair.levels.size(); ++l) {
+          if (l > 0) direction += ", ";
+          direction += direction_text(pair.levels[l].dirs);
+        }
+        dep.direction = direction + ")";
+        verdict.dependences.push_back(std::move(dep));
+        reported = true;
+        break;
+      }
+    }
+  }
+}
+
+void DependenceAnalyzer::analyze_arrays_legacy(const std::string& induction,
+                                               const AccessSet& accesses,
+                                               LoopVerdict& verdict) const {
   // Group array accesses by base variable.
   std::map<std::string, std::vector<const Access*>> arrays;
   for (const Access& a : accesses.accesses)
@@ -229,11 +306,13 @@ void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
       const int dep_column = w->site ? w->site->column : 0;
       for (const Access* other : list) {
         if (other == w) continue;
+        ++verdict.dep_pairs_tested;
         // Dimension-by-dimension comparison. Unequal ranks (A[i] vs A[i][j])
         // is aliasing we do not model: treat as unknown.
         if (w->subscripts.size() != other->subscripts.size()) {
-          verdict.dependences.push_back({name, "accesses with different dimensionality",
-                                         dep_line, dep_column});
+          ++verdict.dep_pairs_unknown;
+          verdict.dependences.push_back(array_dep(
+              name, "accesses with different dimensionality", dep_line, dep_column));
           break;
         }
         bool disjoint = false;
@@ -250,6 +329,7 @@ void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
             case DimRelation::kSameIterationOnly: same_iteration_only = true; break;
           }
         }
+        if (unknown) ++verdict.dep_pairs_unknown;
         // The accesses collide on iterations (i1, i2) only if EVERY
         // dimension matches. A disjoint dimension rules out collisions
         // entirely; a same-iteration-only dimension rules out cross-
@@ -258,13 +338,13 @@ void DependenceAnalyzer::analyze_arrays(const Node& /*body*/,
         if (disjoint) continue;
         if (same_iteration_only) continue;
         if (unknown) {
-          verdict.dependences.push_back(
-              {name, "subscript too complex for dependence test", dep_line, dep_column});
+          verdict.dependences.push_back(array_dep(
+              name, "subscript too complex for dependence test", dep_line, dep_column));
           break;
         }
         if (carried) {
           verdict.dependences.push_back(
-              {name, "loop-carried dependence", dep_line, dep_column});
+              array_dep(name, "loop-carried dependence", dep_line, dep_column));
           break;
         }
       }
@@ -480,9 +560,14 @@ void DependenceAnalyzer::analyze_scalars(const Node& body, const std::string& in
       continue;
     }
 
-    verdict.dependences.push_back({name, "loop-carried scalar dependence",
-                                   access.site ? access.site->line : 0,
-                                   access.site ? access.site->column : 0});
+    Dependence dep;
+    dep.variable = name;
+    dep.detail = "loop-carried scalar dependence";
+    dep.line = access.site ? access.site->line : 0;
+    dep.column = access.site ? access.site->column : 0;
+    dep.scalar = true;
+    dep.distance = 1;  // each iteration reads the previous iteration's value
+    verdict.dependences.push_back(std::move(dep));
   }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/accesses.h"
+#include "analysis/ddtest.h"
 #include "analysis/loopinfo.h"
 #include "analysis/sideeffects.h"
 #include "frontend/pragma.h"
@@ -65,6 +66,13 @@ struct Dependence {
   std::string detail;
   int line = 0;
   int column = 0;
+  bool scalar = false;  // scalar recurrence (vs array dependence)
+  /// Exact iteration distance at the analyzed loop's level, when the v2
+  /// engine pinned it (strong SIV). Unset for conservative findings.
+  std::optional<long long> distance;
+  /// Direction vector indexed by nest depth, e.g. "(<, =)"; empty when the
+  /// engine produced no level information (legacy engine, scalars).
+  std::string direction;
 };
 
 /// Final analysis verdict for one loop.
@@ -79,6 +87,14 @@ struct LoopVerdict {
   std::vector<frontend::Reduction> reductions;
   std::optional<long long> trip_count;
   std::string induction;
+
+  /// Dependence-test precision accounting (EXPERIMENTS.md comparisons).
+  std::size_t dep_pairs_tested = 0;   // access pairs fed to the engine
+  std::size_t dep_pairs_unknown = 0;  // pairs answered conservatively
+
+  /// True when every tested pair resolved exactly and nothing bailed: the
+  /// verdict is a proof, not a conservative default.
+  bool exact() const { return !bailed && dep_pairs_unknown == 0; }
 };
 
 /// Personality knobs: each S2S compiler profile instantiates the analyzer
@@ -97,6 +113,10 @@ struct AnalyzerOptions {
   bool suggest_dynamic_schedule = false;
   /// Loops with a static trip count below this are not worth parallelizing.
   long long min_trip_count = 0;
+  /// Use the v2 exact GCD+Banerjee direction/distance engine for array
+  /// dependences. False falls back to the seed per-subscript SIV test
+  /// (kept for precision comparisons; see EXPERIMENTS.md).
+  bool exact_dependence_engine = true;
 };
 
 /// Dependence analyzer bound to a snippet's side-effect oracle.
@@ -108,8 +128,10 @@ class DependenceAnalyzer {
   LoopVerdict analyze(const frontend::Node& loop) const;
 
  private:
-  void analyze_arrays(const frontend::Node& body, const std::string& induction,
+  void analyze_arrays(const frontend::Node& loop, const std::string& induction,
                       const AccessSet& accesses, LoopVerdict& verdict) const;
+  void analyze_arrays_legacy(const std::string& induction, const AccessSet& accesses,
+                             LoopVerdict& verdict) const;
   void analyze_scalars(const frontend::Node& body, const std::string& induction,
                        const AccessSet& accesses, LoopVerdict& verdict) const;
 

@@ -784,7 +784,110 @@ GeneratedSnippet n_impure_local_call(Rng& rng) {
   return snippet("impure_local_call", os.str());
 }
 
+// ===== simd families =========================================================
+//
+// Vectorizable single loops labeled with `#pragma omp simd` (not worksharing).
+// Kept out of all_families() so every corpus generated before the simd rule
+// family existed stays bit-identical; generator.simd_families opts in.
+
+/// Builds the canonical directive for a simd-labeled snippet.
+OmpDirective simd_directive(int safelen = 0, std::vector<Reduction> reductions = {}) {
+  OmpDirective d;
+  d.simd = true;
+  d.safelen = safelen;
+  d.reductions = std::move(reductions);
+  return d;
+}
+
+/// s_simd_saxpy: dependence-free streaming update — clean bare `omp simd`.
+GeneratedSnippet s_simd_saxpy(Rng& rng) {
+  NamePool names(rng, NameStyle::kHpc);
+  const std::string i = names.induction();
+  const std::string x = names.array();
+  const std::string y = names.array();
+  const std::string alpha = names.scalar();
+  const std::string n = sampled_bound(rng, names);
+  std::ostringstream os;
+  os << "for (" << i << " = 0; " << i << " < " << n << "; " << i << "++)\n    ";
+  const int variant = static_cast<int>(rng.range(0, 2));
+  if (variant == 0)
+    os << y << "[" << i << "] = " << alpha << " * " << x << "[" << i << "] + " << y
+       << "[" << i << "];\n";
+  else if (variant == 1)
+    os << y << "[" << i << "] += " << alpha << " * " << x << "[" << i << "];\n";
+  else
+    os << y << "[" << i << "] = " << x << "[" << i << "] * " << fmt_float(rng)
+       << ";\n";
+  return positive("simd_saxpy", os.str(), simd_directive());
+}
+
+/// s_simd_offset_stream: a[i] = a[i-K] + b[i] — carried distance exactly K,
+/// legal under the declared safelen(K). The distance label exercises the
+/// exact dependence engine end to end.
+GeneratedSnippet s_simd_offset_stream(Rng& rng) {
+  NamePool names(rng, NameStyle::kHpc);
+  const std::string i = names.induction();
+  const std::string a = names.array();
+  const std::string b = names.array();
+  const std::string n = sampled_bound(rng, names);
+  const int k = static_cast<int>(rng.range(2, 8));
+  std::ostringstream os;
+  os << "for (" << i << " = " << k << "; " << i << " < " << n << "; " << i
+     << "++)\n    " << a << "[" << i << "] = " << a << "[" << i << " - " << k
+     << "] + " << b << "[" << i << "];\n";
+  return positive("simd_offset_stream", os.str(), simd_directive(k));
+}
+
+/// s_simd_reduction: horizontal sum under `omp simd reduction(+: s)`.
+GeneratedSnippet s_simd_reduction(Rng& rng) {
+  NamePool names(rng, NameStyle::kHpc);
+  const std::string i = names.induction();
+  const std::string a = names.array();
+  const std::string acc = names.accumulator();
+  const std::string n = sampled_bound(rng, names);
+  std::ostringstream os;
+  os << "for (" << i << " = 0; " << i << " < " << n << "; " << i << "++)\n    ";
+  if (rng.chance(0.5)) {
+    const std::string b = names.array();
+    os << acc << " += " << a << "[" << i << "] * " << b << "[" << i << "];\n";
+  } else {
+    os << acc << " += " << a << "[" << i << "];\n";
+  }
+  return positive("simd_reduction", os.str(),
+                  simd_directive(0, {Reduction{ReductionOp::kAdd, acc}}));
+}
+
+/// s_simd_nest: clean two-level nest labeled `parallel for private(j)`.
+/// Its seeded bug adds `simd` to the *outer* directive — the
+/// simd-on-non-innermost defect.
+GeneratedSnippet s_simd_nest(Rng& rng) {
+  NamePool names(rng, NameStyle::kHpc);
+  const std::string i = names.induction();
+  const std::string j = names.induction();
+  const std::string in = names.array();
+  const std::string out = names.array();
+  const std::string rows = names.bound();
+  const std::string cols = names.bound();
+  std::ostringstream os;
+  os << "for (" << i << " = 0; " << i << " < " << rows << "; " << i << "++)\n"
+     << "    for (" << j << " = 0; " << j << " < " << cols << "; " << j << "++)\n"
+     << "        " << out << "[" << i << "][" << j << "] = " << in << "[" << i
+     << "][" << j << "] * " << fmt_float(rng) << ";\n";
+  return positive("simd_nest", os.str(),
+                  loop_directive(ScheduleKind::kStatic, {j}));
+}
+
 }  // namespace
+
+const std::vector<Family>& simd_families() {
+  static const std::vector<Family> kSimd = {
+      {"simd_saxpy", 2.0, true, s_simd_saxpy},
+      {"simd_offset_stream", 2.0, true, s_simd_offset_stream},
+      {"simd_reduction", 2.0, true, s_simd_reduction},
+      {"simd_nest", 1.5, true, s_simd_nest},
+  };
+  return kSimd;
+}
 
 const std::vector<Family>& all_families() {
   static const std::vector<Family> kFamilies = {
@@ -827,6 +930,8 @@ const std::vector<Family>& all_families() {
 
 const Family& family_by_name(const std::string& name) {
   for (const Family& f : all_families())
+    if (f.name == name) return f;
+  for (const Family& f : simd_families())
     if (f.name == name) return f;
   throw InvalidArgument("unknown snippet family: " + name);
 }

@@ -40,7 +40,14 @@ struct Family {
 /// The full registry (positives + negatives), weights included.
 const std::vector<Family>& all_families();
 
-/// Looks a family up by name; throws InvalidArgument when missing.
+/// Vectorizable `omp simd` families (simd_saxpy, simd_offset_stream,
+/// simd_reduction, simd_nest). Kept out of all_families() so corpora
+/// generated before the simd rule family stay bit-identical; enable via
+/// GeneratorConfig::simd_families.
+const std::vector<Family>& simd_families();
+
+/// Looks a family up by name (all_families + simd_families); throws
+/// InvalidArgument when missing.
 const Family& family_by_name(const std::string& name);
 
 }  // namespace clpp::codegen

@@ -38,8 +38,9 @@ std::string induction_of(const std::string& code) {
 
 /// Corrupts `record`'s label into one lint-detectable defect and tags
 /// `record.bug` with the rule id the linter must report. No-op when the
-/// record offers nothing corruptible.
-void seed_directive_bug(corpus::Record& record) {
+/// record offers nothing corruptible. `rng` is only drawn from on simd
+/// records, keeping the sequence of every pre-simd corpus untouched.
+void seed_directive_bug(corpus::Record& record, Rng& rng) {
   if (!record.has_directive) {
     if (!provably_racy_family(record.family)) return;
     frontend::OmpDirective bare;
@@ -52,6 +53,31 @@ void seed_directive_bug(corpus::Record& record) {
   }
 
   frontend::OmpDirective directive = frontend::parse_omp_pragma(record.directive_text);
+  if (directive.simd && !directive.for_loop) {
+    // Bare `omp simd`: corrupt into the simd legality family.
+    if (directive.safelen > 0) {
+      if (rng.chance(0.5)) {
+        directive.safelen = 0;  // distance still carried, nothing licenses it
+        record.bug = lint::rule::kSimdMissesSafelen;
+      } else {
+        directive.safelen *= 2;  // now exceeds the carried distance
+        record.bug = lint::rule::kSimdUnsafeDep;
+      }
+    } else if (!directive.reductions.empty()) {
+      directive.reductions.clear();
+      record.bug = lint::rule::kSimdReductionMismatch;
+    } else {
+      return;  // dependence-free bare simd offers nothing corruptible
+    }
+    record.directive_text = directive.to_string();
+    return;
+  }
+  if (record.family == "simd_nest") {
+    directive.simd = true;
+    record.bug = lint::rule::kSimdNonInnermost;
+    record.directive_text = directive.to_string();
+    return;
+  }
   const std::string induction = induction_of(record.code);
   if (!directive.reductions.empty()) {
     directive.reductions.clear();
@@ -86,7 +112,11 @@ corpus::Corpus generate_corpus(const GeneratorConfig& config) {
                  "buggy directive rate must be in [0, 1)");
   Rng rng(config.seed);
 
-  const auto& families = all_families();
+  std::vector<Family> families = all_families();
+  if (config.simd_families) {
+    const auto& simd = simd_families();
+    families.insert(families.end(), simd.begin(), simd.end());
+  }
   std::vector<double> weights;
   weights.reserve(families.size());
   for (const Family& f : families) weights.push_back(f.weight);
@@ -118,7 +148,7 @@ corpus::Corpus generate_corpus(const GeneratorConfig& config) {
       }
     } else if (config.buggy_directive_rate > 0 &&
                rng.chance(config.buggy_directive_rate)) {
-      seed_directive_bug(record);
+      seed_directive_bug(record, rng);
     }
     record.refresh_labels();
     corpus.add(std::move(record));

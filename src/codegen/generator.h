@@ -25,7 +25,15 @@ struct GeneratorConfig {
   /// the iterator forced into shared(...) (shared-induction); negatives of
   /// provably racy families gain a bare pragma (loop-carried-dependence).
   /// Disjoint from label_noise flips. 0 = every label stays faithful.
+  /// Simd-family records corrupt into the simd rule family instead:
+  /// safelen dropped (simd-misses-safelen), safelen inflated past the
+  /// carried distance (simd-unsafe-carried-dependence), reduction clause
+  /// dropped (simd-reduction-mismatch), or `simd` added to the outer
+  /// directive of a nest (simd-on-non-innermost).
   double buggy_directive_rate = 0.0;
+  /// Mix in the `omp simd`-labeled families (codegen::simd_families()).
+  /// Off by default so every pre-existing seeded corpus stays bit-identical.
+  bool simd_families = false;
 };
 
 /// Generates the corpus. Record ids are "omp-<index>".

@@ -193,6 +193,16 @@ OmpDirective parse_omp_pragma(std::string_view text) {
           directive.unknown_clauses.push_back("collapse(" + body + ")");
         }
       }
+    } else if (word == "safelen" || word == "simdlen") {
+      std::string body;
+      if (scanner.paren_body(body)) {
+        int& slot = word == "safelen" ? directive.safelen : directive.simdlen;
+        try {
+          slot = std::stoi(body);
+        } catch (const std::exception&) {
+          directive.unknown_clauses.push_back(word + "(" + body + ")");
+        }
+      }
     } else if (word == "num_threads") {
       std::string body;
       if (scanner.paren_body(body)) directive.num_threads = body;
@@ -264,6 +274,8 @@ std::string OmpDirective::to_string() const {
     os << ')';
   }
   if (collapse > 0) os << " collapse(" << collapse << ')';
+  if (safelen > 0) os << " safelen(" << safelen << ')';
+  if (simdlen > 0) os << " simdlen(" << simdlen << ')';
   if (!num_threads.empty()) os << " num_threads(" << num_threads << ')';
   auto list = [&os](const char* name, const std::vector<std::string>& vars) {
     if (vars.empty()) return;

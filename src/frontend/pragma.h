@@ -40,6 +40,8 @@ struct OmpDirective {
   ScheduleKind schedule = ScheduleKind::kNone;
   int schedule_chunk = 0;  // 0 = unspecified
   int collapse = 0;        // 0 = unspecified
+  int safelen = 0;         // simd safelen(k); 0 = unspecified
+  int simdlen = 0;         // simd simdlen(k); 0 = unspecified
   std::string num_threads;  // expression text; empty = unspecified
   std::vector<std::string> private_vars;
   std::vector<std::string> firstprivate_vars;
@@ -48,9 +50,10 @@ struct OmpDirective {
   std::vector<Reduction> reductions;
   std::vector<std::string> unknown_clauses;
 
-  /// True if this is a worksharing-loop directive (`omp for` in any form) —
-  /// the corpus inclusion criterion of §3.1.2.
-  bool is_loop_directive() const { return for_loop; }
+  /// True if this directive governs the loop that follows it: `omp for` in
+  /// any form (the corpus inclusion criterion of §3.1.2) or `omp simd`
+  /// (a loop directive too — it binds the vectorized loop).
+  bool is_loop_directive() const { return for_loop || simd; }
 
   bool has_private() const { return !private_vars.empty(); }
   bool has_reduction() const { return !reductions.empty(); }

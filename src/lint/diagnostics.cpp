@@ -2,6 +2,59 @@
 
 namespace clpp::lint {
 
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {rule::kLoopCarried,
+       "A dependence crosses iterations of the worksharing loop; the directive "
+       "makes the program race.",
+       Severity::kError},
+      {rule::kMissingPrivate,
+       "A scalar rewritten every iteration is not privatized; concurrent "
+       "writes race.",
+       Severity::kError},
+      {rule::kMissingReduction,
+       "An accumulation idiom has no (or the wrong) reduction clause.",
+       Severity::kError},
+      {rule::kSharedInduction,
+       "The induction variable is listed shared(...); every thread would "
+       "write the one shared iterator.",
+       Severity::kError},
+      {rule::kUninitializedPrivate,
+       "A private variable is read before any write; private copies start "
+       "uninitialized.",
+       Severity::kWarning},
+      {rule::kNonCanonicalLoop,
+       "The directive is not followed by a loop in OpenMP canonical form.",
+       Severity::kError},
+      {rule::kSmallTripCount,
+       "The static trip count is below the profitability threshold; fork/join "
+       "overhead dominates.",
+       Severity::kWarning},
+      {rule::kUnknownCallEffect,
+       "The loop calls a function whose side effects the analysis cannot "
+       "bound.",
+       Severity::kWarning},
+      {rule::kParseError, "The input does not parse.", Severity::kError},
+      {rule::kSimdUnsafeDep,
+       "The simd loop carries a dependence no safelen can license (distance 1, "
+       "unknown, or below the declared safelen).",
+       Severity::kError},
+      {rule::kSimdMissesSafelen,
+       "The simd loop carries a dependence of known distance d >= 2 but "
+       "declares no safelen; any vector length above d is miscompiled.",
+       Severity::kError},
+      {rule::kSimdReductionMismatch,
+       "The simd loop accumulates into a scalar that is not declared in a "
+       "reduction clause on the simd directive.",
+       Severity::kError},
+      {rule::kSimdNonInnermost,
+       "simd is applied to a loop that contains another loop; vectorizing a "
+       "non-innermost loop is rarely intended.",
+       Severity::kWarning},
+  };
+  return rules;
+}
+
 std::string severity_name(Severity severity) {
   switch (severity) {
     case Severity::kError: return "error";
@@ -70,6 +123,7 @@ std::string LintReport::to_text() const {
 
 Json LintReport::to_json() const {
   Json doc = Json::object();
+  doc["schema"] = "clpp.lint.v1";
   doc["file"] = file;
   doc["loops_checked"] = loops_checked;
   doc["errors"] = errors();
@@ -88,6 +142,121 @@ Json LintReport::to_json() const {
     items.push_back(std::move(item));
   }
   doc["diagnostics"] = std::move(items);
+  return doc;
+}
+
+namespace {
+
+/// SARIF levels are "error" | "warning" | "note".
+std::string sarif_level(Severity severity) { return severity_name(severity); }
+
+Json sarif_region(const SourceRange& range) {
+  Json region = Json::object();
+  region["startLine"] = range.known() ? range.line : 1;
+  region["startColumn"] = range.known() ? range.column : 1;
+  if (range.end_line > 0) {
+    region["endLine"] = range.end_line;
+    region["endColumn"] = range.end_column;
+  }
+  return region;
+}
+
+Json sarif_location(const std::string& uri, const SourceRange& range) {
+  Json artifact = Json::object();
+  artifact["uri"] = uri;
+  Json physical = Json::object();
+  physical["artifactLocation"] = std::move(artifact);
+  physical["region"] = sarif_region(range);
+  Json location = Json::object();
+  location["physicalLocation"] = std::move(physical);
+  return location;
+}
+
+}  // namespace
+
+Json sarif_document(const std::vector<LintReport>& reports) {
+  Json driver = Json::object();
+  driver["name"] = "clpp-lint";
+  driver["informationUri"] = "https://github.com/clpp/clpp";
+  driver["version"] = "2.0.0";
+  Json rules = Json::array();
+  std::size_t index = 0;
+  std::vector<std::string> rule_order;
+  for (const RuleInfo& info : all_rules()) {
+    Json rule = Json::object();
+    rule["id"] = info.id;
+    Json text = Json::object();
+    text["text"] = info.summary;
+    rule["shortDescription"] = std::move(text);
+    Json config = Json::object();
+    config["level"] = sarif_level(info.default_severity);
+    rule["defaultConfiguration"] = std::move(config);
+    rules.push_back(std::move(rule));
+    rule_order.push_back(info.id);
+    ++index;
+  }
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+
+  Json results = Json::array();
+  for (const LintReport& report : reports) {
+    for (const Diagnostic& d : report.diagnostics) {
+      Json result = Json::object();
+      result["ruleId"] = d.rule;
+      for (std::size_t r = 0; r < rule_order.size(); ++r)
+        if (rule_order[r] == d.rule) result["ruleIndex"] = r;
+      result["level"] = sarif_level(d.severity);
+      Json message = Json::object();
+      message["text"] = d.message;
+      result["message"] = std::move(message);
+      Json locations = Json::array();
+      locations.push_back(sarif_location(report.file, d.range));
+      result["locations"] = std::move(locations);
+      if (!d.fix.empty()) {
+        // The fix is always a whole-line replacement of the directive.
+        Json inserted = Json::object();
+        inserted["text"] = d.fix;
+        Json replacement = Json::object();
+        Json deleted = Json::object();
+        deleted["startLine"] = d.range.known() ? d.range.line : 1;
+        deleted["startColumn"] = 1;
+        replacement["deletedRegion"] = std::move(deleted);
+        replacement["insertedContent"] = std::move(inserted);
+        Json replacements = Json::array();
+        replacements.push_back(std::move(replacement));
+        Json artifact = Json::object();
+        artifact["uri"] = report.file;
+        Json change = Json::object();
+        change["artifactLocation"] = std::move(artifact);
+        change["replacements"] = std::move(replacements);
+        Json changes = Json::array();
+        changes.push_back(std::move(change));
+        Json description = Json::object();
+        description["text"] = "replace the directive with: " + d.fix;
+        Json fix = Json::object();
+        fix["description"] = std::move(description);
+        fix["artifactChanges"] = std::move(changes);
+        Json fixes = Json::array();
+        fixes.push_back(std::move(fix));
+        result["fixes"] = std::move(fixes);
+      }
+      results.push_back(std::move(result));
+    }
+  }
+
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json doc = Json::object();
+  doc["$schema"] =
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = std::move(runs);
   return doc;
 }
 

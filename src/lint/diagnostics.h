@@ -37,7 +37,22 @@ inline constexpr const char* kNonCanonicalLoop = "non-canonical-loop";
 inline constexpr const char* kSmallTripCount = "small-trip-count";
 inline constexpr const char* kUnknownCallEffect = "unknown-call-effect";
 inline constexpr const char* kParseError = "parse-error";
+// `omp simd` legality family (requires the v2 distance engine).
+inline constexpr const char* kSimdUnsafeDep = "simd-unsafe-carried-dependence";
+inline constexpr const char* kSimdMissesSafelen = "simd-misses-safelen";
+inline constexpr const char* kSimdReductionMismatch = "simd-reduction-mismatch";
+inline constexpr const char* kSimdNonInnermost = "simd-on-non-innermost";
 }  // namespace rule
+
+/// Static metadata for one rule (SARIF tool.driver.rules, docs).
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  Severity default_severity;
+};
+
+/// Every rule clpp-lint can emit, in stable order.
+const std::vector<RuleInfo>& all_rules();
 
 /// 1-based, inclusive source range. line == 0 means "no position known"
 /// (synthesized AST nodes).
@@ -79,11 +94,19 @@ struct LintReport {
   ///   file:line:col: note: suggested fix: #pragma omp ...
   std::string to_text() const;
 
-  /// SARIF-lite document:
-  ///   {"file": ..., "loops_checked": N, "errors": N, "warnings": N,
+  /// Schema-versioned JSON document (schema "clpp.lint.v1"):
+  ///   {"schema": "clpp.lint.v1", "file": ..., "loops_checked": N,
+  ///    "errors": N, "warnings": N,
   ///    "diagnostics": [{"rule", "level", "line", "column", "end_line",
   ///                     "end_column", "message", "fix"?}, ...]}
   Json to_json() const;
 };
+
+/// Valid SARIF 2.1.0 document over one or more reports: one run with
+/// tool.driver.rules populated from all_rules(), one result per diagnostic
+/// (ruleId/ruleIndex/level/message/locations), and fix-its rendered as
+/// results[].fixes replacing the directive line. GitHub code scanning can
+/// ingest this directly.
+Json sarif_document(const std::vector<LintReport>& reports);
 
 }  // namespace clpp::lint

@@ -239,8 +239,14 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
     add(rule::kLoopCarried, Severity::kWarning, at_loop,
         "cannot prove iterations independent: call through a function pointer");
 
-  // --- small-trip-count.
-  if (verdict.trip_count && *verdict.trip_count < options_.small_trip_threshold)
+  // A bare `omp simd` (no worksharing) has its own legality rules: carried
+  // dependences route to the simd-* family instead of loop-carried-dependence,
+  // because a known distance >= 2 is *legal* under a small enough safelen.
+  const bool pure_simd = directive.simd && !directive.for_loop;
+
+  // --- small-trip-count (fork/join cost — worksharing only).
+  if (!pure_simd && verdict.trip_count &&
+      *verdict.trip_count < options_.small_trip_threshold)
     add(rule::kSmallTripCount, Severity::kWarning, at_loop,
         "static trip count " + std::to_string(*verdict.trip_count) +
             " is below the profitability threshold (" +
@@ -258,13 +264,57 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
   std::set<std::string> accumulators;
   for (const frontend::Reduction& r : verdict.reductions) accumulators.insert(r.variable);
 
-  // --- loop-carried-dependence: dependences that survive the clauses.
+  // --- loop-carried-dependence / simd-* family: dependences that survive
+  // the clauses.
   for (const analysis::Dependence& dep : verdict.dependences) {
     const SourceRange at_dep =
         dep.line > 0 ? token_range(dep.line, dep.column, dep.variable.size())
                      : at_loop;
-    const bool scalar = dep.detail == "loop-carried scalar dependence";
+    const bool scalar = dep.scalar;
     if (scalar && privatized.count(dep.variable)) continue;  // clause cuts the edge
+    if (pure_simd) {
+      if (scalar) {
+        if (reduced.count(dep.variable)) {
+          add(rule::kSimdReductionMismatch, Severity::kError, at_dep,
+              "carried dependence on '" + dep.variable +
+                  "' does not match its reduction clause on the simd "
+                  "directive; lanes combine incorrectly");
+        } else {
+          add(rule::kSimdUnsafeDep, Severity::kError, at_dep,
+              "loop-carried scalar dependence on '" + dep.variable +
+                  "' has distance 1; no safelen makes this loop "
+                  "vectorizable");
+        }
+      } else if (dep.distance && *dep.distance >= 2) {
+        const long long d = *dep.distance;
+        if (directive.safelen == 0 || directive.safelen > d) {
+          frontend::OmpDirective with_safelen = directive;
+          with_safelen.safelen = static_cast<int>(d);
+          if (directive.safelen == 0)
+            add(rule::kSimdMissesSafelen, Severity::kError, at_dep,
+                "array dependence on '" + dep.variable + "' has distance " +
+                    std::to_string(d) +
+                    " but the simd directive declares no safelen; vector "
+                    "lengths above " + std::to_string(d) + " are miscompiled",
+                with_safelen.to_string());
+          else
+            add(rule::kSimdUnsafeDep, Severity::kError, at_dep,
+                "safelen(" + std::to_string(directive.safelen) +
+                    ") exceeds the carried dependence distance " +
+                    std::to_string(d) + " on '" + dep.variable + "'",
+                with_safelen.to_string());
+        }
+        // safelen <= d: the declared safelen licenses this dependence.
+      } else {
+        add(rule::kSimdUnsafeDep, Severity::kError, at_dep,
+            "loop-carried array dependence on '" + dep.variable + "' (" +
+                dep.detail + ") has distance " +
+                (dep.distance ? std::to_string(*dep.distance)
+                              : std::string("unknown")) +
+                "; no safelen can license it");
+      }
+      continue;
+    }
     std::string message;
     if (scalar && reduced.count(dep.variable))
       message = "carried dependence on '" + dep.variable +
@@ -329,7 +379,8 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
     else
       message = "accumulation over '" + r.variable +
                 "' races on the shared scalar; needs " + clause;
-    pending.push_back({rule::kMissingReduction,
+    pending.push_back({pure_simd ? rule::kSimdReductionMismatch
+                                 : rule::kMissingReduction,
                        first_write_range(accesses, r.variable, at_pragma),
                        std::move(message)});
     corrected.reductions.erase(
@@ -347,6 +398,28 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
   const std::string fix_text = pending.empty() ? std::string{} : corrected.to_string();
   for (Pending& p : pending)
     add(p.rule_id, Severity::kError, p.range, std::move(p.message), fix_text);
+
+  // --- simd-on-non-innermost: vectorizing an outer loop is rarely intended.
+  if (directive.simd) {
+    bool has_inner_loop = false;
+    frontend::walk(body, [&](const Node& n, int) {
+      if (n.kind == NodeKind::kFor) has_inner_loop = true;
+    });
+    if (has_inner_loop) {
+      std::string fix;
+      if (directive.for_loop) {
+        frontend::OmpDirective dropped = directive;
+        dropped.simd = false;
+        dropped.safelen = 0;
+        dropped.simdlen = 0;
+        fix = dropped.to_string();
+      }
+      add(rule::kSimdNonInnermost, Severity::kWarning, at_loop,
+          "simd applies to a loop whose body contains another loop; "
+          "vectorize the innermost loop instead",
+          std::move(fix));
+    }
+  }
 
   // --- uninitialized-private: a private var whose first access reads it.
   for (const std::string& name : directive.private_vars) {

@@ -18,6 +18,14 @@
 //   unknown-call-effect      warning  callee side effects cannot be proven
 //   parse-error              error    input did not parse (CLI robustness)
 //
+// `omp simd` legality family (needs the v2 distance engine in
+// analysis/ddtest.h — a carried dependence of known distance d is *legal*
+// under safelen(k) iff k <= d):
+//   simd-unsafe-carried-dependence  error    distance 1/unknown, or safelen > d
+//   simd-misses-safelen             error    known d >= 2 but no safelen given
+//   simd-reduction-mismatch         error    simd accumulation without clause
+//   simd-on-non-innermost           warning  simd on a loop containing a loop
+//
 // Fix-its reuse the S2S clause synthesizer (`s2s::directive_from_verdict`):
 // clause-level findings carry the corrected whole pragma line.
 #pragma once

@@ -2,7 +2,11 @@
 // canonicalization, affine subscripts, dependence verdicts, side effects.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "analysis/accesses.h"
+#include "analysis/ddtest.h"
 #include "analysis/depend.h"
 #include "analysis/loopinfo.h"
 #include "analysis/sideeffects.h"
@@ -488,6 +492,322 @@ TEST(SideEffects, WorstEffectOrdering) {
   EXPECT_EQ(worse(CallEffect::kUnknown, CallEffect::kIo), CallEffect::kUnknown);
   EXPECT_EQ(worse(CallEffect::kWritesArgs, CallEffect::kPure),
             CallEffect::kWritesArgs);
+}
+
+// --- ddtest (dependence engine v2) -------------------------------------------------
+
+TEST(AffineFormTest, MultiVariableWithLiteralParts) {
+  const NodePtr expr = parse_expression("2 * i + 3 * j - 1");
+  const AffineForm form = analyze_affine(*expr, {{"i", "j"}, {}});
+  ASSERT_TRUE(form.affine);
+  EXPECT_EQ(form.coeffs.at("i"), 2);
+  EXPECT_EQ(form.coeffs.at("j"), 3);
+  EXPECT_EQ(form.offset, -1);
+  EXPECT_TRUE(form.symbols.empty());
+}
+
+TEST(AffineFormTest, InvariantSymbolsFold) {
+  const NodePtr expr = parse_expression("i + n - 1");
+  const AffineForm form = analyze_affine(*expr, {{"i"}, {}});
+  ASSERT_TRUE(form.affine);
+  EXPECT_EQ(form.coeffs.at("i"), 1);
+  EXPECT_EQ(form.symbols.at("n"), 1);
+  EXPECT_EQ(form.offset, -1);
+}
+
+TEST(AffineFormTest, MutatedNameIsNotAffine) {
+  const NodePtr expr = parse_expression("i + t");
+  const AffineForm form = analyze_affine(*expr, {{"i"}, {"t"}});
+  EXPECT_FALSE(form.affine);
+}
+
+TEST(DdtestV2, StrongSivPinsExactDistance) {
+  const LoopVerdict v = analyze_with("for (i = 2; i < n; i++) a[i] = a[i - 2] + 1.0;");
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+  ASSERT_EQ(v.dependences.size(), 1u);
+  ASSERT_TRUE(v.dependences[0].distance.has_value());
+  EXPECT_EQ(*v.dependences[0].distance, 2);
+  EXPECT_EQ(v.dependences[0].direction, "(<)");
+}
+
+TEST(DdtestV2, ScaledCoefficientDistanceDividesThrough) {
+  // Write a[2i], read a[2(i-2)]: collision exactly two iterations apart.
+  const LoopVerdict v =
+      analyze_with("for (i = 2; i < n; i++) a[2 * i] = a[2 * i - 4] + 1.0;");
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+  ASSERT_EQ(v.dependences.size(), 1u);
+  ASSERT_TRUE(v.dependences[0].distance.has_value());
+  EXPECT_EQ(*v.dependences[0].distance, 2);
+}
+
+TEST(DdtestV2, StridedLoopProvesDisjointOffsets) {
+  // i steps by 2: writes land on even elements, reads on odd ones. The seed
+  // engine refused non-unit steps; v2 lowers to iteration counts.
+  const LoopVerdict v =
+      analyze_with("for (i = 0; i < n; i += 2) a[i] = a[i + 1] * 2.0;");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, GcdTestProvesParityDisjoint) {
+  const LoopVerdict v =
+      analyze_with("for (i = 0; i < n; i++) a[2 * i] = a[2 * i + 1];");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, BanerjeeBoundsRefuteLinearizedCollision) {
+  // 8*i + j with j in [0, 4): the offset 4 cannot be absorbed by dj alone
+  // and 8*di overshoots. Needs the literal inner trip count (Banerjee),
+  // GCD alone would not refute it.
+  const LoopVerdict v = analyze_with(
+      "for (i = 0; i < 8; i++)\n"
+      "  for (j = 0; j < 4; j++)\n"
+      "    a[8 * i + j] = a[8 * i + j + 4];");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, BanerjeeBoundsKeepRealCollision) {
+  // Same form with j in [0, 8): now (di, dj) = (0, 4) etc. collide for real.
+  const LoopVerdict v = analyze_with(
+      "for (i = 0; i < 8; i++)\n"
+      "  for (j = 0; j < 8; j++)\n"
+      "    a[8 * i + j] = a[8 * i + j + 4];");
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, CoupledSubscriptsIntersectToDisjoint) {
+  // Diagonal write vs subdiagonal read: dim 0 demands "=", dim 1 demands
+  // "<" — the per-dimension intersection is empty.
+  const LoopVerdict v =
+      analyze_with("for (i = 1; i < n; i++) A[i][i] = A[i][i - 1] + 1.0;");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, TransposedCoupledSubscriptsStaySound) {
+  // A[i][j] vs A[j][i] couples the dimensions; the fallback must keep the
+  // (real) cross-iteration dependence rather than claim independence.
+  const LoopVerdict v = analyze_with(
+      "for (i = 0; i < n; i++)\n"
+      "  for (j = 0; j < n; j++)\n"
+      "    A[i][j] = A[j][i] + 1.0;");
+  EXPECT_FALSE(v.parallelizable);
+}
+
+TEST(DdtestV2, TriangularLowerBoundHandled) {
+  const LoopVerdict v = analyze_with(
+      "for (i = 0; i < n; i++)\n"
+      "  for (j = i; j < n; j++)\n"
+      "    A[i][j] = A[i][j] * 2.0;");
+  EXPECT_TRUE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(DdtestV2, AntiDependenceGetsGtDirection) {
+  const LoopVerdict v = analyze_with("for (i = 0; i < n; i++) a[i] = a[i + 1];");
+  EXPECT_FALSE(v.parallelizable);
+  ASSERT_EQ(v.dependences.size(), 1u);
+  ASSERT_TRUE(v.dependences[0].distance.has_value());
+  EXPECT_EQ(*v.dependences[0].distance, 1);
+  EXPECT_EQ(v.dependences[0].direction, "(>)");
+}
+
+TEST(DdtestV2, DirectionVectorAcrossNestLevels) {
+  const LoopVerdict v = analyze_with(
+      "for (i = 1; i < n; i++)\n"
+      "  for (j = 0; j < m; j++)\n"
+      "    A[i][j] = A[i - 1][j] + 1.0;");
+  EXPECT_FALSE(v.parallelizable);
+  EXPECT_TRUE(v.exact());
+  ASSERT_EQ(v.dependences.size(), 1u);
+  EXPECT_EQ(v.dependences[0].direction, "(<, =)");
+  ASSERT_TRUE(v.dependences[0].distance.has_value());
+  EXPECT_EQ(*v.dependences[0].distance, 1);
+}
+
+TEST(DdtestV2, LegacyEngineKnobFallsBackToSeedBehavior) {
+  // The linearized-subscript snippet the seed engine gave up on: v2 is an
+  // exact yes, the legacy knob reproduces the conservative refusal.
+  const char* code =
+      "for (i = 0; i < n; i++)\n"
+      "  for (j = 0; j < m; j++)\n"
+      "    c[i * m + j] = c[i * m + j] + 1.0;";
+  const LoopVerdict v2 = analyze_with(code);
+  EXPECT_TRUE(v2.parallelizable);
+  EXPECT_TRUE(v2.exact());
+
+  AnalyzerOptions legacy;
+  legacy.exact_dependence_engine = false;
+  const LoopVerdict seed = analyze_with(code, legacy);
+  EXPECT_FALSE(seed.parallelizable);
+  EXPECT_GT(seed.dep_pairs_unknown, 0u);
+  EXPECT_FALSE(seed.exact());
+}
+
+TEST(DdtestV2, NestContextExposesDirectionBitmasks) {
+  static NodePtr unit = parse_snippet(
+      "for (i = 1; i < n; i++)\n"
+      "  for (j = 0; j < m; j++)\n"
+      "    A[i][j] = A[i - 1][j] + 1.0;");
+  const frontend::Node& loop = first_for(*unit);
+  NestContext nest(loop);
+  const AccessSet accesses = collect_accesses(loop.child(3));
+  const auto writes = accesses.writes_of("A");
+  const auto reads = accesses.reads_of("A");
+  ASSERT_EQ(writes.size(), 1u);
+  ASSERT_EQ(reads.size(), 1u);
+  const PairResult pair = nest.test_pair(*writes[0], *reads[0]);
+  EXPECT_TRUE(pair.possible);
+  EXPECT_TRUE(pair.exact);
+  EXPECT_TRUE(pair.carried());
+  ASSERT_EQ(pair.levels.size(), 2u);
+  EXPECT_EQ(pair.levels[0].var, "i");
+  EXPECT_EQ(pair.levels[0].dirs, kDirLt);
+  ASSERT_TRUE(pair.levels[0].distance.has_value());
+  EXPECT_EQ(*pair.levels[0].distance, 1);
+  EXPECT_EQ(pair.levels[1].var, "j");
+  EXPECT_EQ(pair.levels[1].dirs, kDirEq);
+  ASSERT_TRUE(pair.carried_distance().has_value());
+  EXPECT_EQ(*pair.carried_distance(), 1);
+}
+
+TEST(DdtestV2, DirectionTextRendering) {
+  EXPECT_EQ(direction_text(kDirLt), "<");
+  EXPECT_EQ(direction_text(kDirEq), "=");
+  EXPECT_EQ(direction_text(kDirGt), ">");
+  EXPECT_EQ(direction_text(kDirLt | kDirEq), "<=");
+  EXPECT_EQ(direction_text(kDirAll), "*");
+}
+
+// --- corpus/realworld fixtures -----------------------------------------------------
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(CLPP_REALWORLD_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("missing fixture: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Analyzes every for loop of a fixture, outermost-first walk order.
+std::vector<LoopVerdict> analyze_fixture(const std::string& name,
+                                         AnalyzerOptions options = {}) {
+  static std::vector<NodePtr> keep_alive;
+  keep_alive.push_back(parse_snippet(read_fixture(name)));
+  const frontend::Node& unit = *keep_alive.back();
+  std::vector<const frontend::Node*> loops;
+  frontend::walk(unit, [&](const frontend::Node& node, int) {
+    if (node.kind == NodeKind::kFor) loops.push_back(&node);
+  });
+  SideEffectOracle oracle(unit);
+  DependenceAnalyzer analyzer(oracle, options);
+  std::vector<LoopVerdict> verdicts;
+  for (const frontend::Node* loop : loops) verdicts.push_back(analyzer.analyze(*loop));
+  return verdicts;
+}
+
+TEST(Realworld, GemmOuterLoopResolvesExactlyParallel) {
+  const auto verdicts = analyze_fixture("gemm.c");
+  ASSERT_EQ(verdicts.size(), 4u);
+  // Outer i loop: parallelizable, and a proof — not a conservative default.
+  EXPECT_TRUE(verdicts[0].parallelizable);
+  EXPECT_TRUE(verdicts[0].exact());
+  // The k loop re-writes C[i*nj + j] every iteration: carried, by proof.
+  EXPECT_FALSE(verdicts[2].parallelizable);
+  EXPECT_TRUE(verdicts[2].exact());
+}
+
+TEST(Realworld, GemmSeedEngineRefusedConservatively) {
+  AnalyzerOptions legacy;
+  legacy.exact_dependence_engine = false;
+  const auto verdicts = analyze_fixture("gemm.c", legacy);
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_FALSE(verdicts[0].parallelizable);
+  EXPECT_GT(verdicts[0].dep_pairs_unknown, 0u);
+}
+
+TEST(Realworld, MvtOuterParallelInnerAccumulates) {
+  const auto verdicts = analyze_fixture("mvt.c");
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_TRUE(verdicts[0].parallelizable);
+  EXPECT_TRUE(verdicts[0].exact());
+  // The j loop accumulates into x1[i]: loop-carried there.
+  EXPECT_FALSE(verdicts[1].parallelizable);
+}
+
+TEST(Realworld, GemverRankTwoUpdateIsExactParallel) {
+  const auto verdicts = analyze_fixture("gemver.c");
+  ASSERT_EQ(verdicts.size(), 2u);
+  for (const LoopVerdict& v : verdicts) {
+    EXPECT_TRUE(v.parallelizable);
+    EXPECT_TRUE(v.exact());
+  }
+}
+
+TEST(Realworld, AtaxOuterLoopCarriedOnY) {
+  const auto verdicts = analyze_fixture("atax.c");
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_FALSE(verdicts[0].parallelizable);
+  EXPECT_TRUE(verdicts[0].exact());
+  bool found_y = false;
+  for (const Dependence& dep : verdicts[0].dependences)
+    if (dep.variable == "y") found_y = true;
+  EXPECT_TRUE(found_y);
+}
+
+TEST(Realworld, JacobiTimeLoopProvedCarriedSpaceLoopsParallel) {
+  const auto verdicts = analyze_fixture("jacobi-1d.c");
+  ASSERT_EQ(verdicts.size(), 3u);
+  // v2 proves the t-loop carried exactly through the imperfect nest; the
+  // seed engine only refused it as unknown.
+  EXPECT_FALSE(verdicts[0].parallelizable);
+  EXPECT_TRUE(verdicts[0].exact());
+  EXPECT_TRUE(verdicts[1].parallelizable);
+  EXPECT_TRUE(verdicts[2].parallelizable);
+
+  AnalyzerOptions legacy;
+  legacy.exact_dependence_engine = false;
+  const auto seed = analyze_fixture("jacobi-1d.c", legacy);
+  EXPECT_FALSE(seed[0].parallelizable);
+  EXPECT_GT(seed[0].dep_pairs_unknown, 0u);
+}
+
+TEST(Realworld, NonParallelIirHasUnitDistance) {
+  const auto verdicts = analyze_fixture("non_parallel.c");
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].parallelizable);
+  EXPECT_TRUE(verdicts[0].exact());
+  ASSERT_EQ(verdicts[0].dependences.size(), 1u);
+  ASSERT_TRUE(verdicts[0].dependences[0].distance.has_value());
+  EXPECT_EQ(*verdicts[0].dependences[0].distance, 1);
+}
+
+TEST(Realworld, V2StrictlyFewerUnknownsThanSeedEngine) {
+  const char* fixtures[] = {"gemm.c",      "atax.c", "mvt.c",
+                            "gemver.c",    "jacobi-1d.c", "non_parallel.c"};
+  std::size_t seed_unknown = 0, v2_unknown = 0;
+  std::size_t seed_bailed = 0, v2_bailed = 0;
+  AnalyzerOptions legacy;
+  legacy.exact_dependence_engine = false;
+  for (const char* name : fixtures) {
+    for (const LoopVerdict& v : analyze_fixture(name, legacy)) {
+      seed_unknown += v.dep_pairs_unknown;
+      seed_bailed += v.bailed ? 1 : 0;
+    }
+    for (const LoopVerdict& v : analyze_fixture(name)) {
+      v2_unknown += v.dep_pairs_unknown;
+      v2_bailed += v.bailed ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(v2_unknown, 0u);
+  EXPECT_LT(v2_unknown, seed_unknown);
+  EXPECT_LE(v2_bailed, seed_bailed);
 }
 
 }  // namespace

@@ -216,5 +216,98 @@ TEST(Names, UniqueWithinSnippet) {
   }
 }
 
+// --- simd families -----------------------------------------------------------------
+
+TEST(SimdFamilies, EmitParseableSnippetsWithSimdDirectives) {
+  ASSERT_FALSE(simd_families().empty());
+  Rng rng(0x51D);
+  for (const Family& family : simd_families()) {
+    EXPECT_TRUE(family.positive) << family.name;
+    EXPECT_GT(family.weight, 0.0) << family.name;
+    for (int trial = 0; trial < 25; ++trial) {
+      const GeneratedSnippet s = family.make(rng);
+      EXPECT_EQ(s.family, family.name);
+      ASSERT_TRUE(s.has_directive) << family.name;
+      frontend::NodePtr unit;
+      ASSERT_NO_THROW(unit = frontend::parse_snippet(s.code))
+          << family.name << " trial " << trial << ":\n"
+          << s.code;
+      EXPECT_GT(frontend::count_kind(*unit, frontend::NodeKind::kFor), 0u);
+      // simd_nest is the one worksharing family (its seeded bug ADDS simd);
+      // the rest carry a bare `#pragma omp simd`.
+      if (family.name == "simd_nest") {
+        EXPECT_TRUE(s.directive.for_loop) << family.name;
+        EXPECT_FALSE(s.directive.simd) << family.name;
+      } else {
+        EXPECT_TRUE(s.directive.simd) << family.name;
+        EXPECT_FALSE(s.directive.for_loop) << family.name;
+      }
+      const auto parsed = frontend::parse_omp_pragma(s.directive.to_string());
+      EXPECT_EQ(parsed, s.directive) << family.name;
+    }
+  }
+}
+
+TEST(SimdFamilies, KeptOutOfTheDefaultRegistry) {
+  // The default mix must stay bit-identical for existing seeds, so the simd
+  // families only join through GeneratorConfig.simd_families.
+  for (const Family& family : all_families())
+    EXPECT_NE(family.name.rfind("simd_", 0), 0u) << family.name;
+  // But they are addressable by name for tooling.
+  EXPECT_EQ(family_by_name("simd_saxpy").name, "simd_saxpy");
+  EXPECT_EQ(family_by_name("simd_offset_stream").name, "simd_offset_stream");
+}
+
+TEST(SimdFamilies, ConfigKnobMixesThemIn) {
+  GeneratorConfig config;
+  config.size = 400;
+  config.seed = 31;
+  const auto plain = generate_corpus(config);
+  for (const auto& record : plain.records())
+    EXPECT_NE(record.family.rfind("simd_", 0), 0u) << record.family;
+
+  config.simd_families = true;
+  const auto mixed = generate_corpus(config);
+  std::size_t simd_records = 0;
+  for (const auto& record : mixed.records())
+    if (record.family.rfind("simd_", 0) == 0) ++simd_records;
+  EXPECT_GT(simd_records, 0u);
+}
+
+TEST(SimdFamilies, SeededSimdBugsAreConsistentlyTagged) {
+  GeneratorConfig config;
+  config.size = 1500;
+  config.seed = 8;
+  config.label_noise = 0.0;
+  config.buggy_directive_rate = 0.3;
+  config.simd_families = true;
+  const auto corpus = generate_corpus(config);
+
+  std::set<std::string> seen_bugs;
+  for (const auto& record : corpus.records()) {
+    if (record.bug.empty() || record.bug.rfind("simd-", 0) != 0) continue;
+    seen_bugs.insert(record.bug);
+    const frontend::OmpDirective d = record.directive();
+    if (record.bug == "simd-misses-safelen") {
+      EXPECT_TRUE(d.simd);
+      EXPECT_EQ(d.safelen, 0) << "the bug drops the safelen clause";
+    } else if (record.bug == "simd-unsafe-carried-dependence") {
+      EXPECT_TRUE(d.simd);
+      EXPECT_GT(d.safelen, 0) << "the bug widens safelen past the distance";
+    } else if (record.bug == "simd-reduction-mismatch") {
+      EXPECT_TRUE(d.simd);
+      EXPECT_TRUE(d.reductions.empty());
+    } else if (record.bug == "simd-on-non-innermost") {
+      EXPECT_EQ(record.family, "simd_nest");
+      EXPECT_TRUE(d.simd);
+      EXPECT_TRUE(d.for_loop);
+    } else {
+      FAIL() << "unexpected simd bug tag " << record.bug;
+    }
+  }
+  // All four seeded simd defects must occur at this size.
+  EXPECT_EQ(seen_bugs.size(), 4u);
+}
+
 }  // namespace
 }  // namespace clpp::codegen

@@ -2,7 +2,9 @@
 // race-detector property guards over the codegen families.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "codegen/families.h"
@@ -440,6 +442,224 @@ TEST(LintAudit, JsonReportRoundTrips) {
   EXPECT_EQ(static_cast<std::size_t>(doc.at("bugs_caught").as_int()),
             report.bugs_caught);
   EXPECT_EQ(doc.at("rows").size(), report.linted);
+}
+
+// --- omp simd rule family ----------------------------------------------------------
+
+TEST(LintSimd, UnitDistanceDependenceIsAnError) {
+  const auto report = lint("#pragma omp simd",
+                           "for (i = 1; i < n; i++)\n"
+                           "  a[i] = a[i - 1] + x[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kSimdUnsafeDep);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  // Distance 1: no safelen can license it, so no fix-it is offered.
+  EXPECT_TRUE(d->fix.empty());
+  // The worksharing race rules must not double-report under pure simd.
+  EXPECT_EQ(find_rule(report, rule::kLoopCarried), nullptr);
+}
+
+TEST(LintSimd, WideDistanceSuggestsSafelen) {
+  const auto report = lint("#pragma omp simd",
+                           "for (i = 4; i < n; i++)\n"
+                           "  a[i] = a[i - 4] + 1.0;\n");
+  const Diagnostic* d = find_rule(report, rule::kSimdMissesSafelen);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->fix.find("safelen(4)"), std::string::npos) << d->fix;
+}
+
+TEST(LintSimd, OversizedSafelenIsAnErrorWithTightenedFix) {
+  const auto report = lint("#pragma omp simd safelen(8)",
+                           "for (i = 4; i < n; i++)\n"
+                           "  a[i] = a[i - 4] + 1.0;\n");
+  const Diagnostic* d = find_rule(report, rule::kSimdUnsafeDep);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->fix.find("safelen(4)"), std::string::npos) << d->fix;
+}
+
+TEST(LintSimd, LegalSafelenLintsClean) {
+  const auto report = lint("#pragma omp simd safelen(4)",
+                           "for (i = 4; i < n; i++)\n"
+                           "  a[i] = a[i - 4] + 1.0;\n");
+  EXPECT_EQ(report.errors(), 0u) << report.to_text();
+  EXPECT_EQ(find_rule(report, rule::kSimdMissesSafelen), nullptr);
+  EXPECT_EQ(find_rule(report, rule::kSimdUnsafeDep), nullptr);
+}
+
+TEST(LintSimd, ReductionMismatchOnBareSimd) {
+  const auto report = lint("#pragma omp simd",
+                           "for (i = 0; i < n; i++)\n"
+                           "  s += a[i] * b[i];\n");
+  const Diagnostic* d = find_rule(report, rule::kSimdReductionMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->fix.find("reduction(+: s)"), std::string::npos) << d->fix;
+  EXPECT_EQ(find_rule(report, rule::kMissingReduction), nullptr);
+}
+
+TEST(LintSimd, DeclaredReductionLintsClean) {
+  const auto report = lint("#pragma omp simd reduction(+: s)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  s += a[i] * b[i];\n");
+  EXPECT_EQ(report.errors(), 0u) << report.to_text();
+}
+
+TEST(LintSimd, NonInnermostSimdWarnsAndFixDropsSimd) {
+  const auto report = lint("#pragma omp parallel for simd private(j)",
+                           "for (i = 0; i < n; i++)\n"
+                           "  for (j = 0; j < m; j++)\n"
+                           "    out[i][j] = in[i][j] * 2.0;\n");
+  const Diagnostic* d = find_rule(report, rule::kSimdNonInnermost);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_FALSE(d->fix.empty());
+  EXPECT_EQ(d->fix.find("simd"), std::string::npos) << d->fix;
+  EXPECT_NE(d->fix.find("parallel for"), std::string::npos) << d->fix;
+}
+
+TEST(LintSimd, InnermostSimdOnCleanLoopIsQuiet) {
+  const auto report = lint("#pragma omp simd",
+                           "for (i = 0; i < n; i++)\n"
+                           "  y[i] = y[i] + a * x[i];\n");
+  EXPECT_EQ(report.errors(), 0u) << report.to_text();
+  EXPECT_EQ(find_rule(report, rule::kSimdNonInnermost), nullptr);
+}
+
+TEST(LintSimd, CombinedConstructKeepsWorksharingRules) {
+  // parallel-for-simd still runs the worksharing race rules: a missing
+  // private must fire as missing-private, not get rerouted to simd-*.
+  const auto report = lint("#pragma omp parallel for simd",
+                           "for (i = 0; i < n; i++) {\n"
+                           "  t = a[i] * 2.0;\n"
+                           "  b[i] = t + t;\n"
+                           "}\n");
+  EXPECT_NE(find_rule(report, rule::kMissingPrivate), nullptr);
+}
+
+// --- SARIF rendering ---------------------------------------------------------------
+
+TEST(LintSarif, DocumentShapeAndResults) {
+  LintReport report = lint("#pragma omp simd",
+                           "for (i = 1; i < n; i++)\n"
+                           "  a[i] = a[i - 1] + x[i];\n");
+  report.file = "snippet.c";
+  const Json doc = Json::parse(sarif_document({report}).dump());
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  EXPECT_NE(doc.at("$schema").as_string().find("sarif-schema-2.1.0"),
+            std::string::npos);
+  const Json& run = doc.at("runs").at(0);
+  EXPECT_EQ(run.at("tool").at("driver").at("name").as_string(), "clpp-lint");
+  const Json& rules = run.at("tool").at("driver").at("rules");
+  EXPECT_EQ(rules.size(), all_rules().size());
+  const Json& results = run.at("results");
+  ASSERT_GE(results.size(), 1u);
+  bool found = false;
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const Json& result = results.at(r);
+    if (result.at("ruleId").as_string() != rule::kSimdUnsafeDep) continue;
+    found = true;
+    EXPECT_EQ(result.at("level").as_string(), "error");
+    const Json& location = result.at("locations").at(0);
+    EXPECT_EQ(location.at("physicalLocation")
+                  .at("artifactLocation")
+                  .at("uri")
+                  .as_string(),
+              "snippet.c");
+    // ruleIndex must point back into the rules array.
+    const auto index = static_cast<std::size_t>(result.at("ruleIndex").as_int());
+    ASSERT_LT(index, rules.size());
+    EXPECT_EQ(rules.at(index).at("id").as_string(), rule::kSimdUnsafeDep);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintSarif, FixitsBecomeSarifFixes) {
+  LintReport report = lint("#pragma omp parallel for",
+                           "for (i = 0; i < n; i++) {\n"
+                           "  t = a[i] * 2.0;\n"
+                           "  b[i] = t + t;\n"
+                           "}\n");
+  report.file = "fixme.c";
+  const Json doc = Json::parse(sarif_document({report}).dump());
+  const Json& results = doc.at("runs").at(0).at("results");
+  bool saw_fix = false;
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    if (!results.at(r).contains("fixes")) continue;
+    saw_fix = true;
+    const Json& change = results.at(r).at("fixes").at(0).at("artifactChanges").at(0);
+    EXPECT_EQ(change.at("artifactLocation").at("uri").as_string(), "fixme.c");
+    const Json& replacement = change.at("replacements").at(0);
+    EXPECT_NE(replacement.at("insertedContent").at("text").as_string().find("private"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(saw_fix);
+}
+
+TEST(LintSarif, JsonReportIsSchemaVersioned) {
+  const LintReport report = lint("#pragma omp parallel for",
+                                 "for (i = 0; i < n; i++) a[i] = b[i];\n");
+  const Json doc = Json::parse(report.to_json().dump());
+  EXPECT_EQ(doc.at("schema").as_string(), "clpp.lint.v1");
+}
+
+// --- simd families in the audit ----------------------------------------------------
+
+TEST(LintAuditSimd, SeededSimdBugsAllCaughtCleanRecordsUnflagged) {
+  codegen::GeneratorConfig config;
+  config.size = 300;
+  config.seed = 23;
+  config.label_noise = 0.0;
+  config.buggy_directive_rate = 0.3;
+  config.simd_families = true;
+  const corpus::Corpus corpus = codegen::generate_corpus(config);
+
+  // The mix must actually contain seeded simd defects.
+  std::set<std::string> seeded_rules;
+  for (const corpus::Record& record : corpus.records())
+    if (!record.bug.empty()) seeded_rules.insert(record.bug);
+  bool has_simd_seed = false;
+  for (const std::string& rule_id : seeded_rules)
+    if (rule_id.rfind("simd-", 0) == 0) has_simd_seed = true;
+  EXPECT_TRUE(has_simd_seed);
+
+  const AuditReport report = audit_labels(corpus);
+  EXPECT_GT(report.seeded_bugs, 0u);
+  EXPECT_EQ(report.bugs_missed, 0u) << report.to_text();
+  EXPECT_DOUBLE_EQ(report.catch_rate(), 1.0);
+  // The ISSUE acceptance bar: zero clean records flagged with errors.
+  EXPECT_EQ(report.clean_flagged, 0u) << report.to_text();
+}
+
+// --- realworld fixtures ------------------------------------------------------------
+
+TEST(LintRealworld, AnnotatedKernelsLintClean) {
+  for (const char* name : {"gemm.c", "mvt.c", "gemver.c"}) {
+    const std::string path = std::string(CLPP_REALWORLD_DIR) + "/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const LintReport report = Linter{}.lint_source(text.str());
+    EXPECT_EQ(report.errors(), 0u) << name << "\n" << report.to_text();
+    EXPECT_GE(report.loops_checked, 1u) << name;
+  }
+}
+
+TEST(LintRealworld, SimdOnIirRecurrenceIsRejected) {
+  std::ifstream in(std::string(CLPP_REALWORLD_DIR) + "/non_parallel.c");
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  // Force `#pragma omp simd` onto the distance-1 recurrence loop.
+  std::string code = text.str();
+  const std::string anchor = "for (i = 1; i < n; i++)";
+  const auto at = code.find(anchor);
+  ASSERT_NE(at, std::string::npos);
+  code.insert(at, "#pragma omp simd\n");
+  const LintReport report = Linter{}.lint_source(code);
+  const Diagnostic* d = find_rule(report, rule::kSimdUnsafeDep);
+  ASSERT_NE(d, nullptr) << report.to_text();
+  EXPECT_EQ(d->severity, Severity::kError);
 }
 
 }  // namespace
