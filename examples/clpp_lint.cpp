@@ -7,6 +7,10 @@
 //
 //   clpp-lint file.c            lint files, text diagnostics
 //   clpp-lint --json file.c     same, one JSON document per file
+//   clpp-lint --explain file.c  dependence-proof traces instead of lint:
+//                               every for loop, every tested access pair,
+//                               and the test (ziv/strong-siv/gcd/banerjee/
+//                               text-pinned) that decided it
 //   clpp-lint --audit           lint a generated corpus' own labels
 //                               (--buggy seeds ground-truth defects and
 //                               reports the catch/miss confusion)
@@ -22,11 +26,51 @@
 
 #include "codegen/generator.h"
 #include "core/advisor.h"
+#include "frontend/parser.h"
 #include "lint/audit.h"
+#include "lint/explain.h"
 #include "lint/linter.h"
 #include "support/cli.h"
 
 namespace {
+
+/// --explain: proof traces for every loop of every input file. Exit 0 when
+/// everything parsed, 2 on a parse/IO failure.
+int explain_files(const std::vector<std::string>& files,
+                  const clpp::lint::Linter& linter, bool as_json) {
+  int status = 0;
+  for (const std::string& path : files) {
+    std::string source;
+    if (path == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      source = buffer.str();
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "clpp-lint: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+    const std::string display = path == "-" ? "<stdin>" : path;
+    try {
+      const clpp::frontend::NodePtr unit = clpp::frontend::parse_snippet(source);
+      const std::vector<clpp::lint::LoopExplanation> loops =
+          clpp::lint::explain_unit(*unit, linter.options().analyzer);
+      if (as_json)
+        std::cout << clpp::lint::explanations_json(display, loops).dump() << "\n";
+      else
+        std::cout << clpp::lint::render_explanations(display, loops);
+    } catch (const clpp::ParseError& e) {
+      std::cerr << "clpp-lint: " << display << ": " << e.what() << "\n";
+      status = 2;
+    }
+  }
+  return status;
+}
 
 int lint_files(const std::vector<std::string>& files, const clpp::lint::Linter& linter,
                bool as_json, bool as_sarif) {
@@ -79,6 +123,9 @@ int main(int argc, char** argv) {
   args.add_flag("json", "emit schema-versioned JSON instead of text diagnostics");
   args.add_flag("sarif", "emit one SARIF 2.1.0 document covering all input files");
   args.add_flag("no-fixits", "suppress corrected-pragma fix-its");
+  args.add_flag("explain",
+                "render per-loop dependence proof traces (which test decided "
+                "each access pair) instead of lint diagnostics");
   args.add_int("trip-threshold", 8, "small-trip-count warning threshold");
   args.add_flag("audit", "lint a generated corpus' own directive labels");
   args.add_flag("no-simd", "audit: leave the omp simd snippet families out");
@@ -133,6 +180,8 @@ int main(int argc, char** argv) {
       std::cout << args.help();
       return 2;
     }
+    if (args.get_flag("explain"))
+      return explain_files(args.positional(), linter, as_json);
     return lint_files(args.positional(), linter, as_json, args.get_flag("sarif"));
   } catch (const std::exception& e) {
     std::cerr << "clpp-lint: " << e.what() << "\n";

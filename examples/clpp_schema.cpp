@@ -1,0 +1,148 @@
+// clpp-schema: structural validator for the repo's schema-versioned JSON
+// artifacts (scripts/check_schemas.sh).
+//
+//   clpp-schema FILE [FILE ...]
+//
+// Every artifact the tools emit declares its shape in a top-level "schema"
+// key ("clpp.<name>.v1"). This validator parses each file, looks the
+// declared schema up in the table below, and checks the required top-level
+// keys are present. `.jsonl` files (metrics streams, corpora) are checked
+// line by line; lines without a "schema" key are skipped (corpus records
+// are not schema-versioned).
+//
+// This is deliberately a structural check, not JSON Schema: it catches the
+// failure CI cares about — a producer renaming or dropping a field without
+// bumping the version string — with zero dependencies.
+//
+// Exit: 0 all artifacts valid, 1 any violation, 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace clpp;
+
+struct SchemaSpec {
+  const char* schema;
+  std::vector<const char*> required;  // top-level keys
+};
+
+/// One row per schema version any clpp tool emits. Adding a field is
+/// backward compatible; removing or renaming one listed here requires a
+/// version bump (clpp.<name>.v2) and a new row.
+const std::vector<SchemaSpec>& known_schemas() {
+  static const std::vector<SchemaSpec> specs = {
+      {"clpp.lint.v1",
+       {"file", "loops_checked", "errors", "warnings", "diagnostics"}},
+      {"clpp.explain.v1", {"file", "loops"}},
+      {"clpp.serve_stats.v1",
+       {"queue_depth", "submitted", "completed", "batches", "latency_us"}},
+      {"clpp.serve_loadgen.v1",
+       {"requests", "mode", "seconds", "throughput_rps", "client"}},
+      {"clpp.metrics_stream.v1", {"seq", "ts_ms"}},
+      {"clpp.flight.v1", {"reason", "recorded", "dropped", "events"}},
+      {"clpp.bench_summary.v1", {"benches"}},
+      {"clpp.slo_budget.v1", {"serve"}},
+      {"clpp.slo_verdict.v1", {"checks", "failures", "ok"}},
+      {"clpp.insight.v1", {"samples", "tasks", "disagreement", "drift"}},
+      {"clpp.fingerprint.v1",
+       {"samples", "token_freq", "mean_tokens", "mean_loop_depth"}},
+      {"clpp.insight_report.v1", {"source", "mode"}},
+  };
+  return specs;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot read " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Validates one parsed document. Returns the number of violations printed.
+std::size_t check_document(const std::string& where, const Json& doc) {
+  if (doc.type() != Json::Type::kObject || !doc.contains("schema")) {
+    std::fprintf(stderr, "%s: no top-level \"schema\" key\n", where.c_str());
+    return 1;
+  }
+  const std::string schema = doc.at("schema").as_string();
+  const SchemaSpec* spec = nullptr;
+  for (const SchemaSpec& s : known_schemas())
+    if (schema == s.schema) spec = &s;
+  if (spec == nullptr) {
+    std::fprintf(stderr, "%s: unknown schema \"%s\"\n", where.c_str(),
+                 schema.c_str());
+    return 1;
+  }
+  std::size_t violations = 0;
+  for (const char* key : spec->required) {
+    if (doc.contains(key)) continue;
+    std::fprintf(stderr, "%s: %s is missing required key \"%s\"\n",
+                 where.c_str(), schema.c_str(), key);
+    ++violations;
+  }
+  return violations;
+}
+
+std::size_t check_file(const std::string& path) {
+  const std::string text = slurp(path);
+  const bool jsonl = path.size() > 6 && path.ends_with(".jsonl");
+  if (!jsonl) {
+    try {
+      return check_document(path, Json::parse(text));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: does not parse: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  std::size_t violations = 0;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(line_no);
+    try {
+      const Json doc = Json::parse(line);
+      if (doc.type() == Json::Type::kObject && doc.contains("schema"))
+        violations += check_document(where, doc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: does not parse: %s\n", where.c_str(), e.what());
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("clpp-schema",
+                   "validate schema-versioned clpp.*.v1 JSON artifacts "
+                   "(structural required-key check)");
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+    if (parser.positional().empty())
+      throw InvalidArgument("pass one or more artifact files");
+    std::size_t violations = 0;
+    for (const std::string& path : parser.positional())
+      violations += check_file(path);
+    if (violations == 0)
+      std::printf("%zu artifact(s) valid\n", parser.positional().size());
+    else
+      std::printf("%zu violation(s)\n", violations);
+    return violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    return report_cli_error("clpp-schema", e);
+  }
+}

@@ -22,6 +22,9 @@
 // Admin verbs: a line {"cmd":"stats"} answers (in order, like any request)
 // with {"id":...,"stats":{...}} — live queue depth, batch occupancy,
 // coalesce rate, and streaming latency percentiles per task model.
+// {"cmd":"quality"} answers with a `clpp.insight.v1` snapshot: per-task
+// confidence histograms, online ECE, analyzer-vs-model disagreement counts,
+// and the drift score of recent traffic against the training fingerprint.
 //
 // `--loadgen N` skips the stdin protocol and instead drives the server with
 // closed-loop clients (each keeps one request in flight) over a fixed
@@ -46,6 +49,7 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "insight/drift.h"
 #include "serve/server.h"
 #include "support/cli.h"
 #include "support/json.h"
@@ -71,6 +75,22 @@ const std::vector<std::string>& demo_mix() {
   return mix;
 }
 
+/// A snippet mix from a different population than demo_mix(): pointer
+/// chasing, hash buckets, while-style loops — a disjoint token universe so
+/// the drift monitor sees a high population-stability score. Drives the
+/// check_slo.sh drift canary (`--drift`).
+const std::vector<std::string>& drifted_mix() {
+  static const std::vector<std::string> mix = {
+      "for (node = head; node != NULL; node = node->next) total += node->weight;",
+      "for (k = 0; k < nbuckets; k++) { entry = table[hash(k)]; while (entry) { visit(entry); entry = entry->chain; } }",
+      "for (p = begin; p != end; ++p) *p = transform(*p, scale, offset);",
+      "for (round = 0; round < rounds; round++) state = mix64(state ^ seeds[round & 7]);",
+      "for (e = graph->edges; e; e = e->succ) { relax(dist, e->from, e->to, e->cost); }",
+      "for (depth = 0; depth < max_depth; depth++) { cursor = cursor->child[path[depth]]; if (!cursor) break; }",
+  };
+  return mix;
+}
+
 /// Untrained advisor on the default encoder shape: lets the binary run (and
 /// the load generator measure batching) without a training run first.
 core::ParallelAdvisor random_advisor() {
@@ -92,6 +112,12 @@ core::ParallelAdvisor random_advisor() {
                                 std::move(reduction), std::move(vocab),
                                 tokenize::Representation::kText, defaults.max_len);
   advisor.set_schedule_model(std::move(schedule));
+  // Fingerprint the demo mix as the "training corpus" so drift detection is
+  // armed even without a real training run: serving demo_mix() scores ~0,
+  // serving --drift traffic trips the SLO budget.
+  insight::FingerprintBuilder fingerprint;
+  for (const std::string& code : demo_mix()) fingerprint.observe(code);
+  advisor.set_fingerprint(fingerprint.build());
   return advisor;
 }
 
@@ -198,6 +224,11 @@ int run_jsonl(serve::InferenceServer& server) {
           reply["id"] = pending.id;
           reply["stats"] = server.stats_json();
           pending.preformatted = reply.dump();
+        } else if (cmd == "quality") {
+          Json reply = Json::object();
+          reply["id"] = pending.id;
+          reply["quality"] = server.quality_json();
+          pending.preformatted = reply.dump();
         } else {
           pending.error = "unknown cmd: " + cmd;
         }
@@ -272,8 +303,8 @@ void write_stats_artifact(const std::string& path, const Json& report) {
 
 int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
                 std::size_t total, std::size_t concurrency, bool sequential,
-                const std::string& stats_out) {
-  const auto& mix = demo_mix();
+                bool drift, const std::string& stats_out) {
+  const auto& mix = drift ? drifted_mix() : demo_mix();
   Json report = Json::object();
   report["schema"] = "clpp.serve_loadgen.v1";
   report["requests"] = static_cast<std::int64_t>(total);
@@ -329,6 +360,7 @@ int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
   // *after* all client futures resolved, so the histograms cover every
   // request of the run.
   const Json server_stats = server.stats_json();
+  const Json quality = server.quality_json();
   server.shutdown();
 
   report["mode"] = "serve";
@@ -336,6 +368,7 @@ int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
   report["throughput_rps"] = static_cast<double>(total) / seconds;
   report["client"] = report_loadgen("serve", total, seconds, std::move(latencies));
   report["server"] = server_stats;
+  report["quality"] = quality;
 
   const serve::ServeStats stats = server.stats();
   std::fprintf(stderr,
@@ -380,6 +413,9 @@ int main(int argc, char** argv) {
   parser.add_int("loadgen", 0, "run a load generator for N requests instead of stdin");
   parser.add_int("concurrency", 32, "closed-loop clients for --loadgen");
   parser.add_flag("sequential", "loadgen baseline: single-request advise() loop");
+  parser.add_flag("drift",
+                  "loadgen drives an out-of-distribution snippet mix "
+                  "(exercises the insight drift monitor)");
   parser.add_string("stats-out", "",
                     "write the --loadgen report (client+server percentiles) "
                     "as a JSON artifact");
@@ -408,7 +444,7 @@ int main(int argc, char** argv) {
     if (total > 0) {
       return run_loadgen(advisor, config, total,
                          static_cast<std::size_t>(parser.get_int("concurrency")),
-                         parser.get_flag("sequential"),
+                         parser.get_flag("sequential"), parser.get_flag("drift"),
                          parser.get_string("stats-out"));
     }
     serve::InferenceServer server(advisor, config);

@@ -12,6 +12,11 @@
 // additionally checks that full instrumentation costs at most
 // `obs_overhead.max_fraction` of the uninstrumented throughput.
 //
+// A "quality" budget block gates the artifact's model-quality snapshot
+// (directive ECE, drift score, analyzer-disagreement rate, each only once
+// `min_samples` observations back it); `--quality-warn-only` downgrades
+// those violations to WARN so new budgets can land without blocking CI.
+//
 // Prints one PASS/FAIL line per check; `--json` emits a structured verdict
 // document on stdout instead. Exit code: 0 all checks pass, 1 at least one
 // violation, 2 usage/IO error.
@@ -45,6 +50,9 @@ struct Check {
   bool ok = false;
   /// "<=" for ceilings, ">=" for floors.
   const char* op = "<=";
+  /// Warn-only: a violation prints WARN and does not fail the gate
+  /// (--quality-warn-only, for landing new budgets without blocking CI).
+  bool warn = false;
 };
 
 /// Percentile-ceiling budget keys understood inside a histogram budget
@@ -85,8 +93,55 @@ const Json* maybe_at(const Json& obj, const std::string& key) {
   return obj.contains(key) ? &obj.at(key) : nullptr;
 }
 
+/// Model-quality budgets ("quality" block) over the loadgen artifact's
+/// insight snapshot: directive-head ECE ceiling, drift-score ceiling, and
+/// analyzer-disagreement-rate ceiling. Each check only fires once the
+/// snapshot has at least `min_samples` observations backing that signal —
+/// a 3-request smoke run should not trip a calibration budget.
+void check_quality(const Json& budget, const Json& stats, bool warn_only,
+                   std::vector<Check>& out) {
+  const Json* quality = maybe_at(stats, "quality");
+  if (quality == nullptr) {
+    std::fprintf(stderr,
+                 "clpp-slo: stats artifact has no \"quality\" block, "
+                 "skipping quality budgets\n");
+    return;
+  }
+  const double min_samples =
+      budget.contains("min_samples") ? budget.at("min_samples").as_double() : 0;
+  auto push = [&](std::string name, double value, double bound) {
+    Check check;
+    check.name = std::move(name);
+    check.value = value;
+    check.bound = bound;
+    check.ok = value <= bound;
+    check.warn = warn_only;
+    out.push_back(std::move(check));
+  };
+
+  if (budget.contains("ece_max")) {
+    const Json& directive = quality->at("tasks").at("directive");
+    if (static_cast<double>(directive.at("labeled").as_int()) >= min_samples)
+      push("quality.directive_ece", directive.at("ece").as_double(),
+           budget.at("ece_max").as_double());
+  }
+  if (budget.contains("drift_max")) {
+    const Json& drift = quality->at("drift");
+    if (drift.get_bool("armed", false) &&
+        static_cast<double>(drift.at("observed").as_int()) >= min_samples)
+      push("quality.drift_score", drift.at("score").as_double(),
+           budget.at("drift_max").as_double());
+  }
+  if (budget.contains("disagreement_rate_max")) {
+    const Json& disagreement = quality->at("disagreement");
+    if (static_cast<double>(disagreement.at("checked").as_int()) >= min_samples)
+      push("quality.disagreement_rate", disagreement.at("rate").as_double(),
+           budget.at("disagreement_rate_max").as_double());
+  }
+}
+
 std::vector<Check> evaluate(const Json& budget, const Json& stats,
-                            const Json* obs_stats) {
+                            const Json* obs_stats, bool quality_warn_only) {
   std::vector<Check> checks;
   const Json* server = maybe_at(stats, "server");
   if (server == nullptr)
@@ -148,6 +203,9 @@ std::vector<Check> evaluate(const Json& budget, const Json& stats,
       checks.push_back(std::move(check));
     }
   }
+
+  if (const Json* quality_budget = maybe_at(budget, "quality"))
+    check_quality(*quality_budget, stats, quality_warn_only, checks);
   return checks;
 }
 
@@ -166,6 +224,9 @@ int main(int argc, char** argv) {
                     "same artifact re-run under CLPP_OBS=1, enabling the "
                     "instrumentation-overhead check");
   parser.add_flag("json", "emit a structured verdict document on stdout");
+  parser.add_flag("quality-warn-only",
+                  "model-quality budget violations print WARN instead of "
+                  "failing the gate");
 
   try {
     if (!parser.parse(argc, argv)) return 0;
@@ -178,11 +239,18 @@ int main(int argc, char** argv) {
     if (!obs_path.empty()) obs_stats = Json::parse(slurp(obs_path));
 
     const std::vector<Check> checks =
-        evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats);
+        evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats,
+                 parser.get_flag("quality-warn-only"));
 
     std::size_t failures = 0;
-    for (const Check& check : checks)
-      if (!check.ok) ++failures;
+    std::size_t warnings = 0;
+    for (const Check& check : checks) {
+      if (check.ok) continue;
+      if (check.warn)
+        ++warnings;
+      else
+        ++failures;
+    }
 
     if (parser.get_flag("json")) {
       Json verdict = Json::object();
@@ -195,17 +263,20 @@ int main(int argc, char** argv) {
         entry["bound"] = check.bound;
         entry["op"] = check.op;
         entry["ok"] = check.ok;
+        entry["warn"] = check.warn;
         verdict["checks"].push_back(std::move(entry));
       }
       verdict["failures"] = static_cast<std::int64_t>(failures);
+      verdict["warnings"] = static_cast<std::int64_t>(warnings);
       verdict["ok"] = failures == 0;
       std::printf("%s\n", verdict.dump().c_str());
     } else {
       for (const Check& check : checks)
-        std::printf("%s %s: %.3f %s %.3f\n", check.ok ? "PASS" : "FAIL",
+        std::printf("%s %s: %.3f %s %.3f\n",
+                    check.ok ? "PASS" : (check.warn ? "WARN" : "FAIL"),
                     check.name.c_str(), check.value, check.op, check.bound);
-      std::printf("%zu/%zu checks passed\n", checks.size() - failures,
-                  checks.size());
+      std::printf("%zu/%zu checks passed (%zu warn-only)\n",
+                  checks.size() - failures - warnings, checks.size(), warnings);
     }
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {

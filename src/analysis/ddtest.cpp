@@ -136,6 +136,20 @@ AffineForm analyze_affine(const Node& expr, const SubscriptEnv& env) {
   return not_affine();
 }
 
+const char* dep_test_name(DepTest test) {
+  switch (test) {
+    case DepTest::kConservative: return "conservative";
+    case DepTest::kZiv: return "ziv";
+    case DepTest::kStrongSiv: return "strong-siv";
+    case DepTest::kGcd: return "gcd";
+    case DepTest::kBanerjee: return "banerjee";
+    case DepTest::kTextPinned: return "text-pinned";
+    case DepTest::kLegacySiv: return "legacy-siv";
+    case DepTest::kScalar: return "scalar-recurrence";
+  }
+  return "unknown";
+}
+
 std::string direction_text(unsigned dirs) {
   switch (dirs & kDirAll) {
     case 0: return "0";
@@ -328,6 +342,14 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
     dims.push_back(diff);
   }
 
+  // Provenance bookkeeping: which hierarchy members actually ran on this
+  // pair, and which one fired the most recent refutation. `refuter` is only
+  // meaningful right after a class_possible call returned false.
+  struct Mechanisms {
+    bool ziv = false, gcd = false, banerjee = false;
+    DepTest refuter = DepTest::kBanerjee;
+  } mech;
+
   // Direction-class test for dimension `diff` at level `lvl`: substitute the
   // class constraint on (t_src, t_snk) of `lvl`, then refute with a GCD
   // divisibility test and Banerjee-style interval bounds. Every remaining
@@ -366,11 +388,23 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
 
     long long g = 0;
     for (const auto& [c, hi] : vars) {
-      if (hi && *hi < 0) return false;  // empty iteration range
+      if (hi && *hi < 0) {
+        mech.refuter = DepTest::kBanerjee;  // bounds argument: empty range
+        return false;
+      }
       if (c != 0) g = std::gcd(g, c < 0 ? -c : c);
     }
-    if (g == 0) return constant == 0;
-    if (constant % g != 0) return false;
+    if (g == 0) {
+      // No free variables left: a pure constant difference — ZIV.
+      mech.ziv = true;
+      if (constant != 0) mech.refuter = DepTest::kZiv;
+      return constant == 0;
+    }
+    mech.gcd = true;
+    if (constant % g != 0) {
+      mech.refuter = DepTest::kGcd;
+      return false;
+    }
 
     long long lo_sum = constant, hi_sum = constant;
     bool lo_inf = false, hi_inf = false;
@@ -384,7 +418,10 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
       lo_sum = sat_add(lo_sum, std::min(0LL, extent));
       hi_sum = sat_add(hi_sum, std::max(0LL, extent));
     }
-    return (lo_inf || lo_sum <= 0) && (hi_inf || hi_sum >= 0);
+    mech.banerjee = true;
+    const bool feasible = (lo_inf || lo_sum <= 0) && (hi_inf || hi_sum >= 0);
+    if (!feasible) mech.refuter = DepTest::kBanerjee;
+    return feasible;
   };
 
   // Strong-SIV pinning: a dimension whose only variables are this level's
@@ -409,11 +446,15 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
     DepLevel level;
     level.var = lvl->canon.induction;
     level.dirs = 0;
+    DepTest kill = DepTest::kBanerjee;
     for (unsigned cls : {kDirLt, kDirEq, kDirGt}) {
       const bool ok = std::all_of(dims.begin(), dims.end(), [&](const LinearDiff& d) {
         return class_possible(d, lvl, cls);
       });
-      if (ok) level.dirs |= cls;
+      if (ok)
+        level.dirs |= cls;
+      else
+        kill = mech.refuter;
     }
     std::optional<long long> pin;
     bool conflict = false;
@@ -423,21 +464,30 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
         pin = delta;
       }
     }
-    if (conflict) level.dirs = 0;  // two dimensions demand different distances
+    if (conflict) {
+      level.dirs = 0;  // two dimensions demand different distances
+      kill = DepTest::kStrongSiv;
+    }
     if (pin && level.dirs != 0) {
       // A pinned distance must also survive the class test (trip bounds).
       const unsigned cls = *pin == 0 ? kDirEq : (*pin > 0 ? kDirLt : kDirGt);
-      if ((level.dirs & cls) == 0)
+      if ((level.dirs & cls) == 0) {
         level.dirs = 0;
-      else {
+        kill = DepTest::kStrongSiv;
+      } else {
         level.dirs = cls;
         level.distance = pin;
       }
     }
-    if (force_eq.count(lvl) > 0) level.dirs &= kDirEq;
+    if (force_eq.count(lvl) > 0) {
+      const unsigned before = level.dirs;
+      level.dirs &= kDirEq;
+      if (level.dirs == 0 && before != 0) kill = DepTest::kTextPinned;
+    }
     result.levels.push_back(level);
     if (level.dirs == 0) {
       result.possible = false;
+      result.deciding = kill;
       return result;
     }
   }
@@ -448,8 +498,27 @@ PairResult NestContext::test_pair(const Access& src, const Access& snk) const {
     if (!diff.ok) continue;
     if (diff.terms.empty() && diff.constant != 0) {
       result.possible = false;
+      result.deciding = DepTest::kZiv;
       return result;
     }
+  }
+
+  // Provenance of a surviving pair: the deepest test that constrained it.
+  // A pinned analyzed-level distance is a strong-SIV result; `=`-pins from
+  // the identical-subscript rule are text-pinned; otherwise credit the
+  // furthest hierarchy member that ran (Banerjee > GCD > ZIV).
+  if (!result.exact) {
+    result.deciding = DepTest::kConservative;
+  } else if (!result.levels.empty() && result.levels.front().distance) {
+    result.deciding = DepTest::kStrongSiv;
+  } else if (!common.empty() && force_eq.count(common.front()) > 0) {
+    result.deciding = DepTest::kTextPinned;
+  } else if (mech.banerjee) {
+    result.deciding = DepTest::kBanerjee;
+  } else if (mech.gcd) {
+    result.deciding = DepTest::kGcd;
+  } else {
+    result.deciding = DepTest::kZiv;
   }
   return result;
 }

@@ -90,6 +90,26 @@ struct DepLevel {
 /// Renders one direction set as "<", "=", ">", "<=", "*", ...
 std::string direction_text(unsigned dirs);
 
+/// Which member of the test hierarchy decided a pair — the provenance of
+/// the verdict. "Decided" means: for a refuted pair, the test that proved
+/// the dependence equation unsolvable; for a surviving exact pair, the
+/// deepest test that constrained it (a pinned distance beats interval
+/// bounds beats divisibility); for a conservative answer, kConservative.
+enum class DepTest {
+  kConservative,  // engine fell back; no proof either way
+  kZiv,           // zero-index-variable: constant difference decides
+  kStrongSiv,     // single-level opposite-coefficient pair: exact distance
+  kGcd,           // divisibility of the constant by the coefficient gcd
+  kBanerjee,      // interval bounds on the dependence equation
+  kTextPinned,    // identical-subscript rule pinned levels to `=`
+  kLegacySiv,     // seed per-dimension engine (exact_dependence_engine off)
+  kScalar,        // scalar recurrence reasoning, not a subscript test
+};
+
+/// Human-readable name ("ziv", "strong-siv", "gcd", "banerjee",
+/// "text-pinned", "conservative", "legacy-siv", "scalar").
+const char* dep_test_name(DepTest test);
+
 /// Result of testing one pair of accesses to the same array.
 struct PairResult {
   /// False when the solver proved no two iterations of the analyzed loop
@@ -98,6 +118,8 @@ struct PairResult {
   /// False when any step fell back to a conservative answer (non-affine
   /// subscript, unresolved symbol, unknown binding).
   bool exact = true;
+  /// Provenance: the test that decided this pair.
+  DepTest deciding = DepTest::kConservative;
   /// Direction/distance vector; levels[0] is the analyzed loop, deeper
   /// entries are the common enclosing canonical loops in nesting order.
   std::vector<DepLevel> levels;

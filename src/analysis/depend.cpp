@@ -7,6 +7,7 @@
 #include <set>
 
 #include "frontend/printer.h"
+#include "obs/metrics.h"
 
 namespace clpp::analysis {
 
@@ -34,7 +35,72 @@ Dependence array_dep(std::string name, std::string detail, int line, int column)
   return d;
 }
 
+/// Printed form of one access, e.g. "A[i][j + 1]".
+std::string access_text(const Access& a) {
+  std::string out = a.variable;
+  for (const Node* s : a.subscripts)
+    out += "[" + frontend::print_expression(*s) + "]";
+  return out;
+}
+
+/// "(<, =)"-style rendering of a pair's direction vector.
+std::string direction_vector(const PairResult& pair) {
+  std::string direction = "(";
+  for (std::size_t l = 0; l < pair.levels.size(); ++l) {
+    if (l > 0) direction += ", ";
+    direction += direction_text(pair.levels[l].dirs);
+  }
+  return direction + ")";
+}
+
+/// clpp.ddtest.* decision counters — one per deciding test plus a total.
+/// References are resolved once (the registry lookup locks); Counter::add
+/// is a relaxed fetch_add gated on obs::enabled().
+void count_decision(DepTest test) {
+  auto& m = obs::metrics();
+  static obs::Counter& pairs = m.counter("clpp.ddtest.pairs");
+  static obs::Counter& conservative = m.counter("clpp.ddtest.conservative");
+  static obs::Counter& ziv = m.counter("clpp.ddtest.ziv");
+  static obs::Counter& strong_siv = m.counter("clpp.ddtest.strong_siv");
+  static obs::Counter& gcd = m.counter("clpp.ddtest.gcd");
+  static obs::Counter& banerjee = m.counter("clpp.ddtest.banerjee");
+  static obs::Counter& text_pinned = m.counter("clpp.ddtest.text_pinned");
+  static obs::Counter& legacy_siv = m.counter("clpp.ddtest.legacy_siv");
+  static obs::Counter& scalar = m.counter("clpp.ddtest.scalar");
+  pairs.add(1);
+  switch (test) {
+    case DepTest::kConservative: conservative.add(1); break;
+    case DepTest::kZiv: ziv.add(1); break;
+    case DepTest::kStrongSiv: strong_siv.add(1); break;
+    case DepTest::kGcd: gcd.add(1); break;
+    case DepTest::kBanerjee: banerjee.add(1); break;
+    case DepTest::kTextPinned: text_pinned.add(1); break;
+    case DepTest::kLegacySiv: legacy_siv.add(1); break;
+    case DepTest::kScalar: scalar.add(1); break;
+  }
+}
+
 }  // namespace
+
+std::string provenance_text(const PairProvenance& provenance) {
+  std::string out = provenance.test;
+  out += ": ";
+  if (provenance.scalar)
+    out += "'" + provenance.array + "' scalar recurrence";
+  else
+    out += provenance.src_text + " vs " + provenance.snk_text;
+  if (!provenance.possible)
+    out += ", refuted";
+  else if (!provenance.carried)
+    out += ", same-iteration only";
+  else
+    out += ", carried";
+  if (!provenance.direction.empty()) out += ", direction " + provenance.direction;
+  if (provenance.distance)
+    out += ", distance " + std::to_string(*provenance.distance);
+  if (!provenance.exact) out += " (conservative)";
+  return out;
+}
 
 Affine analyze_subscript(const Node& expr, const std::string& induction) {
   // Literal constant.
@@ -255,14 +321,39 @@ void DependenceAnalyzer::analyze_arrays(const Node& loop, const std::string& ind
         if (w->subscripts.size() != other->subscripts.size()) {
           ++verdict.dep_pairs_tested;
           ++verdict.dep_pairs_unknown;
-          verdict.dependences.push_back(array_dep(
-              name, "accesses with different dimensionality", dep_line, dep_column));
+          count_decision(DepTest::kConservative);
+          PairProvenance prov;
+          prov.array = name;
+          prov.src_text = access_text(*w);
+          prov.snk_text = access_text(*other);
+          prov.test = dep_test_name(DepTest::kConservative);
+          prov.carried = true;
+          prov.exact = false;
+          prov.line = dep_line;
+          verdict.pair_provenance.push_back(std::move(prov));
+          Dependence mismatch = array_dep(
+              name, "accesses with different dimensionality", dep_line, dep_column);
+          mismatch.deciding_test = dep_test_name(DepTest::kConservative);
+          verdict.dependences.push_back(std::move(mismatch));
           reported = true;
           break;
         }
         ++verdict.dep_pairs_tested;
         const PairResult pair = nest.test_pair(*w, *other);
         if (!pair.exact) ++verdict.dep_pairs_unknown;
+        count_decision(pair.deciding);
+        PairProvenance prov;
+        prov.array = name;
+        prov.src_text = access_text(*w);
+        prov.snk_text = access_text(*other);
+        prov.test = dep_test_name(pair.deciding);
+        prov.possible = pair.possible;
+        prov.carried = pair.possible && pair.carried();
+        prov.exact = pair.exact;
+        prov.distance = pair.carried_distance();
+        prov.direction = direction_vector(pair);
+        prov.line = dep_line;
+        verdict.pair_provenance.push_back(prov);
         if (!pair.possible || !pair.carried()) continue;
 
         Dependence dep;
@@ -273,12 +364,8 @@ void DependenceAnalyzer::analyze_arrays(const Node& loop, const std::string& ind
                                 : "subscript too complex for dependence test";
         dep.distance = pair.carried_distance();
         if (dep.distance) dep.distance = std::abs(*dep.distance);
-        std::string direction = "(";
-        for (std::size_t l = 0; l < pair.levels.size(); ++l) {
-          if (l > 0) direction += ", ";
-          direction += direction_text(pair.levels[l].dirs);
-        }
-        dep.direction = direction + ")";
+        dep.direction = prov.direction;
+        dep.deciding_test = prov.test;
         verdict.dependences.push_back(std::move(dep));
         reported = true;
         break;
@@ -311,8 +398,11 @@ void DependenceAnalyzer::analyze_arrays_legacy(const std::string& induction,
         // is aliasing we do not model: treat as unknown.
         if (w->subscripts.size() != other->subscripts.size()) {
           ++verdict.dep_pairs_unknown;
+          count_decision(DepTest::kConservative);
           verdict.dependences.push_back(array_dep(
               name, "accesses with different dimensionality", dep_line, dep_column));
+          verdict.dependences.back().deciding_test =
+              dep_test_name(DepTest::kConservative);
           break;
         }
         bool disjoint = false;
@@ -330,6 +420,20 @@ void DependenceAnalyzer::analyze_arrays_legacy(const std::string& induction,
           }
         }
         if (unknown) ++verdict.dep_pairs_unknown;
+        const DepTest decided =
+            unknown ? DepTest::kConservative : DepTest::kLegacySiv;
+        count_decision(decided);
+        PairProvenance prov;
+        prov.array = name;
+        prov.src_text = access_text(*w);
+        prov.snk_text = access_text(*other);
+        prov.test = dep_test_name(decided);
+        prov.possible = !disjoint;
+        prov.carried =
+            !disjoint && !same_iteration_only && (carried || unknown);
+        prov.exact = !unknown;
+        prov.line = dep_line;
+        verdict.pair_provenance.push_back(std::move(prov));
         // The accesses collide on iterations (i1, i2) only if EVERY
         // dimension matches. A disjoint dimension rules out collisions
         // entirely; a same-iteration-only dimension rules out cross-
@@ -340,11 +444,15 @@ void DependenceAnalyzer::analyze_arrays_legacy(const std::string& induction,
         if (unknown) {
           verdict.dependences.push_back(array_dep(
               name, "subscript too complex for dependence test", dep_line, dep_column));
+          verdict.dependences.back().deciding_test =
+              dep_test_name(DepTest::kConservative);
           break;
         }
         if (carried) {
           verdict.dependences.push_back(
               array_dep(name, "loop-carried dependence", dep_line, dep_column));
+          verdict.dependences.back().deciding_test =
+              dep_test_name(DepTest::kLegacySiv);
           break;
         }
       }
@@ -567,6 +675,19 @@ void DependenceAnalyzer::analyze_scalars(const Node& body, const std::string& in
     dep.column = access.site ? access.site->column : 0;
     dep.scalar = true;
     dep.distance = 1;  // each iteration reads the previous iteration's value
+    dep.deciding_test = dep_test_name(DepTest::kScalar);
+    count_decision(DepTest::kScalar);
+    PairProvenance prov;
+    prov.array = name;
+    prov.src_text = name;
+    prov.snk_text = name;
+    prov.test = dep.deciding_test;
+    prov.carried = true;
+    prov.scalar = true;
+    prov.distance = 1;
+    prov.direction = "(<)";
+    prov.line = dep.line;
+    verdict.pair_provenance.push_back(std::move(prov));
     verdict.dependences.push_back(std::move(dep));
   }
 }

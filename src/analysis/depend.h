@@ -73,7 +73,34 @@ struct Dependence {
   /// Direction vector indexed by nest depth, e.g. "(<, =)"; empty when the
   /// engine produced no level information (legacy engine, scalars).
   std::string direction;
+  /// Provenance: name of the dependence test that decided this finding
+  /// (dep_test_name of the deciding DepTest).
+  std::string deciding_test;
 };
+
+/// Provenance record for one tested access pair — which test of the
+/// hierarchy decided it and what it concluded. Recorded for EVERY pair fed
+/// to the engine (refuted, same-iteration, and carried alike), so a proof
+/// trace can show why a loop was judged (non-)parallel, not only the first
+/// blocking dependence.
+struct PairProvenance {
+  std::string array;     // base variable ("sum" for scalar entries)
+  std::string src_text;  // printed source access, e.g. "A[i][j]"
+  std::string snk_text;  // printed sink access
+  std::string test;      // deciding test (dep_test_name)
+  std::string direction; // "(<, =)" style; empty without level info
+  std::optional<long long> distance;  // exact distance when pinned
+  bool possible = true;  // false: dependence refuted
+  bool carried = false;  // true: collides across distinct iterations
+  bool exact = true;     // false: conservative answer
+  bool scalar = false;   // scalar recurrence entry, not a subscript pair
+  int line = 0;          // write site
+};
+
+/// One-line human rendering of a provenance record, e.g.
+///   "banerjee: y[j] vs y[j], carried, direction (*), distance unknown"
+/// Used by lint diagnostics and `clpp-lint --explain` proof traces.
+std::string provenance_text(const PairProvenance& provenance);
 
 /// Final analysis verdict for one loop.
 struct LoopVerdict {
@@ -91,6 +118,9 @@ struct LoopVerdict {
   /// Dependence-test precision accounting (EXPERIMENTS.md comparisons).
   std::size_t dep_pairs_tested = 0;   // access pairs fed to the engine
   std::size_t dep_pairs_unknown = 0;  // pairs answered conservatively
+
+  /// Per-pair decision provenance, in test order (clpp-lint --explain).
+  std::vector<PairProvenance> pair_provenance;
 
   /// True when every tested pair resolved exactly and nothing bailed: the
   /// verdict is a proof, not a conservative default.

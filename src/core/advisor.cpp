@@ -163,37 +163,53 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
     }
   }
 
-  // Deterministic per-snippet machinery (clause naming, ComPar comparison),
-  // still once per *distinct* snippet.
+  // Deterministic per-snippet machinery (proof cross-check, clause naming,
+  // ComPar comparison), still once per *distinct* snippet.
   const std::uint64_t extras_begin = stage_clock();
   for (std::size_t u = 0; u < uniques.size(); ++u) {
     const std::string& code = codes[uniques[u]];
     Advice& advice = advices[u];
+
+    // Run the dependence analyzer on every distinct snippet — not only
+    // directive-positive ones — so insight can compare model verdicts
+    // against exact static proofs in both directions. The same verdict
+    // names the clause variables for suggested pragmas.
+    std::optional<analysis::LoopVerdict> verdict;
+    if (options.with_analysis) {
+      try {
+        const frontend::NodePtr unit = frontend::parse_snippet(code);
+        const frontend::Node* loop = s2s::find_target_loop(*unit);
+        if (loop) {
+          analysis::SideEffectOracle oracle(*unit);
+          analysis::AnalyzerOptions analyzer_options;
+          analyzer_options.assume_unknown_calls_pure = true;  // the model already decided
+          analyzer_options.bail_on_struct_access = false;
+          analyzer_options.recognize_minmax_reduction = true;
+          verdict =
+              analysis::DependenceAnalyzer(oracle, analyzer_options).analyze(*loop);
+          if (!verdict->canonical || verdict->bailed || !verdict->exact())
+            advice.proof = insight::ProofVerdict::kInconclusive;
+          else if (verdict->parallelizable)
+            advice.proof = insight::ProofVerdict::kParallel;
+          else if (!verdict->dependences.empty())
+            advice.proof = insight::ProofVerdict::kDependent;
+          else
+            advice.proof = insight::ProofVerdict::kInconclusive;
+        }
+      } catch (const ParseError&) {
+        // Unparseable code still gets the bare suggestion below.
+      }
+    }
+
     if (advice.needs_directive) {
       frontend::OmpDirective directive;
       directive.parallel = true;
       directive.for_loop = true;
       if (advice.wants_dynamic_schedule)
         directive.schedule = frontend::ScheduleKind::kDynamic;
-      if (options.with_analysis) {
-        // Ask the dependence analyzer to *name* the clause variables.
-        try {
-          const frontend::NodePtr unit = frontend::parse_snippet(code);
-          const frontend::Node* loop = s2s::find_target_loop(*unit);
-          if (loop) {
-            analysis::SideEffectOracle oracle(*unit);
-            analysis::AnalyzerOptions analyzer_options;
-            analyzer_options.assume_unknown_calls_pure = true;  // the model already decided
-            analyzer_options.bail_on_struct_access = false;
-            analyzer_options.recognize_minmax_reduction = true;
-            const analysis::LoopVerdict verdict =
-                analysis::DependenceAnalyzer(oracle, analyzer_options).analyze(*loop);
-            if (advice.needs_private) directive.private_vars = verdict.private_candidates;
-            if (advice.needs_reduction) directive.reductions = verdict.reductions;
-          }
-        } catch (const ParseError&) {
-          // Unparseable code still gets the bare suggestion below.
-        }
+      if (verdict) {
+        if (advice.needs_private) directive.private_vars = verdict->private_candidates;
+        if (advice.needs_reduction) directive.reductions = verdict->reductions;
       }
       advice.suggestion = directive.to_string();
     }
@@ -214,7 +230,10 @@ std::vector<Advice> ParallelAdvisor::advise_batch(const std::vector<std::string>
 
 namespace {
 
-constexpr char kAdvisorMagic[] = "CLPPADV1";
+// v2 appends the training-corpus fingerprint after the schedule flag; v1
+// files (no fingerprint) stay loadable.
+constexpr char kAdvisorMagic[] = "CLPPADV2";
+constexpr char kAdvisorMagicV1[] = "CLPPADV1";
 
 Json config_to_json(const PragFormerConfig& config) {
   Json obj = Json::object();
@@ -279,6 +298,7 @@ std::string ParallelAdvisor::serialize() const {
   write_string(out, tokenize::representation_name(rep_));
   write_u64(out, max_len_);
   write_u64(out, schedule_model_ ? 1 : 0);
+  write_string(out, fingerprint_.to_json().dump());
   const auto& tokens = vocab_.tokens();
   write_u64(out, tokens.size());
   for (const std::string& token : tokens) write_string(out, token);
@@ -296,12 +316,16 @@ void ParallelAdvisor::save(const std::string& path) const {
 namespace {
 
 ParallelAdvisor load_advisor_stream(std::istream& in, const std::string& path) {
-  if (read_string(in) != kAdvisorMagic)
+  const std::string magic = read_string(in);
+  if (magic != kAdvisorMagic && magic != kAdvisorMagicV1)
     throw ParseError("not a CLPP advisor file: " + path);
   const tokenize::Representation rep =
       tokenize::representation_from(read_string(in));
   const std::size_t max_len = static_cast<std::size_t>(read_u64(in));
   const bool has_schedule = read_u64(in) != 0;
+  insight::Fingerprint fingerprint;
+  if (magic == kAdvisorMagic)
+    fingerprint = insight::Fingerprint::from_json(Json::parse(read_string(in)));
   const std::uint64_t token_count = read_u64(in);
   if (token_count > 10'000'000) throw ParseError("implausible vocabulary size");
   std::vector<std::string> tokens;
@@ -314,6 +338,7 @@ ParallelAdvisor load_advisor_stream(std::istream& in, const std::string& path) {
   auto reduction = read_model(in);
   ParallelAdvisor advisor(std::move(directive), std::move(private_model),
                           std::move(reduction), std::move(vocab), rep, max_len);
+  advisor.set_fingerprint(std::move(fingerprint));
   if (has_schedule) advisor.set_schedule_model(read_model(in));
   return advisor;
 }
@@ -356,6 +381,11 @@ ParallelAdvisor ParallelAdvisor::train(PipelineConfig config) {
                           pipeline.config().representation,
                           pipeline.config().max_len);
   advisor.set_schedule_model(std::move(schedule.model));
+  // Checkpoint the training distribution as the drift-detection reference.
+  insight::FingerprintBuilder fingerprint;
+  for (const corpus::Record& record : pipeline.corpus().records())
+    fingerprint.observe(record.code);
+  advisor.set_fingerprint(fingerprint.build());
   return advisor;
 }
 

@@ -15,6 +15,8 @@
 
 #include "core/explain.h"
 #include "core/pipeline.h"
+#include "insight/drift.h"
+#include "insight/insight.h"
 
 namespace clpp::core {
 
@@ -28,6 +30,10 @@ struct Advice {
   bool needs_private = false;
   bool needs_reduction = false;
   bool wants_dynamic_schedule = false;
+  /// Static cross-check: what the dependence engine proved about the target
+  /// loop (kNone when analysis was skipped or the code does not parse).
+  /// Compared against the model verdict by clpp::insight.
+  insight::ProofVerdict proof = insight::ProofVerdict::kNone;
   /// Suggested pragma line, empty when no directive is advised.
   std::string suggestion;
   /// What the ComPar S2S ensemble would do on the same snippet, for
@@ -134,6 +140,14 @@ class ParallelAdvisor {
   /// Attention-map explanation of the directive prediction for `code`.
   Explanation explain(const std::string& code) const;
 
+  /// Training-corpus feature fingerprint, the drift-detection reference
+  /// checkpointed with the model (advisor container v2). Empty for advisors
+  /// loaded from v1 files or assembled without `train`.
+  const insight::Fingerprint& fingerprint() const { return fingerprint_; }
+  void set_fingerprint(insight::Fingerprint fingerprint) {
+    fingerprint_ = std::move(fingerprint);
+  }
+
  private:
   mutable std::unique_ptr<PragFormer> directive_model_;
   mutable std::unique_ptr<PragFormer> private_model_;
@@ -142,6 +156,7 @@ class ParallelAdvisor {
   tokenize::Vocabulary vocab_;
   tokenize::Representation rep_;
   std::size_t max_len_;
+  insight::Fingerprint fingerprint_;
 };
 
 }  // namespace clpp::core

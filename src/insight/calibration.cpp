@@ -1,0 +1,88 @@
+#include "insight/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clpp::insight {
+
+ReliabilityBins::ReliabilityBins(std::size_t bins) : bins_(std::max<std::size_t>(bins, 1)) {}
+
+std::size_t ReliabilityBins::bin_of(double confidence) const {
+  const double clamped = std::clamp(confidence, 0.0, 1.0);
+  // 1.0 lands in the last bin, not one past it.
+  return std::min(static_cast<std::size_t>(clamped * bins_.size()), bins_.size() - 1);
+}
+
+void ReliabilityBins::observe(double confidence, std::optional<bool> correct) {
+  if (std::isnan(confidence)) return;
+  Bin& bin = bins_[bin_of(confidence)];
+  ++bin.count;
+  bin.confidence_sum += confidence;
+  ++count_;
+  confidence_sum_ += confidence;
+  if (correct) {
+    ++bin.labeled;
+    bin.labeled_confidence_sum += confidence;
+    if (*correct) ++bin.correct;
+    ++labeled_;
+  }
+}
+
+double ReliabilityBins::mean_confidence() const {
+  return count_ == 0 ? 0.0 : confidence_sum_ / static_cast<double>(count_);
+}
+
+double ReliabilityBins::ece() const {
+  if (labeled_ == 0) return 0.0;
+  double ece = 0.0;
+  for (const Bin& bin : bins_) {
+    if (bin.labeled == 0) continue;
+    const double weight = static_cast<double>(bin.labeled) / static_cast<double>(labeled_);
+    const double confidence = bin.labeled_confidence_sum / static_cast<double>(bin.labeled);
+    const double accuracy = static_cast<double>(bin.correct) / static_cast<double>(bin.labeled);
+    ece += weight * std::abs(accuracy - confidence);
+  }
+  return ece;
+}
+
+std::vector<std::uint64_t> ReliabilityBins::histogram() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(bins_.size());
+  for (const Bin& bin : bins_) out.push_back(bin.count);
+  return out;
+}
+
+Json ReliabilityBins::to_json() const {
+  Json doc = Json::object();
+  doc["count"] = count_;
+  doc["labeled"] = labeled_;
+  doc["mean_confidence"] = mean_confidence();
+  doc["ece"] = ece();
+  Json bins = Json::array();
+  const double width = 1.0 / static_cast<double>(bins_.size());
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const Bin& bin = bins_[b];
+    Json entry = Json::object();
+    entry["lo"] = width * static_cast<double>(b);
+    entry["hi"] = width * static_cast<double>(b + 1);
+    entry["count"] = bin.count;
+    entry["labeled"] = bin.labeled;
+    entry["confidence"] =
+        bin.count == 0 ? 0.0 : bin.confidence_sum / static_cast<double>(bin.count);
+    entry["accuracy"] =
+        bin.labeled == 0 ? 0.0
+                         : static_cast<double>(bin.correct) / static_cast<double>(bin.labeled);
+    bins.push_back(std::move(entry));
+  }
+  doc["bins"] = std::move(bins);
+  return doc;
+}
+
+void ReliabilityBins::reset() {
+  std::fill(bins_.begin(), bins_.end(), Bin{});
+  count_ = 0;
+  labeled_ = 0;
+  confidence_sum_ = 0.0;
+}
+
+}  // namespace clpp::insight

@@ -1,0 +1,65 @@
+// Online calibration accounting: reliability bins and expected calibration
+// error (ECE) over a stream of (confidence, correct?) observations.
+//
+// Serving has no labels, so "correct" is defined against the best available
+// ground-truth proxy: the dependence engine's exact verdicts (see
+// insight.h). Observations without a proxy still populate the confidence
+// histogram — the shape of the confidence distribution is itself a health
+// signal — but only labeled observations enter the ECE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/json.h"
+
+namespace clpp::insight {
+
+/// Equal-width reliability bins over confidence in [0, 1].
+///
+/// ECE = sum_b (n_b / n) * |accuracy_b - mean_confidence_b| over labeled
+/// observations, the standard calibration gap (Guo et al. 2017). Not
+/// thread-safe; callers lock (InsightTracker does).
+class ReliabilityBins {
+ public:
+  explicit ReliabilityBins(std::size_t bins = 10);
+
+  /// Records one observation. `correct` present: the observation is labeled
+  /// and contributes to the ECE; absent: histogram-only.
+  void observe(double confidence, std::optional<bool> correct = std::nullopt);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t labeled() const { return labeled_; }
+  double mean_confidence() const;
+
+  /// Expected calibration error over labeled observations; 0 when none.
+  double ece() const;
+
+  /// Per-bin observation counts (all observations, labeled or not).
+  std::vector<std::uint64_t> histogram() const;
+
+  /// {"count":N,"labeled":N,"mean_confidence":c,"ece":e,"bins":[
+  ///   {"lo":0.0,"hi":0.1,"count":n,"labeled":n,"confidence":c,"accuracy":a}]}
+  Json to_json() const;
+
+  void reset();
+
+ private:
+  struct Bin {
+    std::uint64_t count = 0;       // all observations
+    double confidence_sum = 0.0;   // over all observations
+    std::uint64_t labeled = 0;     // observations with a correctness label
+    double labeled_confidence_sum = 0.0;
+    std::uint64_t correct = 0;
+  };
+
+  std::size_t bin_of(double confidence) const;
+
+  std::vector<Bin> bins_;
+  std::uint64_t count_ = 0;
+  std::uint64_t labeled_ = 0;
+  double confidence_sum_ = 0.0;
+};
+
+}  // namespace clpp::insight

@@ -1,0 +1,213 @@
+#include "insight/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+
+namespace clpp::insight {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view token) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+SnippetFeatures snippet_features(std::string_view code) {
+  SnippetFeatures f;
+  // Nesting estimate without a parser: a `for`/`while` keyword opens a
+  // pending loop; `{` converts pendings into brace-scoped loops, `}` closes
+  // them, and a top-level `;` ends single-statement bodies.
+  std::vector<char> scopes;  // 'l' loop-brace scope, 'b' plain brace scope
+  std::uint32_t pending = 0;
+  std::uint32_t loops_open = 0;
+  int paren_depth = 0;
+
+  const auto note_token = [&](std::string_view token) {
+    ++f.tokens;
+    ++f.sketch[fnv1a(token) % kSketchBins];
+    if (token == "for" || token == "while") {
+      ++pending;
+      f.loop_depth = std::max(f.loop_depth, loops_open + pending);
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      note_token(code.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    note_token(code.substr(i, 1));
+    switch (c) {
+      case '(': ++paren_depth; break;
+      case ')': paren_depth = std::max(paren_depth - 1, 0); break;
+      case '{':
+        if (pending > 0) {
+          loops_open += pending;
+          for (; pending > 0; --pending) scopes.push_back('l');
+        } else {
+          scopes.push_back('b');
+        }
+        break;
+      case '}':
+        if (!scopes.empty()) {
+          if (scopes.back() == 'l' && loops_open > 0) --loops_open;
+          scopes.pop_back();
+        }
+        break;
+      case ';':
+        // Statement end at expression level closes single-statement loop
+        // bodies (`for (...) a[i] = 0;`) — but not the `;`s inside a for
+        // header.
+        if (paren_depth == 0) pending = 0;
+        break;
+      default: break;
+    }
+    ++i;
+  }
+  return f;
+}
+
+Json Fingerprint::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = "clpp.fingerprint.v1";
+  doc["samples"] = samples;
+  doc["mean_tokens"] = mean_tokens;
+  doc["var_tokens"] = var_tokens;
+  doc["mean_loop_depth"] = mean_loop_depth;
+  doc["var_loop_depth"] = var_loop_depth;
+  Json freq = Json::array();
+  for (const double p : token_freq) freq.push_back(p);
+  doc["token_freq"] = std::move(freq);
+  return doc;
+}
+
+Fingerprint Fingerprint::from_json(const Json& doc) {
+  Fingerprint fp;
+  fp.samples = static_cast<std::uint64_t>(doc.get_int("samples", 0));
+  const auto get_double = [&](const char* key) {
+    return doc.contains(key) ? doc.at(key).as_double() : 0.0;
+  };
+  fp.mean_tokens = get_double("mean_tokens");
+  fp.var_tokens = get_double("var_tokens");
+  fp.mean_loop_depth = get_double("mean_loop_depth");
+  fp.var_loop_depth = get_double("var_loop_depth");
+  if (doc.contains("token_freq")) {
+    const Json& freq = doc.at("token_freq");
+    for (std::size_t b = 0; b < kSketchBins && b < freq.size(); ++b)
+      fp.token_freq[b] = freq.at(b).as_double();
+  }
+  return fp;
+}
+
+void FingerprintBuilder::observe(std::string_view code) {
+  const SnippetFeatures f = snippet_features(code);
+  for (std::size_t b = 0; b < kSketchBins; ++b) counts_[b] += f.sketch[b];
+  sum_tokens_ += f.tokens;
+  sumsq_tokens_ += static_cast<double>(f.tokens) * f.tokens;
+  sum_depth_ += f.loop_depth;
+  sumsq_depth_ += static_cast<double>(f.loop_depth) * f.loop_depth;
+  ++samples_;
+}
+
+Fingerprint FingerprintBuilder::build() const {
+  Fingerprint fp;
+  fp.samples = samples_;
+  if (samples_ == 0) return fp;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  if (total > 0)
+    for (std::size_t b = 0; b < kSketchBins; ++b)
+      fp.token_freq[b] = static_cast<double>(counts_[b]) / static_cast<double>(total);
+  const double n = static_cast<double>(samples_);
+  fp.mean_tokens = sum_tokens_ / n;
+  fp.var_tokens = std::max(sumsq_tokens_ / n - fp.mean_tokens * fp.mean_tokens, 0.0);
+  fp.mean_loop_depth = sum_depth_ / n;
+  fp.var_loop_depth =
+      std::max(sumsq_depth_ / n - fp.mean_loop_depth * fp.mean_loop_depth, 0.0);
+  return fp;
+}
+
+double population_stability(const Fingerprint& reference, const Fingerprint& window) {
+  if (reference.empty() || window.empty()) return 0.0;
+  constexpr double kEps = 1e-4;  // smoothing: empty bins stay finite
+  double psi = 0.0;
+  for (std::size_t b = 0; b < kSketchBins; ++b) {
+    const double p = reference.token_freq[b] + kEps;
+    const double q = window.token_freq[b] + kEps;
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+DriftMonitor::DriftMonitor(std::size_t window) : ring_(std::max<std::size_t>(window, 1)) {}
+
+void DriftMonitor::set_reference(Fingerprint reference) {
+  reference_ = std::move(reference);
+}
+
+void DriftMonitor::observe(std::string_view code) {
+  const SnippetFeatures f = snippet_features(code);
+  if (filled_ == ring_.size()) {
+    const SnippetFeatures& old = ring_[next_];
+    for (std::size_t b = 0; b < kSketchBins; ++b) counts_[b] -= old.sketch[b];
+    sum_tokens_ -= old.tokens;
+    sumsq_tokens_ -= static_cast<double>(old.tokens) * old.tokens;
+    sum_depth_ -= old.loop_depth;
+    sumsq_depth_ -= static_cast<double>(old.loop_depth) * old.loop_depth;
+  } else {
+    ++filled_;
+  }
+  ring_[next_] = f;
+  next_ = (next_ + 1) % ring_.size();
+  for (std::size_t b = 0; b < kSketchBins; ++b) counts_[b] += f.sketch[b];
+  sum_tokens_ += f.tokens;
+  sumsq_tokens_ += static_cast<double>(f.tokens) * f.tokens;
+  sum_depth_ += f.loop_depth;
+  sumsq_depth_ += static_cast<double>(f.loop_depth) * f.loop_depth;
+  ++observed_;
+}
+
+Fingerprint DriftMonitor::window_fingerprint() const {
+  Fingerprint fp;
+  fp.samples = filled_;
+  if (filled_ == 0) return fp;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  if (total > 0)
+    for (std::size_t b = 0; b < kSketchBins; ++b)
+      fp.token_freq[b] = static_cast<double>(counts_[b]) / static_cast<double>(total);
+  const double n = static_cast<double>(filled_);
+  fp.mean_tokens = sum_tokens_ / n;
+  fp.var_tokens = std::max(sumsq_tokens_ / n - fp.mean_tokens * fp.mean_tokens, 0.0);
+  fp.mean_loop_depth = sum_depth_ / n;
+  fp.var_loop_depth =
+      std::max(sumsq_depth_ / n - fp.mean_loop_depth * fp.mean_loop_depth, 0.0);
+  return fp;
+}
+
+double DriftMonitor::score() const {
+  if (!armed() || filled_ == 0) return 0.0;
+  return population_stability(reference_, window_fingerprint());
+}
+
+}  // namespace clpp::insight

@@ -1,0 +1,103 @@
+// Input-drift detection: does serve traffic still look like the corpus the
+// advisor was trained on?
+//
+// Training checkpoints a cheap feature fingerprint of the corpus — a
+// 64-bin token-hash frequency sketch plus snippet-length and loop-depth
+// moments — alongside the model (advisor container v2). At serve time a
+// sliding window of recent request features is compared against that
+// reference with a population-stability-index (PSI) score: the symmetric
+// KL-style sum  sum_b (p_b - q_b) * ln(p_b / q_b)  over sketch bins, the
+// standard drift statistic (PSI < 0.1 stable, 0.1-0.25 shifting, > 0.25
+// drifted). Feature extraction is a single lexer pass over the snippet —
+// no parsing, no tokenizer vocabulary — so the serve hot path pays
+// microseconds per request.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/json.h"
+
+namespace clpp::insight {
+
+inline constexpr std::size_t kSketchBins = 64;
+
+/// Features of one snippet: hashed token counts + size/shape scalars.
+struct SnippetFeatures {
+  std::array<std::uint32_t, kSketchBins> sketch{};
+  std::uint32_t tokens = 0;
+  std::uint32_t loop_depth = 0;  // max `for`/`while` nesting estimate
+};
+
+/// Lexes `code` (identifiers, numbers, punctuation) and fills the sketch.
+SnippetFeatures snippet_features(std::string_view code);
+
+/// Aggregated distribution checkpointed with a trained advisor.
+struct Fingerprint {
+  std::array<double, kSketchBins> token_freq{};  // sums to 1 when samples > 0
+  double mean_tokens = 0.0;
+  double var_tokens = 0.0;
+  double mean_loop_depth = 0.0;
+  double var_loop_depth = 0.0;
+  std::uint64_t samples = 0;
+
+  bool empty() const { return samples == 0; }
+
+  Json to_json() const;
+  static Fingerprint from_json(const Json& doc);
+};
+
+/// Streaming builder for a Fingerprint (training side).
+class FingerprintBuilder {
+ public:
+  void observe(std::string_view code);
+  Fingerprint build() const;
+
+ private:
+  std::array<std::uint64_t, kSketchBins> counts_{};
+  double sum_tokens_ = 0.0, sumsq_tokens_ = 0.0;
+  double sum_depth_ = 0.0, sumsq_depth_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// PSI of `window` against `reference` over the token sketch (with epsilon
+/// smoothing so empty bins do not blow up). 0 when either side is empty.
+double population_stability(const Fingerprint& reference, const Fingerprint& window);
+
+/// Sliding-window drift scorer for serve traffic. Unarmed (no reference)
+/// it observes but always scores 0. Not thread-safe; callers lock.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(std::size_t window = 256);
+
+  void set_reference(Fingerprint reference);
+  bool armed() const { return !reference_.empty(); }
+  const Fingerprint& reference() const { return reference_; }
+
+  void observe(std::string_view code);
+
+  std::uint64_t observed() const { return observed_; }
+  std::size_t window() const { return ring_.size(); }
+  std::size_t filled() const { return filled_; }
+
+  /// PSI of the current window vs the reference; 0 when unarmed or empty.
+  double score() const;
+
+  /// Fingerprint aggregated over the current window contents.
+  Fingerprint window_fingerprint() const;
+
+ private:
+  Fingerprint reference_;
+  std::vector<SnippetFeatures> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t observed_ = 0;
+  // Running aggregates over the ring so score() is O(bins), not O(window).
+  std::array<std::uint64_t, kSketchBins> counts_{};
+  double sum_tokens_ = 0.0, sumsq_tokens_ = 0.0;
+  double sum_depth_ = 0.0, sumsq_depth_ = 0.0;
+};
+
+}  // namespace clpp::insight

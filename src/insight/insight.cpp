@@ -1,0 +1,180 @@
+#include "insight/insight.h"
+
+#include "obs/metrics.h"
+
+namespace clpp::insight {
+
+const char* proof_verdict_name(ProofVerdict verdict) {
+  switch (verdict) {
+    case ProofVerdict::kNone: return "none";
+    case ProofVerdict::kParallel: return "parallel";
+    case ProofVerdict::kDependent: return "dependent";
+    case ProofVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+InsightTracker::InsightTracker(InsightConfig config)
+    : config_(config),
+      directive_(config.bins),
+      private_(config.bins),
+      reduction_(config.bins),
+      schedule_(config.bins),
+      drift_(config.drift_window) {}
+
+void InsightTracker::set_reference(Fingerprint reference) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drift_.set_reference(std::move(reference));
+}
+
+bool InsightTracker::drift_armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_.armed();
+}
+
+DisagreementKind InsightTracker::observe(std::string_view code,
+                                         const VerdictSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+
+  // Directive head: ECE over max-class confidence, correctness against the
+  // proof when it is conclusive; histogram-only otherwise.
+  const double confidence =
+      sample.positive ? sample.p_directive : 1.0 - sample.p_directive;
+  const bool conclusive = sample.proof == ProofVerdict::kParallel ||
+                          sample.proof == ProofVerdict::kDependent;
+  std::optional<bool> correct;
+  if (conclusive)
+    correct = sample.positive == (sample.proof == ProofVerdict::kParallel);
+  directive_.observe(confidence, correct);
+
+  // Clause/schedule heads only score positive rows; no label proxy online.
+  if (sample.clauses_scored) {
+    private_.observe(sample.p_private);
+    reduction_.observe(sample.p_reduction);
+    schedule_.observe(sample.p_dynamic);
+  }
+
+  drift_.observe(code);
+
+  DisagreementKind kind = DisagreementKind::kNone;
+  if (conclusive) {
+    ++proofs_checked_;
+    if (*correct) {
+      ++agreements_;
+    } else if (sample.positive) {
+      ++model_parallel_proof_dependent_;
+      kind = DisagreementKind::kModelParallelProofDependent;
+    } else {
+      ++model_serial_proof_parallel_;
+      kind = DisagreementKind::kModelSerialProofParallel;
+    }
+  }
+
+  export_metrics_locked(conclusive, kind);
+  return kind;
+}
+
+std::uint64_t InsightTracker::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::uint64_t InsightTracker::disagreements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_parallel_proof_dependent_ + model_serial_proof_parallel_;
+}
+
+double InsightTracker::directive_ece() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directive_.ece();
+}
+
+double InsightTracker::drift_score() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_.score();
+}
+
+double InsightTracker::disagreement_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (proofs_checked_ == 0) return 0.0;
+  return static_cast<double>(model_parallel_proof_dependent_ +
+                             model_serial_proof_parallel_) /
+         static_cast<double>(proofs_checked_);
+}
+
+Json InsightTracker::quality_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::object();
+  doc["schema"] = "clpp.insight.v1";
+  doc["samples"] = samples_;
+
+  Json tasks = Json::object();
+  tasks["directive"] = directive_.to_json();
+  tasks["private"] = private_.to_json();
+  tasks["reduction"] = reduction_.to_json();
+  tasks["schedule"] = schedule_.to_json();
+  doc["tasks"] = std::move(tasks);
+
+  Json disagreement = Json::object();
+  disagreement["checked"] = proofs_checked_;
+  disagreement["agreements"] = agreements_;
+  disagreement["model_parallel_proof_dependent"] = model_parallel_proof_dependent_;
+  disagreement["model_serial_proof_parallel"] = model_serial_proof_parallel_;
+  disagreement["count"] =
+      model_parallel_proof_dependent_ + model_serial_proof_parallel_;
+  disagreement["rate"] =
+      proofs_checked_ == 0
+          ? 0.0
+          : static_cast<double>(model_parallel_proof_dependent_ +
+                                model_serial_proof_parallel_) /
+                static_cast<double>(proofs_checked_);
+  doc["disagreement"] = std::move(disagreement);
+
+  Json drift = Json::object();
+  drift["armed"] = drift_.armed();
+  drift["observed"] = drift_.observed();
+  drift["window"] = drift_.window();
+  drift["filled"] = drift_.filled();
+  drift["score"] = drift_.score();
+  const Fingerprint window = drift_.window_fingerprint();
+  drift["window_mean_tokens"] = window.mean_tokens;
+  drift["window_mean_loop_depth"] = window.mean_loop_depth;
+  if (drift_.armed()) {
+    drift["reference_mean_tokens"] = drift_.reference().mean_tokens;
+    drift["reference_mean_loop_depth"] = drift_.reference().mean_loop_depth;
+    drift["reference_samples"] = drift_.reference().samples;
+  }
+  doc["drift"] = std::move(drift);
+  return doc;
+}
+
+void InsightTracker::export_metrics_locked(bool conclusive, DisagreementKind kind) {
+  auto& m = obs::metrics();
+  static obs::Counter& samples = m.counter("clpp.insight.samples");
+  static obs::Counter& checked = m.counter("clpp.insight.proof_checked");
+  static obs::Counter& agree = m.counter("clpp.insight.proof_agree");
+  static obs::Counter& disagree = m.counter("clpp.insight.disagreements");
+  static obs::Gauge& ece = m.gauge("clpp.insight.ece");
+  static obs::Gauge& drift_score = m.gauge("clpp.insight.drift_score");
+  static obs::Gauge& rate = m.gauge("clpp.insight.disagreement_rate");
+  static obs::Gauge& mean_conf = m.gauge("clpp.insight.mean_confidence");
+  samples.add(1);
+  if (conclusive) {
+    checked.add(1);
+    if (kind == DisagreementKind::kNone)
+      agree.add(1);
+    else
+      disagree.add(1);
+  }
+  ece.set(directive_.ece());
+  drift_score.set(drift_.score());
+  rate.set(proofs_checked_ == 0
+               ? 0.0
+               : static_cast<double>(model_parallel_proof_dependent_ +
+                                     model_serial_proof_parallel_) /
+                     static_cast<double>(proofs_checked_));
+  mean_conf.set(directive_.mean_confidence());
+}
+
+}  // namespace clpp::insight

@@ -26,6 +26,7 @@ LintReport lint_record(const Linter& linter, const std::string& directive_text,
     report.diagnostics.push_back({rule::kParseError, Severity::kError,
                                   {1, 1, 1, 1},
                                   std::string("record does not parse: ") + e.what(),
+                                  {},
                                   {}});
     return report;
   }

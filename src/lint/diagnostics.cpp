@@ -109,6 +109,16 @@ std::string LintReport::to_text() const {
       out += d.fix;
       out += '\n';
     }
+    if (!d.provenance.empty()) {
+      out += file;
+      out += ':';
+      out += std::to_string(d.range.line);
+      out += ':';
+      out += std::to_string(d.range.column);
+      out += ": note: dependence proof: ";
+      out += d.provenance;
+      out += '\n';
+    }
   }
   out += file;
   out += ": ";
@@ -139,6 +149,7 @@ Json LintReport::to_json() const {
     item["end_column"] = d.range.end_column;
     item["message"] = d.message;
     if (!d.fix.empty()) item["fix"] = d.fix;
+    if (!d.provenance.empty()) item["provenance"] = d.provenance;
     items.push_back(std::move(item));
   }
   doc["diagnostics"] = std::move(items);
@@ -213,6 +224,11 @@ Json sarif_document(const std::vector<LintReport>& reports) {
       Json locations = Json::array();
       locations.push_back(sarif_location(report.file, d.range));
       result["locations"] = std::move(locations);
+      if (!d.provenance.empty()) {
+        Json properties = Json::object();
+        properties["dependenceProof"] = d.provenance;
+        result["properties"] = std::move(properties);
+      }
       if (!d.fix.empty()) {
         // The fix is always a whole-line replacement of the directive.
         Json inserted = Json::object();

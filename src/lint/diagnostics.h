@@ -76,6 +76,10 @@ struct Diagnostic {
   /// Fix-it: the full corrected `#pragma omp ...` line ("" = no fix
   /// available). Always a whole-line replacement of the directive.
   std::string fix;
+  /// Decision provenance: which dependence test produced this finding and
+  /// what it concluded (analysis::provenance_text). Empty when the finding
+  /// is not backed by a dependence-engine decision.
+  std::string provenance;
 };
 
 /// All findings for one translation unit.

@@ -1,0 +1,143 @@
+#include "lint/explain.h"
+
+#include <utility>
+
+#include "analysis/sideeffects.h"
+
+namespace clpp::lint {
+
+using frontend::Node;
+using frontend::NodeKind;
+
+namespace {
+
+void explain_loops(const Node& node, int for_depth,
+                   const analysis::DependenceAnalyzer& analyzer,
+                   std::vector<LoopExplanation>& out) {
+  int child_depth = for_depth;
+  if (node.kind == NodeKind::kFor) {
+    const analysis::LoopVerdict verdict = analyzer.analyze(node);
+    LoopExplanation loop;
+    loop.line = node.line;
+    loop.depth = for_depth;
+    loop.induction = verdict.induction;
+    loop.canonical = verdict.canonical;
+    loop.parallelizable = verdict.parallelizable;
+    loop.bailed = verdict.bailed;
+    loop.exact = verdict.exact();
+    loop.trip_count = verdict.trip_count;
+    loop.notes = verdict.notes;
+    loop.pairs = verdict.pair_provenance;
+    loop.private_candidates = verdict.private_candidates;
+    loop.reductions = verdict.reductions;
+    out.push_back(std::move(loop));
+    child_depth = for_depth + 1;
+  }
+  for (const auto& child : node.children)
+    if (child) explain_loops(*child, child_depth, analyzer, out);
+}
+
+}  // namespace
+
+std::vector<LoopExplanation> explain_unit(
+    const Node& unit, const analysis::AnalyzerOptions& options) {
+  const analysis::SideEffectOracle oracle(unit);
+  const analysis::DependenceAnalyzer analyzer(oracle, options);
+  std::vector<LoopExplanation> loops;
+  explain_loops(unit, 0, analyzer, loops);
+  return loops;
+}
+
+std::string render_explanations(const std::string& file,
+                                const std::vector<LoopExplanation>& loops) {
+  std::string out = file + ": " + std::to_string(loops.size()) + " loop(s)\n";
+  for (const LoopExplanation& loop : loops) {
+    const std::string indent(static_cast<std::size_t>(loop.depth) * 2, ' ');
+    out += indent + "loop";
+    if (loop.line > 0) out += " at line " + std::to_string(loop.line);
+    if (!loop.induction.empty()) out += " (induction " + loop.induction + ")";
+    out += ": ";
+    if (!loop.canonical)
+      out += "non-canonical";
+    else if (loop.parallelizable)
+      out += "parallelizable";
+    else
+      out += "serial";
+    if (loop.bailed) out += ", bailed";
+    if (loop.canonical) out += loop.exact ? ", exact proof" : ", conservative";
+    if (loop.trip_count)
+      out += ", trip count " + std::to_string(*loop.trip_count);
+    out += '\n';
+    for (const analysis::PairProvenance& pair : loop.pairs)
+      out += indent + "  pair: " + analysis::provenance_text(pair) + '\n';
+    if (!loop.private_candidates.empty()) {
+      out += indent + "  private:";
+      for (const std::string& name : loop.private_candidates) out += ' ' + name;
+      out += '\n';
+    }
+    for (const frontend::Reduction& r : loop.reductions)
+      out += indent + "  reduction: " + r.variable + " (" +
+             frontend::reduction_op_name(r.op) + ")\n";
+    for (const std::string& note : loop.notes)
+      out += indent + "  note: " + note + '\n';
+  }
+  return out;
+}
+
+Json explanations_json(const std::string& file,
+                       const std::vector<LoopExplanation>& loops) {
+  Json doc = Json::object();
+  doc["schema"] = "clpp.explain.v1";
+  doc["file"] = file;
+  Json items = Json::array();
+  for (const LoopExplanation& loop : loops) {
+    Json item = Json::object();
+    item["line"] = loop.line;
+    item["depth"] = loop.depth;
+    item["induction"] = loop.induction;
+    item["canonical"] = loop.canonical;
+    item["parallelizable"] = loop.parallelizable;
+    item["bailed"] = loop.bailed;
+    item["exact"] = loop.exact;
+    if (loop.trip_count)
+      item["trip_count"] = static_cast<std::int64_t>(*loop.trip_count);
+    Json pairs = Json::array();
+    for (const analysis::PairProvenance& pair : loop.pairs) {
+      Json p = Json::object();
+      p["array"] = pair.array;
+      p["src"] = pair.src_text;
+      p["snk"] = pair.snk_text;
+      p["test"] = pair.test;
+      if (!pair.direction.empty()) p["direction"] = pair.direction;
+      if (pair.distance) p["distance"] = static_cast<std::int64_t>(*pair.distance);
+      p["possible"] = pair.possible;
+      p["carried"] = pair.carried;
+      p["exact"] = pair.exact;
+      p["scalar"] = pair.scalar;
+      if (pair.line > 0) p["line"] = pair.line;
+      p["text"] = analysis::provenance_text(pair);
+      pairs.push_back(std::move(p));
+    }
+    item["pairs"] = std::move(pairs);
+    Json privates = Json::array();
+    for (const std::string& name : loop.private_candidates)
+      privates.push_back(name);
+    item["private"] = std::move(privates);
+    Json reductions = Json::array();
+    for (const frontend::Reduction& r : loop.reductions) {
+      Json red = Json::object();
+      red["variable"] = r.variable;
+      red["op"] = frontend::reduction_op_name(r.op);
+      reductions.push_back(std::move(red));
+    }
+    item["reductions"] = std::move(reductions);
+    Json notes = Json::array();
+    for (const std::string& note : loop.notes) notes.push_back(note);
+    item["notes"] = std::move(notes);
+    items.push_back(std::move(item));
+  }
+  doc["loops"] = std::move(items);
+  return doc;
+}
+
+}  // namespace clpp::lint

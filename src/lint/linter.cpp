@@ -117,6 +117,7 @@ LintReport Linter::lint_source(const std::string& source, std::string file) cons
     report.diagnostics.push_back({rule::kParseError, Severity::kError,
                                   token_range(1, 1, 1),
                                   std::string("input does not parse: ") + e.what(),
+                                  {},
                                   {}});
     return report;
   }
@@ -186,7 +187,7 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
     if (!options_.emit_fixits) fix.clear();
     if (!fix.empty()) obs::metrics().counter("clpp.lint.fixits").add();
     report.diagnostics.push_back(
-        {rule_id, severity, range, std::move(message), std::move(fix)});
+        {rule_id, severity, range, std::move(message), std::move(fix), {}});
   };
 
   if (stmt == nullptr || stmt->kind != NodeKind::kFor) {
@@ -266,12 +267,28 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
 
   // --- loop-carried-dependence / simd-* family: dependences that survive
   // the clauses.
+  // Decision provenance for a finding: the first carried provenance record
+  // of the same variable (the one that produced the Dependence). Attached
+  // to the diagnostic pushed last by `add`.
+  auto attach_provenance = [&](const analysis::Dependence& dep,
+                               std::size_t before) {
+    if (report.diagnostics.size() <= before) return;  // nothing was added
+    for (const analysis::PairProvenance& p : verdict.pair_provenance) {
+      if (p.array != dep.variable || p.scalar != dep.scalar) continue;
+      if (!p.possible || !p.carried) continue;
+      report.diagnostics.back().provenance = analysis::provenance_text(p);
+      return;
+    }
+    if (!dep.deciding_test.empty())
+      report.diagnostics.back().provenance = dep.deciding_test;
+  };
   for (const analysis::Dependence& dep : verdict.dependences) {
     const SourceRange at_dep =
         dep.line > 0 ? token_range(dep.line, dep.column, dep.variable.size())
                      : at_loop;
     const bool scalar = dep.scalar;
     if (scalar && privatized.count(dep.variable)) continue;  // clause cuts the edge
+    const std::size_t diags_before = report.diagnostics.size();
     if (pure_simd) {
       if (scalar) {
         if (reduced.count(dep.variable)) {
@@ -313,6 +330,7 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
                               : std::string("unknown")) +
                 "; no safelen can license it");
       }
+      attach_provenance(dep, diags_before);
       continue;
     }
     std::string message;
@@ -327,6 +345,7 @@ void Linter::lint_pair(const Node& unit, SourceRange at_pragma,
       message = "loop-carried array dependence on '" + dep.variable + "' (" +
                 dep.detail + ")";
     add(rule::kLoopCarried, Severity::kError, at_dep, std::move(message));
+    attach_provenance(dep, diags_before);
   }
 
   // Clause-level findings share one fix-it: the fully corrected pragma.

@@ -18,11 +18,16 @@
 //     obs installs at process start;
 //   - clpp::resil injected faults, when a dump path has been configured
 //     (`CLPP_FLIGHT_OUT` / `set_flight_out`) — fault-injection runs opt in
-//     so ordinary resilience tests don't spray artifacts.
+//     so ordinary resilience tests don't spray artifacts;
+//   - fatal signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL) via the
+//     handlers obs installs at process start, which take the
+//     async-signal-safe path (`dump_flight_async_safe`: write(2) only, no
+//     locks, no allocation) before re-raising with default disposition.
 //
 // Environment: CLPP_FLIGHT=0 disables recording; CLPP_FLIGHT_OUT=PATH sets
 // the dump destination (default "clpp_flight.json") and additionally arms
-// dump-on-injected-fault.
+// dump-on-injected-fault; CLPP_FLIGHT_SIGNALS=0 leaves the signal handlers
+// uninstalled.
 #pragma once
 
 #include <atomic>
@@ -67,6 +72,20 @@ bool flight_dump_on_fault();
 /// false (and stays silent) when disabled or the write fails — the dump
 /// path runs inside crash handling, which must not crash.
 bool dump_flight(const std::string& reason) noexcept;
+
+/// Async-signal-safe variant: writes a `clpp.flight.v1` document to the
+/// configured dump path using only open(2)/write(2) with a fixed stack
+/// buffer — no locks, no allocation, no stdio — so it is legal inside a
+/// SIGSEGV handler. Rings are found through a lock-free registry (rings
+/// are never freed, so the pointers stay valid mid-crash). The one shape
+/// difference from `dump_flight`: `ts_us` is emitted as an integer.
+bool dump_flight_async_safe(const char* reason) noexcept;
+
+/// Installs fatal-signal handlers (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL)
+/// that call `dump_flight_async_safe(<signal name>)` and then re-raise with
+/// the default disposition, so a crash ships its flight recording *and*
+/// still dies with the expected signal status. Idempotent.
+void install_crash_handlers();
 
 /// Totals across all rings since the last reset.
 std::uint64_t flight_recorded();

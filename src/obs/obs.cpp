@@ -103,6 +103,9 @@ void init_from_env() {
   if (const char* v = std::getenv("CLPP_FLIGHT"))
     set_flight_enabled(v[0] != '\0' && v[0] != '0');
   if (const char* v = std::getenv("CLPP_FLIGHT_OUT")) set_flight_out(v);
+  const char* signals = std::getenv("CLPP_FLIGHT_SIGNALS");
+  if (signals == nullptr || (signals[0] != '\0' && signals[0] != '0'))
+    install_crash_handlers();
   if (const char* v = std::getenv("CLPP_METRICS_STREAM")) {
     std::uint64_t interval_ms = 500;
     if (const char* ms = std::getenv("CLPP_METRICS_STREAM_MS")) {

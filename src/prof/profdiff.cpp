@@ -153,6 +153,12 @@ bool series_is_tracked(const std::string& key) {
   if (key.find(":hist:") != std::string::npos)
     return key.find("latency_us") != std::string::npos &&
            (ends_with(":mean") || ends_with(":p95") || ends_with(":p99"));
+  // Model-quality levels (clpp::insight gauges) and dependence-engine
+  // decision mix (clpp.ddtest.* counters): a calibration/drift regression
+  // or a provenance shift (pairs silently falling back to the conservative
+  // test) is a quality bug even when every latency stays flat.
+  if (key.find(":gauge:clpp.insight.") != std::string::npos) return true;
+  if (key.find(":counter:clpp.ddtest.") != std::string::npos) return true;
   return false;
 }
 

@@ -53,6 +53,8 @@ InferenceServer::InferenceServer(const core::ParallelAdvisor& advisor,
       reduction_us_(obs::default_latency_buckets_us()),
       schedule_us_(obs::default_latency_buckets_us()) {
   config_.validate();
+  if (!advisor.fingerprint().empty())
+    insight_.set_reference(advisor.fingerprint());
   replicas_.reserve(config_.workers);
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w)
@@ -183,6 +185,27 @@ void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
       if (coalesced > 0)
         obs::metrics().counter("clpp.serve.coalesced").add(coalesced);
     }
+    // Model-quality telemetry: every request position (coalesced duplicates
+    // included — quality is a property of the traffic, not of distinct
+    // snippets). The dangerous direction — model advises parallelizing a
+    // loop the engine proved dependent — is flight-recorded with the
+    // request's trace id so a dump shows which request tripped it.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      insight::VerdictSample sample;
+      sample.p_directive = advices[i].p_directive;
+      sample.p_private = advices[i].p_private;
+      sample.p_reduction = advices[i].p_reduction;
+      sample.p_dynamic = advices[i].p_dynamic;
+      sample.positive = advices[i].needs_directive;
+      sample.clauses_scored = advices[i].needs_directive;
+      sample.proof = advices[i].proof;
+      const insight::DisagreementKind kind =
+          insight_.observe(batch[i].code, sample);
+      if (kind == insight::DisagreementKind::kModelParallelProofDependent)
+        obs::flight_record("insight.disagree",
+                           static_cast<std::int64_t>(batch[i].trace.trace_id));
+    }
+
     // Counters first, promises second: a caller woken by its future must
     // already see this batch reflected in stats().
     completed_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -290,5 +313,7 @@ Json InferenceServer::stats_json() const {
   out["tasks"] = std::move(tasks);
   return out;
 }
+
+Json InferenceServer::quality_json() const { return insight_.quality_json(); }
 
 }  // namespace clpp::serve

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "insight/insight.h"
 #include "obs/metrics.h"
 #include "serve/queue.h"
 #include "serve/serve.h"
@@ -59,6 +60,16 @@ class InferenceServer {
   /// serving.
   Json stats_json() const;
 
+  /// Model-quality snapshot (`clpp.insight.v1`): per-task confidence
+  /// histograms, online ECE against the dependence engine's exact verdicts,
+  /// analyzer-vs-model disagreement counts, and the drift score of recent
+  /// traffic against the advisor's training fingerprint. Backs the
+  /// `{"cmd":"quality"}` admin verb. Safe to call concurrently.
+  Json quality_json() const;
+
+  /// Direct access for tests and loadgen reporting.
+  const insight::InsightTracker& insight() const { return insight_; }
+
   const ServeConfig& config() const { return config_; }
 
  private:
@@ -92,6 +103,10 @@ class InferenceServer {
   obs::Histogram private_us_;
   obs::Histogram reduction_us_;
   obs::Histogram schedule_us_;
+
+  // Model-quality telemetry: calibration, disagreement, drift. Armed with
+  // the advisor's training fingerprint at construction when one exists.
+  insight::InsightTracker insight_;
 };
 
 }  // namespace clpp::serve

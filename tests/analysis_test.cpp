@@ -788,6 +788,81 @@ TEST(Realworld, NonParallelIirHasUnitDistance) {
   EXPECT_EQ(*verdicts[0].dependences[0].distance, 1);
 }
 
+// --- decision provenance -----------------------------------------------------------
+
+TEST(Provenance, StrongSivPinsDistanceAndDirection) {
+  const LoopVerdict v =
+      analyze_with("for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;");
+  const PairProvenance* carried = nullptr;
+  for (const PairProvenance& p : v.pair_provenance)
+    if (p.carried) carried = &p;
+  ASSERT_NE(carried, nullptr);
+  EXPECT_EQ(carried->array, "a");
+  EXPECT_EQ(carried->test, "strong-siv");
+  EXPECT_TRUE(carried->exact);
+  ASSERT_TRUE(carried->distance.has_value());
+  EXPECT_EQ(*carried->distance, 1);
+  const std::string text = provenance_text(*carried);
+  EXPECT_NE(text.find("strong-siv"), std::string::npos) << text;
+  EXPECT_NE(text.find("distance 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("carried"), std::string::npos) << text;
+}
+
+TEST(Provenance, RecordedForRefutedPairsToo) {
+  // Clean elementwise loop: the a[i]-vs-a[i] pair is tested, decided, and
+  // must still appear in the trace (a proof shows *all* its steps).
+  const LoopVerdict v = analyze_with("for (i = 0; i < n; i++) a[i] = b[i];");
+  EXPECT_TRUE(v.parallelizable);
+  ASSERT_FALSE(v.pair_provenance.empty());
+  for (const PairProvenance& p : v.pair_provenance) {
+    EXPECT_FALSE(p.test.empty());
+    EXPECT_FALSE(p.carried) << provenance_text(p);
+  }
+}
+
+TEST(Provenance, GemmNamesTextPinnedAndBanerjeeDecisions) {
+  const auto verdicts = analyze_fixture("gemm.c");
+  ASSERT_EQ(verdicts.size(), 4u);
+  // Outer i loop: the linearized C[i*nj + j] pairs have identical complex
+  // subscript text, so the text-pinned rule decides them — same element,
+  // same iteration only, hence still parallelizable.
+  bool pinned = false;
+  for (const PairProvenance& p : verdicts[0].pair_provenance) {
+    if (p.array != "C" || p.test != "text-pinned") continue;
+    pinned = true;
+    EXPECT_FALSE(p.carried) << provenance_text(p);
+    EXPECT_TRUE(p.possible);
+  }
+  EXPECT_TRUE(pinned);
+  // The k loop re-writes the same element every iteration: Banerjee proves
+  // the write-write collision carried at the k level.
+  bool carried = false;
+  for (const PairProvenance& p : verdicts[2].pair_provenance) {
+    if (p.array != "C" || !p.carried) continue;
+    carried = true;
+    EXPECT_EQ(p.test, "banerjee") << provenance_text(p);
+  }
+  EXPECT_TRUE(carried);
+}
+
+TEST(Provenance, EveryRealworldPairNamesItsDecidingTest) {
+  const char* fixtures[] = {"gemm.c",   "atax.c",      "mvt.c",
+                            "gemver.c", "jacobi-1d.c", "non_parallel.c"};
+  std::size_t pairs_seen = 0;
+  for (const char* name : fixtures) {
+    for (const LoopVerdict& v : analyze_fixture(name)) {
+      EXPECT_EQ(v.pair_provenance.size(), v.dep_pairs_tested) << name;
+      for (const PairProvenance& p : v.pair_provenance) {
+        ++pairs_seen;
+        EXPECT_FALSE(p.test.empty()) << name;
+        EXPECT_FALSE(p.src_text.empty()) << name;
+        EXPECT_FALSE(provenance_text(p).empty()) << name;
+      }
+    }
+  }
+  EXPECT_GT(pairs_seen, 0u);
+}
+
 TEST(Realworld, V2StrictlyFewerUnknownsThanSeedEngine) {
   const char* fixtures[] = {"gemm.c",      "atax.c", "mvt.c",
                             "gemver.c",    "jacobi-1d.c", "non_parallel.c"};

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -11,6 +12,7 @@
 #include "codegen/generator.h"
 #include "frontend/parser.h"
 #include "lint/audit.h"
+#include "lint/explain.h"
 #include "lint/linter.h"
 
 namespace clpp::lint {
@@ -643,6 +645,82 @@ TEST(LintRealworld, AnnotatedKernelsLintClean) {
     EXPECT_EQ(report.errors(), 0u) << name << "\n" << report.to_text();
     EXPECT_GE(report.loops_checked, 1u) << name;
   }
+}
+
+TEST(LintExplain, RealworldLoopsAllNameTheirDecidingTests) {
+  // Acceptance bar for `clpp-lint --explain`: across all 15 loops of the
+  // realworld corpus, every tested pair names a deciding dependence test.
+  const std::map<std::string, std::size_t> expected_loops = {
+      {"atax.c", 3u},   {"gemm.c", 4u},        {"gemver.c", 2u},
+      {"jacobi-1d.c", 3u}, {"mvt.c", 2u},      {"non_parallel.c", 1u}};
+  std::size_t total_loops = 0;
+  for (const auto& [name, loop_count] : expected_loops) {
+    std::ifstream in(std::string(CLPP_REALWORLD_DIR) + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const frontend::NodePtr unit = frontend::parse_snippet(text.str());
+    const std::vector<LoopExplanation> loops =
+        explain_unit(*unit, Linter{}.options().analyzer);
+    EXPECT_EQ(loops.size(), loop_count) << name;
+    total_loops += loops.size();
+    for (const LoopExplanation& loop : loops) {
+      EXPECT_TRUE(loop.canonical) << name;
+      EXPECT_TRUE(loop.exact) << name << " line " << loop.line;
+      for (const analysis::PairProvenance& pair : loop.pairs)
+        EXPECT_FALSE(pair.test.empty()) << name << " line " << loop.line;
+    }
+    // Renderings carry the same trace: the text names at least one test
+    // and the JSON document is schema-versioned with one entry per loop.
+    const std::string rendered = render_explanations(name, loops);
+    EXPECT_NE(rendered.find("loop at line"), std::string::npos) << name;
+    const Json doc = explanations_json(name, loops);
+    EXPECT_EQ(doc.at("schema").as_string(), "clpp.explain.v1");
+    EXPECT_EQ(doc.at("loops").size(), loops.size()) << name;
+  }
+  EXPECT_EQ(total_loops, 15u);
+}
+
+TEST(LintExplain, NestedLoopsGetDepthAndDocumentOrder) {
+  const frontend::NodePtr unit = frontend::parse_snippet(
+      "for (i = 0; i < n; i++) { for (j = 1; j < m; j++) a[j] = a[j - 1]; }");
+  const std::vector<LoopExplanation> loops =
+      explain_unit(*unit, Linter{}.options().analyzer);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].depth, 0);
+  EXPECT_EQ(loops[0].induction, "i");
+  EXPECT_EQ(loops[1].depth, 1);
+  EXPECT_EQ(loops[1].induction, "j");
+  // The inner recurrence is proved carried with a pinned distance.
+  EXPECT_FALSE(loops[1].parallelizable);
+  bool carried = false;
+  for (const analysis::PairProvenance& pair : loops[1].pairs)
+    if (pair.carried && pair.distance.has_value() && *pair.distance == 1)
+      carried = true;
+  EXPECT_TRUE(carried);
+}
+
+TEST(Lint, DiagnosticsCarryDependenceProvenance) {
+  // A loop-carried array recurrence under `parallel for`: the dependence
+  // diagnostic must carry the deciding-test provenance into both renderings.
+  const LintReport report = lint("#pragma omp parallel for",
+                                 "for (i = 1; i < n; i++) a[i] = a[i - 1];");
+  const Diagnostic* d = find_rule(report, rule::kLoopCarried);
+  ASSERT_NE(d, nullptr) << report.to_text();
+  EXPECT_FALSE(d->provenance.empty());
+  EXPECT_NE(d->provenance.find("strong-siv"), std::string::npos)
+      << d->provenance;
+  EXPECT_NE(report.to_text().find("dependence proof:"), std::string::npos);
+  const Json doc = report.to_json();
+  bool found = false;
+  const Json& diagnostics = doc.at("diagnostics");
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Json& item = diagnostics.at(i);
+    if (item.get_string("rule", "") != rule::kLoopCarried) continue;
+    found = true;
+    EXPECT_EQ(item.at("provenance").as_string(), d->provenance);
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(LintRealworld, SimdOnIirRecurrenceIsRejected) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -495,6 +496,97 @@ TEST_F(ObsTest, HistogramSnapshotsAreConsistentUnderConcurrentWriters) {
   for (std::thread& w : writers) w.join();
   EXPECT_EQ(h.count(), h.count());  // quiesced: stable final count
   EXPECT_GT(h.count(), 0u);
+}
+
+TEST_F(ObsTest, MetricsStreamerSnapshotsHistogramUnderConcurrentWriters) {
+  const std::string path =
+      ::testing::TempDir() + "clpp_obs_stream_concurrent_test.jsonl";
+  std::remove(path.c_str());
+  obs::Histogram& h = obs::metrics().histogram("clpp.test.stream.latency_us");
+  obs::MetricsStreamer& streamer = obs::MetricsStreamer::instance();
+  const std::uint64_t before = streamer.emitted();
+  streamer.start(path, /*interval_ms=*/5);
+
+  // record_always bypasses the enabled() gate (always-on serve telemetry),
+  // so the streamer snapshots shards that are being written this instant.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t i = 0;
+      do {
+        h.record_always(static_cast<double>((t * 271 + i++) % 1000));
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (streamer.emitted() < before + 3 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  streamer.stop();  // final flush captures the quiesced totals
+
+  // Every line must parse; histogram lines carry the per-interval delta
+  // count plus cumulative quantiles, so the deltas must be positive, the
+  // quantiles ordered, and the deltas must sum to the quiesced total — a
+  // torn snapshot would lose or double-count an interval.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  double delta_sum = 0.0;
+  std::int64_t lines_with_hist = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Json parsed = Json::parse(line);
+    EXPECT_EQ(parsed.at("schema").as_string(), "clpp.metrics_stream.v1");
+    if (!parsed.contains("histograms") ||
+        !parsed.at("histograms").contains("clpp.test.stream.latency_us"))
+      continue;
+    ++lines_with_hist;
+    const Json& stats = parsed.at("histograms").at("clpp.test.stream.latency_us");
+    EXPECT_GT(stats.at("count").as_double(), 0.0);
+    delta_sum += stats.at("count").as_double();
+    EXPECT_GE(stats.at("p99").as_double(), stats.at("p50").as_double());
+  }
+  EXPECT_GT(lines_with_hist, 0);
+  EXPECT_DOUBLE_EQ(delta_sum, static_cast<double>(h.count()));
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, AsyncSafeFlightDumpWritesParseableArtifact) {
+  const std::string path =
+      ::testing::TempDir() + "clpp_obs_flight_async_test.json";
+  std::remove(path.c_str());
+  obs::reset_flight();
+  obs::set_flight_out(path);
+  obs::flight_record("test.async", 7, 9);
+  obs::flight_record("test.async", 8);
+  // Not called from a signal handler here, but the artifact must be the
+  // same shape the crash path produces (write(2)-only serializer).
+  ASSERT_TRUE(obs::dump_flight_async_safe("unit_test"));
+  obs::set_flight_out("clpp_flight.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "clpp.flight.v1");
+  EXPECT_EQ(doc.at("reason").as_string(), "unit_test");
+  EXPECT_GE(doc.at("recorded").as_int(), 2);
+  bool saw_event = false;
+  const Json& events = doc.at("events");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    if (e.at("kind").as_string() != "test.async" || e.at("a").as_int() != 7)
+      continue;
+    saw_event = true;
+    EXPECT_EQ(e.at("b").as_int(), 9);
+    EXPECT_GE(e.at("ts_us").as_int(), 0);
+  }
+  EXPECT_TRUE(saw_event);
+  std::remove(path.c_str());
 }
 
 TEST_F(ObsTest, ChromeTraceEmitsFlowEventsForFlowedSpans) {

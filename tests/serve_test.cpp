@@ -513,6 +513,51 @@ TEST(ServerTest, StatsJsonReportsLiveTelemetry) {
   EXPECT_GT(tasks.at("directive_us").at("mean").as_double(), 0.0);
 }
 
+TEST(ServerTest, QualityJsonRoundTripsLiveInsight) {
+  const auto advisor = tiny_advisor();
+  // Arm drift detection the way a trained checkpoint would: fingerprint
+  // the "training" distribution and hand it to the advisor.
+  insight::FingerprintBuilder builder;
+  for (const std::string& code : snippets()) builder.observe(code);
+  advisor->set_fingerprint(builder.build());
+
+  ServeConfig config;
+  config.max_batch = 4;
+  InferenceServer server(*advisor, config);
+  // Serve exactly the fingerprinted distribution: the drift window then
+  // matches the reference and must score stable.
+  std::vector<std::future<ServedAdvice>> futures;
+  for (const std::string& code : snippets())
+    futures.push_back(server.submit(code));
+  for (auto& future : futures) future.get();
+  const std::int64_t served = static_cast<std::int64_t>(snippets().size());
+
+  // The snapshot must survive a serialize/parse cycle (it is the payload
+  // of the {"cmd":"quality"} admin verb).
+  const Json doc = Json::parse(server.quality_json().dump());
+  EXPECT_EQ(doc.at("schema").as_string(), "clpp.insight.v1");
+  EXPECT_EQ(doc.at("samples").as_int(), served);
+  EXPECT_EQ(doc.at("tasks").at("directive").at("count").as_int(), served);
+
+  const Json& drift = doc.at("drift");
+  EXPECT_TRUE(drift.at("armed").as_bool());
+  EXPECT_EQ(drift.at("observed").as_int(), served);
+  EXPECT_LT(drift.at("score").as_double(), 0.1);
+
+  // Several snippets (elementwise copy, the a[i-1] recurrence) carry a
+  // conclusive proof, and the books must balance regardless of what the
+  // untrained model predicted.
+  const Json& disagreement = doc.at("disagreement");
+  const std::int64_t checked = disagreement.at("checked").as_int();
+  EXPECT_GE(checked, 2);
+  EXPECT_LE(checked, served);
+  EXPECT_EQ(disagreement.at("agreements").as_int() +
+                disagreement.at("count").as_int(),
+            checked);
+  EXPECT_GE(disagreement.at("rate").as_double(), 0.0);
+  EXPECT_LE(disagreement.at("rate").as_double(), 1.0);
+}
+
 TEST(RequestQueueTest, PopBatchHonorsMaxBatch) {
   RequestQueue queue(16, OverflowPolicy::kBlock);
   for (int i = 0; i < 10; ++i) {
