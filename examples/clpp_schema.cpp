@@ -47,6 +47,12 @@ const std::vector<SchemaSpec>& known_schemas() {
       {"clpp.serve_loadgen.v1",
        {"requests", "mode", "seconds", "throughput_rps", "client"}},
       {"clpp.metrics_stream.v1", {"seq", "ts_ms"}},
+      {"clpp.shard_stats.v1",
+       {"shards", "live", "inflight", "deaths", "redispatched", "per_shard",
+        "admission"}},
+      {"clpp.shard_loadgen.v1",
+       {"requests", "ok", "shed", "errors", "lost", "seconds",
+        "throughput_rps", "client"}},
       {"clpp.flight.v1", {"reason", "recorded", "dropped", "events"}},
       {"clpp.bench_summary.v1", {"benches"}},
       {"clpp.slo_budget.v1", {"serve"}},

@@ -4,6 +4,8 @@
 //   clpp-serve --random-model                       # demo weights, no training
 //   clpp-serve --random-model --loadgen 256 --concurrency 32
 //   clpp-serve --random-model --loadgen 256 --sequential    # baseline
+//   clpp-serve --random-model --listen --shards 4           # TCP front end
+//   clpp-serve --loadgen 256 --connect 7070                 # socket loadgen
 //
 // JSON-lines protocol: one request object per stdin line,
 //     {"id": 7, "code": "for (i = 0; i < n; i++) a[i] = b[i];"}
@@ -33,11 +35,23 @@
 // split. `--sequential` runs the same N requests through plain
 // single-request `advise()` for an A/B baseline. `--stats-out PATH` writes
 // the whole report as a JSON artifact (consumed by scripts/check_slo.sh).
+//
+// `--listen` runs the sharded fault-tolerant front end instead
+// (DESIGN.md §12): a loopback TCP listener speaking length-prefixed JSON
+// frames in front of --shards forked worker processes, with crash recovery
+// (dead shards restart with backoff; their accepted requests replay on
+// survivors) and admission control (--quota-rps/--quota-burst per client,
+// --max-inflight globally, --deadline-ms default request budget).
+// `--connect PORT` flips the load generator onto that socket protocol and
+// writes a `clpp.shard_loadgen.v1` artifact (consumed by
+// scripts/check_shard.sh, which gates "a shard crash loses no accepted
+// request").
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <future>
 #include <iostream>
@@ -48,9 +62,18 @@
 #include <utility>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/advisor.h"
 #include "insight/drift.h"
 #include "serve/server.h"
+#include "shard/frame.h"
+#include "shard/listener.h"
+#include "shard/supervisor.h"
 #include "support/cli.h"
 #include "support/json.h"
 #include "tokenize/representation.h"
@@ -394,6 +417,167 @@ int run_loadgen(const core::ParallelAdvisor& advisor, serve::ServeConfig config,
   return 0;
 }
 
+shard::SocketListener* g_listener = nullptr;
+
+void stop_listener(int) {
+  if (g_listener != nullptr) g_listener->stop();
+}
+
+int run_listen(const core::ParallelAdvisor& advisor,
+               shard::SupervisorConfig sup_config,
+               shard::ListenerConfig listen_config) {
+  shard::ShardSupervisor supervisor(advisor, sup_config);
+  shard::SocketListener listener(supervisor, listen_config);
+  // Order matters: start() registers the listen fd for child-side close
+  // before the first fork, and the supervisor forks while this is still the
+  // only thread.
+  listener.start();
+  supervisor.start();
+  g_listener = &listener;
+  std::signal(SIGINT, stop_listener);
+  std::signal(SIGTERM, stop_listener);
+  std::fprintf(stderr, "clpp-serve: listening on 127.0.0.1:%u with %zu shards\n",
+               static_cast<unsigned>(listener.port()), sup_config.shards);
+  listener.run();
+  g_listener = nullptr;
+  supervisor.drain();
+  // stdout is unused in listen mode (requests ride the socket), so the
+  // final supervisor stats go there as one bare clpp.shard_stats.v1
+  // document — check_schemas.sh captures and validates it.
+  const Json stats = supervisor.stats_json();
+  std::printf("%s\n", stats.dump().c_str());
+  return 0;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Closed-loop socket load generator against a --listen front end: each
+/// client keeps one framed request in flight on its own keep-alive
+/// connection. A connection that breaks mid-request (it never should — the
+/// client talks to the supervisor, which survives shard crashes) is
+/// reconnected and the unanswered request counts as `lost`; check_shard.sh
+/// gates lost == 0 while killing a shard mid-run.
+int run_socket_loadgen(std::uint16_t port, std::size_t total,
+                       std::size_t concurrency, std::uint32_t deadline_ms,
+                       bool drift, const std::string& stats_out) {
+  const auto& mix = drift ? drifted_mix() : demo_mix();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ok{0}, shed{0}, errors{0}, lost{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = connect_loopback(port);
+      for (;;) {
+        const std::size_t r = next.fetch_add(1);
+        if (r >= total) break;
+        if (fd < 0) fd = connect_loopback(port);
+        if (fd < 0) {
+          ++lost;
+          continue;
+        }
+        Json request = Json::object();
+        request["id"] = static_cast<std::int64_t>(r + 1);
+        request["code"] = mix[r % mix.size()];
+        request["client"] = "loadgen-" + std::to_string(c);
+        shard::Frame frame;
+        frame.payload = request.dump();
+        frame.deadline_ms = deadline_ms;
+        const auto s0 = Clock::now();
+        if (!shard::write_frame_fd(fd, frame)) {
+          ++lost;
+          ::close(fd);
+          fd = -1;
+          continue;
+        }
+        shard::Frame reply;
+        std::string error;
+        if (shard::read_frame_fd(fd, &reply, &error) != shard::ReadStatus::kFrame) {
+          ++lost;
+          ::close(fd);
+          fd = -1;
+          continue;
+        }
+        try {
+          const Json body = Json::parse(reply.payload);
+          if (body.contains("error")) {
+            if (body.get_string("error", "") == "overloaded")
+              ++shed;
+            else
+              ++errors;
+          } else {
+            ++ok;
+            const double us = std::chrono::duration<double, std::micro>(
+                                  Clock::now() - s0)
+                                  .count();
+            std::lock_guard lock(lat_mu);
+            latencies.push_back(us);
+          }
+        } catch (const std::exception&) {
+          ++errors;
+        }
+      }
+      if (fd >= 0) ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Json report = Json::object();
+  report["schema"] = "clpp.shard_loadgen.v1";
+  report["requests"] = static_cast<std::int64_t>(total);
+  report["ok"] = static_cast<std::int64_t>(ok.load());
+  report["shed"] = static_cast<std::int64_t>(shed.load());
+  report["errors"] = static_cast<std::int64_t>(errors.load());
+  report["lost"] = static_cast<std::int64_t>(lost.load());
+  report["seconds"] = seconds;
+  report["throughput_rps"] = static_cast<double>(total) / seconds;
+  report["client"] =
+      report_loadgen("socket", total, seconds, std::move(latencies));
+
+  // One more connection for the supervisor-level stats block (per-shard
+  // liveness, restarts, admission counters) so the artifact is self-
+  // contained for check_shard.sh.
+  const int fd = connect_loopback(port);
+  if (fd >= 0) {
+    Json request = Json::object();
+    request["cmd"] = "stats";
+    shard::Frame frame;
+    frame.payload = request.dump();
+    shard::Frame reply;
+    std::string error;
+    if (shard::write_frame_fd(fd, frame) &&
+        shard::read_frame_fd(fd, &reply, &error) == shard::ReadStatus::kFrame) {
+      try {
+        report["server"] = Json::parse(reply.payload).at("stats");
+      } catch (const std::exception&) {
+      }
+    }
+    ::close(fd);
+  }
+  std::fprintf(stderr, "socket loadgen: %zu ok, %zu shed, %zu errors, %zu lost\n",
+               ok.load(), shed.load(), errors.load(), lost.load());
+  if (!stats_out.empty()) write_stats_artifact(stats_out, report);
+  return lost.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,6 +603,26 @@ int main(int argc, char** argv) {
   parser.add_string("stats-out", "",
                     "write the --loadgen report (client+server percentiles) "
                     "as a JSON artifact");
+  parser.add_flag("listen",
+                  "run the sharded TCP front end (loopback, framed JSON) "
+                  "instead of stdin/stdout");
+  parser.add_int("port", 0, "--listen port on 127.0.0.1 (0 = ephemeral)");
+  parser.add_string("port-file", "",
+                    "--listen writes its bound port here (for scripts)");
+  parser.add_int("shards", 2, "--listen worker processes to fork");
+  parser.add_double("quota-rps", 0.0,
+                    "per-client admission quota in requests/s (0 = off)");
+  parser.add_double("quota-burst", 16.0, "per-client token-bucket burst");
+  parser.add_int("max-inflight", 1024,
+                 "--listen global accepted-but-unanswered ceiling");
+  parser.add_int("deadline-ms", 0,
+                 "--listen: default request deadline; --connect: deadline "
+                 "sent in every frame header (0 = none)");
+  parser.add_string("flight-dir", "",
+                    "--listen: directory for per-shard flight-recorder dumps");
+  parser.add_int("connect", 0,
+                 "drive the --loadgen over the socket protocol against a "
+                 "--listen front end on this port");
 
   try {
     if (!parser.parse(argc, argv)) return 0;
@@ -434,13 +638,43 @@ int main(int argc, char** argv) {
     config.options.with_compar = !parser.get_flag("no-compar");
     config.validate();
 
+    const auto total = static_cast<std::size_t>(parser.get_int("loadgen"));
+    const auto connect_port =
+        static_cast<std::uint16_t>(parser.get_int("connect"));
+    if (connect_port != 0) {
+      // Socket loadgen needs no local model: the --listen process serves.
+      if (total == 0)
+        throw InvalidArgument("--connect needs --loadgen N");
+      return run_socket_loadgen(
+          connect_port, total,
+          static_cast<std::size_t>(parser.get_int("concurrency")),
+          static_cast<std::uint32_t>(parser.get_int("deadline-ms")),
+          parser.get_flag("drift"), parser.get_string("stats-out"));
+    }
+
     const std::string model = parser.get_string("model");
     if (model.empty() && !parser.get_flag("random-model"))
       throw InvalidArgument("pass --model <path> or --random-model");
     const core::ParallelAdvisor advisor =
         model.empty() ? random_advisor() : core::ParallelAdvisor::load(model);
 
-    const auto total = static_cast<std::size_t>(parser.get_int("loadgen"));
+    if (parser.get_flag("listen")) {
+      shard::SupervisorConfig sup;
+      sup.shards = static_cast<std::size_t>(parser.get_int("shards"));
+      sup.serve = config;
+      sup.admission.quota_rps = parser.get_double("quota-rps");
+      sup.admission.quota_burst = parser.get_double("quota-burst");
+      sup.admission.max_inflight =
+          static_cast<std::size_t>(parser.get_int("max-inflight"));
+      sup.admission.default_deadline_ms =
+          static_cast<std::uint32_t>(parser.get_int("deadline-ms"));
+      sup.flight_dir = parser.get_string("flight-dir");
+      shard::ListenerConfig listen;
+      listen.port = static_cast<std::uint16_t>(parser.get_int("port"));
+      listen.port_file = parser.get_string("port-file");
+      return run_listen(advisor, std::move(sup), std::move(listen));
+    }
+
     if (total > 0) {
       return run_loadgen(advisor, config, total,
                          static_cast<std::size_t>(parser.get_int("concurrency")),

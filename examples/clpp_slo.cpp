@@ -17,6 +17,15 @@
 // `min_samples` observations back it); `--quality-warn-only` downgrades
 // those violations to WARN so new budgets can land without blocking CI.
 //
+// A `--stats` artifact whose schema is clpp.shard_loadgen.v1 (clpp-serve
+// --connect --stats-out, the socket loadgen against a sharded --listen
+// front end) is instead evaluated against the budget's "shard" block:
+// lost-request ceiling (the fault-tolerance headline — crash recovery must
+// answer every accepted request), client-side latency percentile ceilings,
+// error-rate ceiling, throughput floor, and an unavailable-completions
+// ceiling from the embedded supervisor stats. scripts/check_shard.sh wires
+// this in CI with a shard-crashing fault plan active.
+//
 // Prints one PASS/FAIL line per check; `--json` emits a structured verdict
 // document on stdout instead. Exit code: 0 all checks pass, 1 at least one
 // violation, 2 usage/IO error.
@@ -140,6 +149,86 @@ void check_quality(const Json& budget, const Json& stats, bool warn_only,
   }
 }
 
+/// Budgets for the sharded serving front end over a clpp.shard_loadgen.v1
+/// artifact (the socket loadgen's report, with the supervisor's stats block
+/// embedded under "server"). The shape differs from the in-process loadgen
+/// — counts are client-observed outcomes (ok/shed/errors/lost), latency is
+/// client-side only — so it gets its own evaluator rather than bending
+/// check_histogram around it.
+std::vector<Check> evaluate_shard(const Json& budget, const Json& stats) {
+  std::vector<Check> checks;
+  const Json* shard_budget = maybe_at(budget, "shard");
+  if (shard_budget == nullptr) {
+    std::fprintf(stderr,
+                 "clpp-slo: budget has no \"shard\" block, nothing to check "
+                 "for a clpp.shard_loadgen.v1 artifact\n");
+    return checks;
+  }
+  auto ceiling = [&](std::string name, double value, double bound) {
+    Check check;
+    check.name = std::move(name);
+    check.value = value;
+    check.bound = bound;
+    check.ok = value <= bound;
+    checks.push_back(std::move(check));
+  };
+
+  // The headline: a crash of one shard loses no accepted request. lost
+  // counts client requests that went unanswered (broken connection), which
+  // only happens when the *front end* — not a shard — died.
+  if (shard_budget->contains("lost_max"))
+    ceiling("shard.lost", static_cast<double>(stats.at("lost").as_int()),
+            shard_budget->at("lost_max").as_double());
+  if (shard_budget->contains("error_rate_max")) {
+    const double requests = static_cast<double>(stats.at("requests").as_int());
+    const double errors = static_cast<double>(stats.at("errors").as_int());
+    ceiling("shard.error_rate", requests > 0 ? errors / requests : 0.0,
+            shard_budget->at("error_rate_max").as_double());
+  }
+  if (const Json* latency_budget = maybe_at(*shard_budget, "client_latency_us")) {
+    const Json* client = maybe_at(stats, "client");
+    constexpr struct {
+      const char* budget_key;
+      const char* stats_key;
+    } kClientCeilings[] = {
+        {"p50_max", "p50_us"}, {"p95_max", "p95_us"}, {"p99_max", "p99_us"}};
+    for (const auto& c : kClientCeilings) {
+      if (!latency_budget->contains(c.budget_key)) continue;
+      if (client == nullptr || !client->contains(c.stats_key)) {
+        std::fprintf(stderr, "clpp-slo: shard artifact lacks client.%s, "
+                             "skipping\n", c.stats_key);
+        continue;
+      }
+      ceiling(std::string("shard.latency_us.") + c.stats_key,
+              client->at(c.stats_key).as_double(),
+              latency_budget->at(c.budget_key).as_double());
+    }
+  }
+  if (shard_budget->contains("min_throughput_rps")) {
+    Check check;
+    check.name = "shard.throughput_rps";
+    check.op = ">=";
+    check.value = stats.at("throughput_rps").as_double();
+    check.bound = shard_budget->at("min_throughput_rps").as_double();
+    check.ok = check.value >= check.bound;
+    checks.push_back(std::move(check));
+  }
+  // Supervisor-side follow-up: even under crash recovery, no accepted
+  // request may end in an "unavailable" completion (that would mean every
+  // shard was down or retired with work still queued).
+  if (shard_budget->contains("unavailable_max")) {
+    const Json* server = maybe_at(stats, "server");
+    if (server != nullptr && server->contains("unavailable"))
+      ceiling("shard.unavailable",
+              static_cast<double>(server->at("unavailable").as_int()),
+              shard_budget->at("unavailable_max").as_double());
+    else
+      std::fprintf(stderr, "clpp-slo: shard artifact has no server stats "
+                           "block, skipping shard.unavailable\n");
+  }
+  return checks;
+}
+
 std::vector<Check> evaluate(const Json& budget, const Json& stats,
                             const Json* obs_stats, bool quality_warn_only) {
   std::vector<Check> checks;
@@ -238,9 +327,13 @@ int main(int argc, char** argv) {
     const std::string obs_path = parser.get_string("obs-stats");
     if (!obs_path.empty()) obs_stats = Json::parse(slurp(obs_path));
 
+    const bool shard_artifact =
+        stats.get_string("schema", "") == "clpp.shard_loadgen.v1";
     const std::vector<Check> checks =
-        evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats,
-                 parser.get_flag("quality-warn-only"));
+        shard_artifact
+            ? evaluate_shard(budget, stats)
+            : evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats,
+                       parser.get_flag("quality-warn-only"));
 
     std::size_t failures = 0;
     std::size_t warnings = 0;

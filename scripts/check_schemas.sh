@@ -11,7 +11,8 @@
 #
 # Covered: clpp.lint.v1, clpp.explain.v1, clpp.serve_loadgen.v1 (quality
 # block included), clpp.metrics_stream.v1, clpp.flight.v1, clpp.slo_budget.v1,
-# clpp.slo_verdict.v1, clpp.insight_report.v1.
+# clpp.slo_verdict.v1, clpp.insight_report.v1, clpp.shard_loadgen.v1, and
+# clpp.shard_stats.v1 (a sharded --listen front end's final stats document).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -50,6 +51,28 @@ CLPP_FLIGHT_OUT="$OUT_DIR/flight.json" \
 test -s "$OUT_DIR/flight.json" || {
   echo "check_schemas: fatal path produced no flight dump" >&2; exit 1; }
 
+# clpp.shard_loadgen.v1 — socket loadgen against a small sharded front end;
+# the front end's stdout is the bare clpp.shard_stats.v1 stats document it
+# prints after draining on SIGTERM.
+"$BIN/clpp-serve" --random-model --no-analysis --no-compar \
+  --listen --shards 2 --port-file "$OUT_DIR/shard_port" \
+  > "$OUT_DIR/shard_stats.json" &
+SHARD_PID=$!
+i=0
+while [ ! -s "$OUT_DIR/shard_port" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && { echo "check_schemas: no shard port" >&2; exit 1; }
+  sleep 0.1
+done
+"$BIN/clpp-serve" --connect "$(cat "$OUT_DIR/shard_port")" \
+  --loadgen 16 --concurrency 4 \
+  --stats-out "$OUT_DIR/shard_loadgen.json" >/dev/null
+kill "$SHARD_PID"
+wait "$SHARD_PID" 2>/dev/null || true
+test -s "$OUT_DIR/shard_stats.json" || {
+  echo "check_schemas: listen front end printed no stats document" >&2
+  exit 1; }
+
 # clpp.slo_verdict.v1 — evaluate the loadgen artifact we just produced.
 "$BIN/clpp-slo" --budget slo/budgets.json --quality-warn-only --json \
   --stats "$OUT_DIR/loadgen.json" > "$OUT_DIR/slo_verdict.json" || true
@@ -63,6 +86,8 @@ echo "== validating =="
   "$OUT_DIR/lint.json" \
   "$OUT_DIR/explain.json" \
   "$OUT_DIR/loadgen.json" \
+  "$OUT_DIR/shard_loadgen.json" \
+  "$OUT_DIR/shard_stats.json" \
   "$OUT_DIR/metrics_stream.jsonl" \
   "$OUT_DIR/flight.json" \
   "$OUT_DIR/slo_verdict.json" \

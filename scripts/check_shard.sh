@@ -1,0 +1,115 @@
+#!/bin/sh
+# Fault-injection gate for the sharded serving front end (DESIGN.md §12):
+# start `clpp-serve --listen` with four shard workers and a CLPP_FAULTS plan
+# that crashes every first-generation worker mid-burst, then drive the
+# socket load generator against it. Two things must hold:
+#
+#   1. Zero lost requests. The loadgen itself exits 1 when any request went
+#      unanswered, and clpp-slo re-checks `lost` (plus the supervisor's
+#      `unavailable` count) against the hard-zero ceilings in the "shard"
+#      block of slo/budgets.json — a shard crash may cost latency, never an
+#      answer.
+#   2. Client latency/error/throughput stay inside the same budget block.
+#
+# The gate also asserts the crash actually happened (artifact's server
+# stats show deaths > 0): a fault-tolerance gate whose fault never fires is
+# just a smoke test wearing a helmet.
+#
+#   $ scripts/check_shard.sh
+#   $ WARN_ONLY=1 scripts/check_shard.sh   # report violations but exit 0
+#   $ REQUESTS=64 SHARDS=2 scripts/check_shard.sh
+#
+# Artifacts land in $OUT_DIR (default shard_artifacts/):
+#   SHARD_loadgen.stats.json   clpp.shard_loadgen.v1 (client + server stats)
+#   SHARD_verdict.json         clpp-slo --json verdict
+#   flights/                   per-shard flight-recorder dumps from the
+#                              injected crashes (shard<i>.gen1.flight.jsonl)
+set -e
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-perf}"
+OUT_DIR="${OUT_DIR:-shard_artifacts}"
+REQUESTS="${REQUESTS:-200}"
+CONCURRENCY="${CONCURRENCY:-8}"
+SHARDS="${SHARDS:-4}"
+# Crash every gen-1 worker on its 3rd burst: late enough that the worker
+# has answered some requests (exercising buffered-response harvest), early
+# enough that plenty of accepted work is still pending (exercising
+# redispatch). Restarted generations clear the plan and stay up.
+FAULT_PLAN="${FAULT_PLAN:-shard.batch:3}"
+BUDGET="${BUDGET:-slo/budgets.json}"
+WARN_ONLY="${WARN_ONLY:-}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target clpp-serve clpp-slo >/dev/null
+
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR/flights"
+PORT_FILE="$OUT_DIR/port"
+
+echo "== front end: $SHARDS shards, fault plan $FAULT_PLAN =="
+CLPP_FAULTS="$FAULT_PLAN" "$BUILD_DIR/examples/clpp-serve" \
+  --random-model --no-analysis --no-compar \
+  --listen --shards "$SHARDS" --port-file "$PORT_FILE" \
+  --flight-dir "$OUT_DIR/flights" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+# The listener writes the ephemeral port after bind; give it a few seconds.
+i=0
+while [ ! -s "$PORT_FILE" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "check_shard: front end never wrote $PORT_FILE" >&2
+    exit 1
+  fi
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "check_shard: front end exited before binding" >&2; exit 1; }
+  sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+
+echo "== socket loadgen: $REQUESTS requests, $CONCURRENCY clients, port $PORT =="
+LOADGEN_RC=0
+"$BUILD_DIR/examples/clpp-serve" --connect "$PORT" \
+  --loadgen "$REQUESTS" --concurrency "$CONCURRENCY" \
+  --stats-out "$OUT_DIR/SHARD_loadgen.stats.json" || LOADGEN_RC=$?
+
+# Graceful stop: SIGTERM drains the supervisor and prints final stats.
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+
+if [ "$LOADGEN_RC" -ne 0 ]; then
+  echo "check_shard: loadgen lost requests (exit $LOADGEN_RC)" >&2
+  [ -n "$WARN_ONLY" ] || exit 1
+fi
+
+# The fault plan must have fired: every gen-1 shard inherits it, so the
+# server stats embedded in the artifact report deaths and a flight dump per
+# crash. A missing/zero count means the gate tested nothing.
+deaths=$(sed -n 's/.*"deaths":\([0-9][0-9]*\).*/\1/p' \
+  "$OUT_DIR/SHARD_loadgen.stats.json")
+if [ -z "$deaths" ] || [ "$deaths" -eq 0 ]; then
+  echo "check_shard: fault plan never fired (deaths=${deaths:-absent})" >&2
+  exit 1
+fi
+dumps=$(ls "$OUT_DIR/flights" 2>/dev/null | wc -l)
+echo "check_shard: $deaths shard deaths, $dumps flight dumps harvested"
+
+echo "== budgets ($BUDGET, shard block) =="
+"$BUILD_DIR/examples/clpp-slo" --budget "$BUDGET" --json \
+  --stats "$OUT_DIR/SHARD_loadgen.stats.json" \
+  > "$OUT_DIR/SHARD_verdict.json" || true
+
+if "$BUILD_DIR/examples/clpp-slo" --budget "$BUDGET" \
+  --stats "$OUT_DIR/SHARD_loadgen.stats.json"; then
+  echo "check_shard: crash recovery lost nothing and met every budget"
+else
+  if [ -n "$WARN_ONLY" ]; then
+    echo "check_shard: budget violations (WARN_ONLY set; not failing)" >&2
+  else
+    echo "check_shard: budget violations" >&2
+    exit 1
+  fi
+fi

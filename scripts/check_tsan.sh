@@ -1,10 +1,12 @@
 #!/bin/sh
 # ThreadSanitizer gate for the serving scheduler and the observability
 # plumbing it leans on: build with -DCLPP_SANITIZE_THREAD=ON and run the
-# `serve`- and `obs`-labeled tests (request queue, micro-batching workers,
-# backpressure, drain-on-shutdown, sharded histograms under concurrent
-# writers, flight-recorder rings, the metrics streamer thread). TSan is
-# mutually exclusive with ASan/UBSan, hence a separate build tree from
+# `serve`-, `obs`-, and `shard`-labeled tests (request queue, micro-batching
+# workers, backpressure, drain-on-shutdown, sharded histograms under
+# concurrent writers, flight-recorder rings, the metrics streamer thread,
+# and the shard supervisor/listener — single-threaded by design, which TSan
+# verifies holds across worker forks and crash recovery). TSan is mutually
+# exclusive with ASan/UBSan, hence a separate build tree from
 # check_sanitize.sh.
 #
 #   $ scripts/check_tsan.sh
@@ -20,4 +22,4 @@ cmake --build "$BUILD_DIR" -j >/dev/null
 cd "$BUILD_DIR"
 # halt_on_error turns any reported race into a test failure.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --output-on-failure -j"$(nproc)" -L "serve|obs" ${CTEST_ARGS:-}
+ctest --output-on-failure -j"$(nproc)" -L "serve|obs|shard" ${CTEST_ARGS:-}

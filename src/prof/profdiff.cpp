@@ -159,6 +159,10 @@ bool series_is_tracked(const std::string& key) {
   // test) is a quality bug even when every latency stays flat.
   if (key.find(":gauge:clpp.insight.") != std::string::npos) return true;
   if (key.find(":counter:clpp.ddtest.") != std::string::npos) return true;
+  // Sharded-serving reliability counters (clpp.shard.*): more deaths,
+  // redispatches, or expiries between runs of the same scenario is a
+  // robustness regression even when every latency stays flat.
+  if (key.find(":counter:clpp.shard.") != std::string::npos) return true;
   return false;
 }
 

@@ -26,4 +26,18 @@ void note_retry(const char* what, int attempt, const std::exception& error,
   }
 }
 
+void note_exhausted(const char* what, int attempts, double elapsed_ms,
+                    const char* why) {
+  obs::metrics().counter("clpp.resil.retry_exhausted").add(1);
+  if (obs::log_enabled(obs::LogLevel::kWarn)) {
+    Json fields = Json::object();
+    fields["op"] = what;
+    fields["attempts"] = attempts;
+    fields["elapsed_ms"] = elapsed_ms;
+    fields["budget"] = why;
+    obs::log_warn("resil", "retry budget exhausted, giving up",
+                  std::move(fields));
+  }
+}
+
 }  // namespace clpp::resil::detail

@@ -21,6 +21,13 @@ struct RetryPolicy {
   double base_delay_ms = 1.0;  // delay after the first failure
   double multiplier = 4.0;     // growth per subsequent failure
   double max_delay_ms = 50.0;  // backoff ceiling
+  /// Total backoff budget across all retries; 0 = unbounded. Accounted from
+  /// the *scheduled* (deterministically jittered) delays, not wall-clock
+  /// reads, so a CLPP_FAULTS-driven test reproduces the exact same
+  /// give-up point on every run. A retry whose backoff would push the
+  /// cumulative delay past this budget is not taken: the failure rethrows
+  /// and `clpp.resil.retry_exhausted` counts it.
+  double max_elapsed_ms = 0.0;
   std::uint64_t jitter_seed = 0x7e57ab1eULL;
 };
 
@@ -41,22 +48,37 @@ inline double backoff_delay_ms(const RetryPolicy& policy, int attempt,
 void sleep_ms(double ms);
 void note_retry(const char* what, int attempt, const std::exception& error,
                 double delay_ms);
+void note_exhausted(const char* what, int attempts, double elapsed_ms,
+                    const char* why);
 
 }  // namespace detail
 
-/// Runs `fn`, retrying on IoError up to `policy.max_attempts` total tries;
-/// the final failure is rethrown. Returns whatever `fn` returns.
+/// Runs `fn`, retrying on IoError up to `policy.max_attempts` total tries
+/// and at most `policy.max_elapsed_ms` of cumulative backoff; the final
+/// failure is rethrown and counted under `clpp.resil.retry_exhausted` (so a
+/// supervisor restart storm is visible as a rate, not just log noise).
+/// Returns whatever `fn` returns.
 template <typename Fn>
 auto with_retry(const char* what, Fn&& fn, RetryPolicy policy = {}) -> decltype(fn()) {
   std::uint64_t jitter_state = policy.jitter_seed;
+  double elapsed_ms = 0.0;
   for (int attempt = 1;; ++attempt) {
     try {
       return fn();
     } catch (const IoError& e) {
-      if (attempt >= policy.max_attempts) throw;
+      if (attempt >= policy.max_attempts) {
+        detail::note_exhausted(what, attempt, elapsed_ms, "max_attempts");
+        throw;
+      }
       const double delay = detail::backoff_delay_ms(policy, attempt, jitter_state);
+      if (policy.max_elapsed_ms > 0.0 &&
+          elapsed_ms + delay > policy.max_elapsed_ms) {
+        detail::note_exhausted(what, attempt, elapsed_ms, "max_elapsed_ms");
+        throw;
+      }
       detail::note_retry(what, attempt, e, delay);
       detail::sleep_ms(delay);
+      elapsed_ms += delay;
     }
   }
 }

@@ -1,8 +1,34 @@
 #include "serve/queue.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace clpp::serve {
+
+namespace {
+
+/// Fails the futures of requests whose deadline passed while they were
+/// queued. Runs outside the queue lock: set_exception wakes waiters.
+void drop_expired(std::vector<PendingRequest>& expired) {
+  const auto error = std::make_exception_ptr(
+      ServeDeadline("request deadline expired while queued"));
+  for (PendingRequest& request : expired) {
+    obs::flight_record("serve.deadline_drop",
+                       static_cast<std::int64_t>(request.trace.trace_id));
+    request.result.set_exception(error);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& dropped =
+        obs::metrics().counter("clpp.serve.deadline_dropped");
+    dropped.add(expired.size());
+  }
+}
+
+}  // namespace
 
 RequestQueue::RequestQueue(std::size_t capacity, OverflowPolicy policy)
     : capacity_(capacity), policy_(policy) {
@@ -42,15 +68,28 @@ std::vector<PendingRequest> RequestQueue::pop_batch(std::size_t max_batch,
       });
     }
     if (items_.empty()) continue;  // another worker raced us to the items
-    const std::size_t count = std::min(max_batch, items_.size());
+    // Collection prunes requests that sat past their deadline: they must
+    // not burn a batch slot (the client stopped waiting), so expired items
+    // are siphoned off while the batch keeps filling to max_batch.
+    const std::uint64_t now_ns = obs::Tracer::now_ns();
     std::vector<PendingRequest> batch;
-    batch.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      batch.push_back(std::move(items_.front()));
+    std::vector<PendingRequest> expired;
+    batch.reserve(std::min(max_batch, items_.size()));
+    while (batch.size() < max_batch && !items_.empty()) {
+      PendingRequest request = std::move(items_.front());
       items_.pop_front();
+      if (request.deadline_ns != 0 && request.deadline_ns < now_ns)
+        expired.push_back(std::move(request));
+      else
+        batch.push_back(std::move(request));
     }
     not_full_.notify_all();
-    return batch;
+    if (expired.empty()) return batch;  // common path: nothing to prune
+    deadline_dropped_.fetch_add(expired.size(), std::memory_order_relaxed);
+    lock.unlock();
+    drop_expired(expired);
+    if (!batch.empty()) return batch;
+    lock.lock();  // everything had expired: go back to waiting
   }
 }
 

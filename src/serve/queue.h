@@ -9,6 +9,7 @@
 // falls out of the locking for free).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +33,10 @@ struct PendingRequest {
   std::promise<ServedAdvice> result;
   obs::TraceContext trace;
   std::uint64_t enqueue_ns = 0;
+  /// Absolute steady-clock deadline (same clock as enqueue_ns); 0 = none.
+  /// A request still queued past this point is dropped at dequeue time —
+  /// its future fails with ServeDeadline instead of burning a batch slot.
+  std::uint64_t deadline_ns = 0;
 };
 
 /// Bounded MPMC queue with reject-vs-block overflow and drain-on-close.
@@ -46,10 +51,18 @@ class RequestQueue {
 
   /// Blocks until at least one request is pending (or the queue closes),
   /// then collects up to `max_batch` requests, waiting at most
-  /// `max_delay_us` for stragglers. Returns an empty vector only when the
-  /// queue is closed *and* fully drained — the workers' exit signal.
+  /// `max_delay_us` for stragglers. Requests whose deadline already passed
+  /// are pruned during collection: their futures fail with ServeDeadline,
+  /// `deadline_dropped()` counts them, and they never occupy a batch slot.
+  /// Returns an empty vector only when the queue is closed *and* fully
+  /// drained — the workers' exit signal.
   std::vector<PendingRequest> pop_batch(std::size_t max_batch,
                                         std::uint64_t max_delay_us);
+
+  /// Requests dropped at dequeue time because their deadline had expired.
+  std::uint64_t deadline_dropped() const {
+    return deadline_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Stops accepting pushes and wakes every waiter; poppers drain the
   /// remaining items.
@@ -67,6 +80,7 @@ class RequestQueue {
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
+  std::atomic<std::uint64_t> deadline_dropped_{0};
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -47,6 +47,14 @@ class ServeShutdown : public Error {
   explicit ServeShutdown(const std::string& what) : Error(what) {}
 };
 
+/// Set on futures of requests whose deadline expired while they were still
+/// queued: the scheduler drops them at dequeue time instead of spending a
+/// batch slot on an answer nobody is waiting for.
+class ServeDeadline : public Error {
+ public:
+  explicit ServeDeadline(const std::string& what) : Error(what) {}
+};
+
 /// Scheduler knobs. Defaults favour throughput at interactive latency.
 struct ServeConfig {
   /// Largest batch one worker collects per inference pass. Shares
@@ -110,6 +118,10 @@ struct ServeStats {
   /// forward pass: `advise_batch` runs each *distinct* snippet of a batch
   /// once (advice is a pure function of the code text).
   std::uint64_t coalesced = 0;
+  /// Requests whose deadline expired while queued, dropped at dequeue time
+  /// (their futures fail with ServeDeadline; counted separately from
+  /// `failed`, which covers inference errors).
+  std::uint64_t deadline_dropped = 0;
 
   /// Average rows per inference pass (0 when no batch ran yet).
   double mean_batch_rows() const;

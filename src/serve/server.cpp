@@ -74,12 +74,14 @@ InferenceServer::~InferenceServer() {
   }
 }
 
-std::future<ServedAdvice> InferenceServer::submit(std::string code) {
+std::future<ServedAdvice> InferenceServer::submit(std::string code,
+                                                  std::uint64_t deadline_ns) {
   if (stopped_.load(std::memory_order_acquire))
     throw ServeShutdown("InferenceServer::submit after shutdown");
   resil::fault_point("serve.enqueue");
   PendingRequest request;
   request.code = std::move(code);
+  request.deadline_ns = deadline_ns;
   // Mint the request's trace context unconditionally: the trace id rides
   // back in the response (and tags flight-recorder events) even when span
   // tracing is off. Minting is a wait-free counter mix, ~free.
@@ -277,6 +279,7 @@ ServeStats InferenceServer::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.batch_rows = batch_rows_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.deadline_dropped = queue_.deadline_dropped();
   return stats;
 }
 
@@ -295,6 +298,7 @@ Json InferenceServer::stats_json() const {
   out["batches"] = static_cast<std::int64_t>(snapshot.batches);
   out["batch_rows"] = static_cast<std::int64_t>(snapshot.batch_rows);
   out["coalesced"] = static_cast<std::int64_t>(snapshot.coalesced);
+  out["deadline_dropped"] = static_cast<std::int64_t>(snapshot.deadline_dropped);
   out["coalesce_rate"] =
       snapshot.batch_rows > 0
           ? static_cast<double>(snapshot.coalesced) /

@@ -40,7 +40,12 @@ class InferenceServer {
   /// ServeOverload (kReject policy, queue full) or ServeShutdown (after
   /// shutdown). A worker-side failure (e.g. an injected fault) surfaces
   /// through the future instead.
-  std::future<ServedAdvice> submit(std::string code);
+  ///
+  /// `deadline_ns` is an absolute steady-clock deadline (obs::Tracer::now_ns
+  /// timebase; 0 = none): a request still queued past it is dropped at
+  /// dequeue time and its future fails with ServeDeadline.
+  std::future<ServedAdvice> submit(std::string code,
+                                   std::uint64_t deadline_ns = 0);
 
   /// Graceful drain: stops accepting new requests, lets the workers serve
   /// everything already queued, joins them, and fails any request that no

@@ -1,0 +1,67 @@
+#include "shard/admission.h"
+
+#include <cmath>
+
+namespace clpp::shard {
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  if (now_ns <= last_ns_) return;
+  const double elapsed_s = static_cast<double>(now_ns - last_ns_) / 1e9;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_take(std::uint64_t now_ns) {
+  refill(now_ns);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+std::uint64_t TokenBucket::retry_after_ms(std::uint64_t now_ns) const {
+  TokenBucket probe = *this;
+  probe.refill(now_ns);
+  if (probe.tokens_ >= 1.0) return 0;
+  if (rate_ <= 0.0) return 1000;  // no refill ever; a fixed polite hint
+  const double missing = 1.0 - probe.tokens_;
+  return static_cast<std::uint64_t>(std::ceil(missing / rate_ * 1e3));
+}
+
+AdmissionDecision AdmissionController::admit(const std::string& client,
+                                             std::uint32_t deadline_ms,
+                                             std::uint64_t now_ns,
+                                             std::size_t inflight) {
+  AdmissionDecision decision;
+  const std::uint32_t budget_ms =
+      deadline_ms != 0 ? deadline_ms : config_.default_deadline_ms;
+  if (budget_ms != 0)
+    decision.deadline_ns = now_ns + static_cast<std::uint64_t>(budget_ms) * 1'000'000ULL;
+
+  if (inflight >= config_.max_inflight) {
+    decision.verdict = Admit::kOverloaded;
+    // The backlog drains at whatever rate the shards serve; without a
+    // measured rate the honest hint is "come back after one batch window".
+    decision.retry_after_ms = 50;
+    ++stats_.overloaded;
+    return decision;
+  }
+
+  if (config_.quota_rps > 0.0) {
+    if (buckets_.size() >= config_.max_clients &&
+        buckets_.find(client) == buckets_.end())
+      buckets_.clear();  // coarse reset: bounded memory beats per-id fairness
+    auto [it, inserted] = buckets_.try_emplace(
+        client, config_.quota_rps, config_.quota_burst, now_ns);
+    if (!it->second.try_take(now_ns)) {
+      decision.verdict = Admit::kOverQuota;
+      decision.retry_after_ms = it->second.retry_after_ms(now_ns);
+      ++stats_.over_quota;
+      return decision;
+    }
+  }
+
+  ++stats_.accepted;
+  return decision;
+}
+
+}  // namespace clpp::shard

@@ -1,0 +1,97 @@
+// Admission control for the sharded serving front end: per-client token
+// buckets, an in-flight ceiling, and deadline-aware drop of work that is
+// already dead on arrival (DESIGN.md §12).
+//
+// The controller is deliberately pure: every decision is a function of the
+// injected `now_ns` (obs::Tracer::now_ns timebase), so tests replay exact
+// admission schedules without sleeping. It is used from the single-threaded
+// supervisor/listener event loop and is not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace clpp::shard {
+
+struct AdmissionConfig {
+  /// Steady-state tokens per second granted to each client id; 0 disables
+  /// quota enforcement entirely.
+  double quota_rps = 0.0;
+  /// Bucket capacity: how many requests a client may burst above the
+  /// steady-state rate before `overloaded` responses start.
+  double quota_burst = 16.0;
+  /// Total accepted-but-unanswered requests the front end will hold across
+  /// all clients; beyond it every submit sheds with `overloaded`.
+  std::size_t max_inflight = 1024;
+  /// Deadline applied to requests whose frame carries none (0 = none).
+  std::uint32_t default_deadline_ms = 0;
+  /// Distinct client buckets tracked before the table resets (bounds the
+  /// memory a client-id-spraying peer can pin).
+  std::size_t max_clients = 4096;
+};
+
+/// Classic token bucket, refilled lazily from elapsed time.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst, std::uint64_t now_ns)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst), last_ns_(now_ns) {}
+
+  /// Refills from elapsed time, then takes one token if available.
+  bool try_take(std::uint64_t now_ns);
+
+  /// Milliseconds until one token will be available (0 when one already is).
+  std::uint64_t retry_after_ms(std::uint64_t now_ns) const;
+
+ private:
+  void refill(std::uint64_t now_ns);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+/// Admission verdict for one request.
+enum class Admit {
+  kAccept,      ///< dispatch it
+  kOverQuota,   ///< client exceeded its token bucket — shed with retry_after
+  kOverloaded,  ///< global in-flight ceiling reached — shed with retry_after
+  kExpired,     ///< deadline already passed on arrival — drop, never batch
+};
+
+struct AdmissionDecision {
+  Admit verdict = Admit::kAccept;
+  /// Populated for kOverQuota/kOverloaded: the client's backoff hint.
+  std::uint64_t retry_after_ms = 0;
+  /// Absolute deadline (now + request or default budget); 0 = none.
+  std::uint64_t deadline_ns = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  /// Decides one request. `deadline_ms` is the frame-header budget relative
+  /// to now (0 = use the configured default); `inflight` is the caller's
+  /// current accepted-but-unanswered count.
+  AdmissionDecision admit(const std::string& client, std::uint32_t deadline_ms,
+                          std::uint64_t now_ns, std::size_t inflight);
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t over_quota = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t expired = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::map<std::string, TokenBucket> buckets_;
+  Stats stats_;
+};
+
+}  // namespace clpp::shard

@@ -1,0 +1,166 @@
+#include "shard/frame.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace clpp::shard {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+/// Blocks until `fd` reports the given poll events (read or write side).
+bool wait_fd(int fd, short events) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) return true;
+    if (rc < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+/// Reads exactly `n` bytes. Returns n on success, 0 when EOF struck before
+/// the first byte, -1 on mid-read EOF or error.
+ssize_t read_exact(int fd, char* buf, std::size_t n, std::string* error) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::read(fd, buf + got, n - got);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (got == 0) return 0;
+      if (error) *error = "EOF mid-frame (" + std::to_string(got) + "/" +
+                          std::to_string(n) + " bytes)";
+      return -1;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (wait_fd(fd, POLLIN)) continue;
+      if (error) *error = "poll failed while reading frame";
+      return -1;
+    }
+    if (error) *error = std::string("read failed: ") + std::strerror(errno);
+    return -1;
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  CLPP_CHECK_MSG(!frame.payload.empty(), "frame payload must be non-empty");
+  CLPP_CHECK_MSG(frame.payload.size() <= kMaxFramePayload,
+                 "frame payload " << frame.payload.size()
+                                  << " bytes exceeds the "
+                                  << kMaxFramePayload << "-byte cap");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32_le(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32_le(out, frame.deadline_ms);
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, so a long-lived keep-alive
+  // connection doesn't grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame* out, std::string* error) {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Result::kNeedMore;
+  const char* header = buffer_.data() + consumed_;
+  const std::uint32_t len = get_u32_le(header);
+  if (len == 0 || len > kMaxFramePayload) {
+    if (error)
+      *error = "bad frame length " + std::to_string(len) + " (cap " +
+               std::to_string(kMaxFramePayload) + ")";
+    buffer_.clear();  // length prefix is garbage: the stream cannot resync
+    consumed_ = 0;
+    return Result::kBadFrame;
+  }
+  if (available < kFrameHeaderBytes + len) return Result::kNeedMore;
+  out->deadline_ms = get_u32_le(header + 4);
+  out->payload.assign(header + kFrameHeaderBytes, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return Result::kFrame;
+}
+
+ReadStatus read_frame_fd(int fd, Frame* out, std::string* error) {
+  char header[kFrameHeaderBytes];
+  const ssize_t rc = read_exact(fd, header, kFrameHeaderBytes, error);
+  if (rc == 0) return ReadStatus::kEof;
+  if (rc < 0) {
+    if (error && error->rfind("EOF mid-frame", 0) == 0)
+      *error = "truncated frame header (" + *error + ")";
+    return ReadStatus::kError;
+  }
+  const std::uint32_t len = get_u32_le(header);
+  if (len == 0 || len > kMaxFramePayload) {
+    if (error)
+      *error = "bad frame length " + std::to_string(len) + " (cap " +
+               std::to_string(kMaxFramePayload) + ")";
+    return ReadStatus::kError;
+  }
+  out->deadline_ms = get_u32_le(header + 4);
+  out->payload.resize(len);
+  if (read_exact(fd, out->payload.data(), len, error) <= 0)
+    return ReadStatus::kError;
+  return ReadStatus::kFrame;
+}
+
+bool write_frame_fd(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-response must surface as EPIPE,
+    // not kill the supervisor with SIGPIPE. Pipes reject send() with
+    // ENOTSOCK; fall back to write() for them.
+    ssize_t rc = ::send(fd, wire.data() + sent, wire.size() - sent,
+                        MSG_NOSIGNAL);
+    if (rc < 0 && errno == ENOTSOCK)
+      rc = ::write(fd, wire.data() + sent, wire.size() - sent);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (wait_fd(fd, POLLOUT)) continue;
+      return false;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace clpp::shard

@@ -1,0 +1,86 @@
+// Length-prefixed JSON frames: the wire format of the sharded serving
+// front end (clpp::shard, DESIGN.md §12).
+//
+// A frame is an 8-byte little-endian header followed by the payload:
+//
+//   u32 payload_len   bytes of JSON that follow (1 .. kMaxFramePayload)
+//   u32 deadline_ms   request deadline budget, milliseconds from receipt
+//                     (0 = none; response frames leave it 0)
+//
+// The payload is exactly the JSON-lines schema clpp-serve speaks on stdin
+// ({"id":..,"code":..} / {"cmd":"stats"} requests, verdict/error objects as
+// responses), so a frame is "one clpp-serve line plus a deadline".
+//
+// Robustness contract (exercised by the hostile-input tests in
+// tests/shard_test.cpp): a decoder fed arbitrary bytes never reads out of
+// bounds, never allocates more than kMaxFramePayload per frame, and
+// classifies every violation — truncated header, oversize or zero length,
+// mid-frame EOF — as a recoverable error the connection loop can answer
+// with one error frame instead of dying.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clpp::shard {
+
+/// Largest payload a peer may send. A 1 MiB snippet is far beyond anything
+/// the advisor tokenizes; bigger lengths are treated as protocol garbage
+/// (or an attack) rather than honored with an allocation.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+/// Header bytes preceding every payload.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// One decoded frame: the JSON payload plus the header's deadline budget.
+struct Frame {
+  std::string payload;
+  std::uint32_t deadline_ms = 0;
+};
+
+/// Serializes header + payload. Throws InvalidArgument when the payload is
+/// empty or exceeds kMaxFramePayload.
+std::string encode_frame(const Frame& frame);
+
+/// Incremental decoder for a byte stream of frames (one per connection).
+/// Feed whatever arrived, then drain complete frames with `next`.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< one frame decoded into *out
+    kBadFrame,  ///< header violates the protocol; stream position is lost
+  };
+
+  void feed(const char* data, std::size_t n);
+
+  /// Decodes the next buffered frame. After kBadFrame the buffer is
+  /// discarded (a corrupt length prefix makes resynchronization
+  /// impossible); `error` receives a one-line description.
+  Result next(Frame* out, std::string* error);
+
+  /// Bytes buffered but not yet decoded.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Outcome of a blocking single-frame read.
+enum class ReadStatus {
+  kFrame,  ///< one complete frame read
+  kEof,    ///< clean end of stream at a frame boundary
+  kError,  ///< truncated header, mid-frame EOF, oversize length, or I/O error
+};
+
+/// Blocking read of exactly one frame from `fd` (EINTR-retried; waits out
+/// EAGAIN on nonblocking fds). `error` receives a description on kError.
+ReadStatus read_frame_fd(int fd, Frame* out, std::string* error);
+
+/// Writes one encoded frame to `fd`, looping over partial writes and
+/// waiting out EAGAIN. Uses send(MSG_NOSIGNAL) on sockets so a dead peer
+/// yields `false` instead of SIGPIPE. Returns false on any write error.
+bool write_frame_fd(int fd, const Frame& frame);
+
+}  // namespace clpp::shard

@@ -1,0 +1,604 @@
+#include "shard/supervisor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/flight.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "resil/fault.h"
+#include "shard/worker.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace clpp::shard {
+
+namespace {
+
+void count(const char* name, std::uint64_t n = 1) {
+  if (!obs::enabled() || n == 0) return;
+  obs::metrics().counter(name).add(n);
+}
+
+std::string flight_path(const std::string& dir, std::size_t index,
+                        std::uint64_t generation) {
+  return dir + "/shard" + std::to_string(index) + ".gen" +
+         std::to_string(generation) + ".flight.jsonl";
+}
+
+/// Remaining deadline budget as a frame-header value: the worker re-anchors
+/// it on its own clock, so only the *budget* crosses the process boundary.
+std::uint32_t remaining_ms(std::uint64_t deadline_ns, std::uint64_t now_ns) {
+  if (deadline_ns == 0) return 0;
+  const std::uint64_t remaining = (deadline_ns - now_ns) / 1'000'000ULL;
+  // A not-yet-expired deadline rounds up to 1ms so it never turns into the
+  // frame encoding for "no deadline".
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, remaining));
+}
+
+std::int64_t payload_id(const std::string& payload) {
+  try {
+    return Json::parse(payload).get_int("id", -1);
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(const core::ParallelAdvisor& advisor,
+                                 SupervisorConfig config)
+    : advisor_(advisor),
+      config_(std::move(config)),
+      admission_(config_.admission) {
+  CLPP_CHECK_MSG(config_.shards > 0, "supervisor needs at least one shard");
+  shards_.resize(config_.shards);
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i].jitter_state = config_.restart.jitter_seed + i;
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  for (Shard& shard : shards_) {
+    if (shard.fd != -1) ::close(shard.fd);
+    shard.fd = -1;
+    if (shard.pid != -1 && !shard.reaped) {
+      ::kill(shard.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(shard.pid, &status, 0);
+    }
+    shard.pid = -1;
+  }
+}
+
+void ShardSupervisor::start() {
+  CLPP_CHECK_MSG(!started_, "supervisor already started");
+  started_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) spawn(i);
+}
+
+void ShardSupervisor::set_on_response(Completion on_response) {
+  on_response_ = std::move(on_response);
+}
+
+void ShardSupervisor::also_close_in_child(int fd) {
+  close_in_child_.push_back(fd);
+}
+
+void ShardSupervisor::spawn(std::size_t index) {
+  Shard& shard = shards_[index];
+  int sv[2];
+  CLPP_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                 "socketpair failed: " << std::strerror(errno));
+  shard.generation += 1;
+  const std::uint64_t generation = shard.generation;
+  const pid_t pid = ::fork();
+  CLPP_CHECK_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    // Child. Drop every parent-side fd we know about: an inherited copy of
+    // another shard's pipe would keep that pipe open after its owner dies
+    // and defeat the supervisor's EOF death detection.
+    ::close(sv[0]);
+    for (const Shard& other : shards_)
+      if (other.fd != -1) ::close(other.fd);
+    for (int fd : close_in_child_) ::close(fd);
+    // The injected shard.batch crash models ONE fault event. A replacement
+    // worker inherits the parent's (unconsumed) plan and would re-crash at
+    // the same arrival forever, so restarts come up with the seams cleared.
+    if (generation > 1) resil::clear_fault_plan();
+    WorkerOptions options;
+    options.serve = config_.serve;
+    options.shard_index = index;
+    if (!config_.flight_dir.empty())
+      options.flight_out = flight_path(config_.flight_dir, index, generation);
+    int rc = kWorkerErrorExit;
+    try {
+      rc = run_shard_worker(sv[1], advisor_, options);
+    } catch (...) {
+    }
+    std::_Exit(rc);
+  }
+  // Parent.
+  ::close(sv[1]);
+  const int flags = ::fcntl(sv[0], F_GETFL, 0);
+  ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+  shard.pid = pid;
+  shard.fd = sv[0];
+  shard.decoder = FrameDecoder();
+  shard.reaped = false;
+  shard.exit_status = 0;
+  shard.restart_due_ns = 0;
+  if (generation > 1) {
+    shard.restarts += 1;
+    count("clpp.shard.restarts");
+  }
+  if (obs::enabled())
+    obs::metrics().gauge("clpp.shard.live").set(
+        static_cast<double>(live_shards()));
+  obs::log_info("shard", "shard up",
+                [&] {
+                  Json f = Json::object();
+                  f["index"] = index;
+                  f["pid"] = static_cast<std::int64_t>(pid);
+                  f["generation"] = static_cast<std::int64_t>(generation);
+                  return f;
+                }());
+  flush_backlog();
+}
+
+AdmissionDecision ShardSupervisor::submit(std::string payload,
+                                          const std::string& client,
+                                          std::uint32_t deadline_ms,
+                                          std::uint64_t* ticket_out) {
+  CLPP_CHECK_MSG(started_, "submit before start()");
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  AdmissionDecision decision =
+      admission_.admit(client, deadline_ms, now_ns, inflight_);
+  switch (decision.verdict) {
+    case Admit::kOverQuota:
+      count("clpp.shard.over_quota");
+      return decision;
+    case Admit::kOverloaded:
+      count("clpp.shard.overloaded");
+      return decision;
+    case Admit::kExpired:
+    case Admit::kAccept:
+      break;
+  }
+  Pending pending;
+  pending.ticket = next_ticket_++;
+  pending.payload = std::move(payload);
+  pending.deadline_ns = decision.deadline_ns;
+  if (ticket_out) *ticket_out = pending.ticket;
+  ++inflight_;
+  route(std::move(pending), /*is_redispatch=*/false);
+  return decision;
+}
+
+void ShardSupervisor::route(Pending pending, bool is_redispatch) {
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  if (pending.deadline_ns != 0 && now_ns >= pending.deadline_ns) {
+    ++expired_;
+    count("clpp.shard.expired");
+    complete(pending.ticket,
+             error_json(payload_id(pending.payload), "deadline_exceeded")
+                 .dump());
+    return;
+  }
+  if (is_redispatch) {
+    ++redispatched_;
+    count("clpp.shard.redispatched");
+  }
+  // Round-robin over live shards; a failed write marks the target dead and
+  // the loop moves on. handle_death() may have requeued other work by the
+  // time we return — that work went through route() itself, so ordering
+  // stays per-request FIFO per pipe.
+  for (std::size_t tries = 0; tries < shards_.size(); ++tries) {
+    const std::size_t index = rr_next_++ % shards_.size();
+    if (shards_[index].fd == -1) continue;
+    if (dispatch_to(index, pending)) return;
+  }
+  // No shard could take it right now.
+  const bool any_hope =
+      !draining_ &&
+      std::any_of(shards_.begin(), shards_.end(),
+                  [](const Shard& s) { return !s.retired; });
+  if (any_hope) {
+    backlog_.push_back(std::move(pending));
+    return;
+  }
+  ++unavailable_;
+  count("clpp.shard.unavailable");
+  complete(pending.ticket,
+           error_json(payload_id(pending.payload), "unavailable").dump());
+}
+
+bool ShardSupervisor::dispatch_to(std::size_t index, Pending& pending) {
+  Shard& shard = shards_[index];
+  Frame frame;
+  frame.payload = pending.payload;  // keep a copy for possible redispatch
+  frame.deadline_ms = remaining_ms(pending.deadline_ns, obs::Tracer::now_ns());
+  if (!write_frame_fd(shard.fd, frame)) {
+    obs::log_warn("shard", "dispatch write failed", [&] {
+      Json f = Json::object();
+      f["index"] = index;
+      return f;
+    }());
+    handle_death(index);
+    return false;
+  }
+  shard.pending.push_back(std::move(pending));
+  return true;
+}
+
+void ShardSupervisor::flush_backlog() {
+  std::deque<Pending> parked;
+  parked.swap(backlog_);
+  while (!parked.empty()) {
+    Pending pending = std::move(parked.front());
+    parked.pop_front();
+    route(std::move(pending), /*is_redispatch=*/true);
+  }
+}
+
+void ShardSupervisor::complete(std::uint64_t ticket, std::string payload) {
+  CLPP_CHECK_MSG(inflight_ > 0, "completion without an inflight request");
+  --inflight_;
+  ++turn_completions_;
+  if (on_response_) on_response_(ticket, std::move(payload));
+}
+
+void ShardSupervisor::drain_fd(std::size_t index) {
+  Shard& shard = shards_[index];
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t rc = ::read(shard.fd, buf, sizeof buf);
+    if (rc > 0) {
+      shard.decoder.feed(buf, static_cast<std::size_t>(rc));
+      Frame frame;
+      std::string error;
+      FrameDecoder::Result result;
+      while ((result = shard.decoder.next(&frame, &error)) ==
+             FrameDecoder::Result::kFrame) {
+        if (shard.pending.empty()) {
+          obs::log_error("shard", "response without a pending request", [&] {
+            Json f = Json::object();
+            f["index"] = index;
+            return f;
+          }());
+          continue;
+        }
+        Pending pending = std::move(shard.pending.front());
+        shard.pending.pop_front();
+        shard.served += 1;
+        // A served response proves the worker is healthy: reset its
+        // crash-loop backoff streak so an isolated fault next week gets
+        // the full restart budget again.
+        shard.restart_attempt = 0;
+        shard.backoff_elapsed_ms = 0.0;
+        complete(pending.ticket, std::move(frame.payload));
+      }
+      if (result == FrameDecoder::Result::kBadFrame) {
+        // The worker wrote garbage on its own pipe — treat it like a crash.
+        obs::log_error("shard", "corrupt response frame", [&] {
+          Json f = Json::object();
+          f["index"] = index;
+          f["error"] = error;
+          return f;
+        }());
+        handle_death(index);
+        return;
+      }
+      continue;
+    }
+    if (rc == 0) {  // EOF: the worker is gone
+      handle_death(index);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    obs::log_error("shard", "pipe read failed", [&] {
+      Json f = Json::object();
+      f["index"] = index;
+      f["errno"] = std::string(std::strerror(errno));
+      return f;
+    }());
+    handle_death(index);
+    return;
+  }
+}
+
+void ShardSupervisor::handle_death(std::size_t index) {
+  Shard& shard = shards_[index];
+  if (shard.fd == -1) return;  // already handled
+
+  // Responses the worker wrote before dying are still buffered in the
+  // socket; deliver every complete frame before declaring its pending work
+  // lost. The child's end is closed, so this read loop ends at EOF, never
+  // EAGAIN-forever.
+  {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t rc = ::read(shard.fd, buf, sizeof buf);
+      if (rc > 0) {
+        shard.decoder.feed(buf, static_cast<std::size_t>(rc));
+        continue;
+      }
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Process not reaped yet but nothing buffered: poll once for the
+        // hangup so we never spin; the child is exiting.
+        struct pollfd pfd{shard.fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 100) > 0) continue;
+      }
+      break;
+    }
+    Frame frame;
+    std::string error;
+    while (shard.decoder.next(&frame, &error) ==
+           FrameDecoder::Result::kFrame) {
+      if (shard.pending.empty()) continue;
+      Pending pending = std::move(shard.pending.front());
+      shard.pending.pop_front();
+      shard.served += 1;
+      complete(pending.ticket, std::move(frame.payload));
+    }
+  }
+
+  ::close(shard.fd);
+  shard.fd = -1;
+  if (!shard.reaped && shard.pid != -1) {
+    int status = 0;
+    if (::waitpid(shard.pid, &status, 0) == shard.pid) {
+      shard.reaped = true;
+      shard.exit_status = status;
+    }
+  }
+  const int status = shard.exit_status;
+  const bool faulted =
+      WIFSIGNALED(status) ||
+      (WIFEXITED(status) && WEXITSTATUS(status) == kWorkerFaultExit);
+  if (faulted) shard.faults += 1;
+  shard.pid = -1;
+  ++deaths_;
+  count("clpp.shard.deaths");
+  obs::flight_record("shard.death", static_cast<std::int64_t>(index),
+                     static_cast<std::int64_t>(shard.pending.size()));
+  if (obs::enabled())
+    obs::metrics().gauge("clpp.shard.live").set(
+        static_cast<double>(live_shards()));
+
+  // Harvest the dead generation's flight dump (the only forensics an
+  // abruptly-dead process leaves behind).
+  std::string dump;
+  if (!config_.flight_dir.empty()) {
+    const std::string path =
+        flight_path(config_.flight_dir, index, shard.generation);
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && st.st_size > 0) {
+      ++flight_dumps_;
+      dump = path;
+    }
+  }
+  obs::log_warn("shard", "shard died", [&] {
+    Json f = Json::object();
+    f["index"] = index;
+    f["status"] = static_cast<std::int64_t>(status);
+    f["pending"] = shard.pending.size();
+    f["faulted"] = faulted;
+    if (!dump.empty()) f["flight_dump"] = dump;
+    return f;
+  }());
+
+  // Replay is safe (advice is a pure function of the code text), so every
+  // accepted-but-unanswered request just goes around again.
+  std::deque<Pending> orphans;
+  orphans.swap(shard.pending);
+  while (!orphans.empty()) {
+    Pending pending = std::move(orphans.front());
+    orphans.pop_front();
+    route(std::move(pending), /*is_redispatch=*/true);
+  }
+
+  if (draining_ || shard.retired) return;
+  // Schedule the restart with the same deterministic backoff contract as
+  // resil::with_retry: bounded attempts AND a bounded cumulative scheduled
+  // delay, both reset whenever the shard proves healthy.
+  shard.restart_attempt += 1;
+  if (shard.restart_attempt >= config_.restart.max_attempts) {
+    shard.retired = true;
+    resil::detail::note_exhausted("shard.restart", shard.restart_attempt,
+                                  shard.backoff_elapsed_ms, "max_attempts");
+    return;
+  }
+  const double delay = resil::detail::backoff_delay_ms(
+      config_.restart, shard.restart_attempt, shard.jitter_state);
+  if (config_.restart.max_elapsed_ms > 0.0 &&
+      shard.backoff_elapsed_ms + delay > config_.restart.max_elapsed_ms) {
+    shard.retired = true;
+    resil::detail::note_exhausted("shard.restart", shard.restart_attempt,
+                                  shard.backoff_elapsed_ms, "max_elapsed_ms");
+    return;
+  }
+  shard.backoff_elapsed_ms += delay;
+  shard.restart_due_ns =
+      obs::Tracer::now_ns() +
+      static_cast<std::uint64_t>(delay * 1'000'000.0) + 1;
+}
+
+std::size_t ShardSupervisor::pump(int timeout_ms) {
+  if (!started_) return 0;
+  turn_completions_ = 0;
+
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  // Bring up any shard whose backoff expired; cap the poll timeout at the
+  // next due restart so a quiet pipe never delays recovery.
+  int wait_ms = timeout_ms;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (draining_ || shard.restart_due_ns == 0 || shard.fd != -1) continue;
+    if (now_ns >= shard.restart_due_ns) {
+      spawn(i);
+      continue;
+    }
+    const int due_ms = static_cast<int>(
+        (shard.restart_due_ns - now_ns) / 1'000'000ULL + 1);
+    if (wait_ms < 0 || due_ms < wait_ms) wait_ms = due_ms;
+  }
+
+  std::vector<struct pollfd> fds;
+  std::vector<std::size_t> owner;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].fd == -1) continue;
+    fds.push_back({shards_[i].fd, POLLIN, 0});
+    owner.push_back(i);
+  }
+  if (!fds.empty()) {
+    const int rc = ::poll(fds.data(), fds.size(), wait_ms);
+    if (rc > 0) {
+      for (std::size_t k = 0; k < fds.size(); ++k)
+        if (fds[k].revents & (POLLIN | POLLHUP | POLLERR))
+          if (shards_[owner[k]].fd != -1) drain_fd(owner[k]);
+    }
+  }
+
+  // Belt-and-braces: a SIGKILLed worker whose pipe carried no traffic this
+  // turn still gets noticed here rather than waiting for the next write.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (shard.pid == -1 || shard.reaped) continue;
+    int status = 0;
+    const pid_t rc = ::waitpid(shard.pid, &status, WNOHANG);
+    if (rc == shard.pid) {
+      shard.reaped = true;
+      shard.exit_status = status;
+      if (shard.fd != -1) handle_death(i);
+    }
+  }
+  return turn_completions_;
+}
+
+void ShardSupervisor::drain() {
+  if (!started_ || draining_) return;
+  draining_ = true;
+  // EOF is the worker's graceful-drain signal: it answers what it already
+  // read, shuts its server down, and exits 0.
+  for (Shard& shard : shards_)
+    if (shard.fd != -1) ::shutdown(shard.fd, SHUT_WR);
+  while (inflight_ > 0 && live_shards() > 0) pump(200);
+  // Anything still unanswered has no shard left to serve it.
+  std::deque<Pending> leftovers;
+  leftovers.swap(backlog_);
+  for (Shard& shard : shards_) {
+    while (!shard.pending.empty()) {
+      leftovers.push_back(std::move(shard.pending.front()));
+      shard.pending.pop_front();
+    }
+  }
+  while (!leftovers.empty()) {
+    Pending pending = std::move(leftovers.front());
+    leftovers.pop_front();
+    ++unavailable_;
+    complete(pending.ticket,
+             error_json(payload_id(pending.payload), "unavailable").dump());
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (shard.fd != -1) {
+      ::close(shard.fd);
+      shard.fd = -1;
+    }
+    if (shard.pid != -1 && !shard.reaped) {
+      int status = 0;
+      ::waitpid(shard.pid, &status, 0);
+      shard.reaped = true;
+      shard.exit_status = status;
+    }
+    shard.pid = -1;
+  }
+}
+
+std::vector<int> ShardSupervisor::pipe_fds() const {
+  std::vector<int> fds;
+  for (const Shard& shard : shards_)
+    if (shard.fd != -1) fds.push_back(shard.fd);
+  return fds;
+}
+
+int ShardSupervisor::next_restart_ms() const {
+  if (draining_) return -1;
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  int best = -1;
+  for (const Shard& shard : shards_) {
+    if (shard.restart_due_ns == 0 || shard.fd != -1) continue;
+    const int due_ms =
+        shard.restart_due_ns <= now_ns
+            ? 0
+            : static_cast<int>((shard.restart_due_ns - now_ns) / 1'000'000ULL +
+                               1);
+    if (best < 0 || due_ms < best) best = due_ms;
+  }
+  return best;
+}
+
+std::size_t ShardSupervisor::inflight() const { return inflight_; }
+
+std::size_t ShardSupervisor::live_shards() const {
+  std::size_t live = 0;
+  for (const Shard& shard : shards_)
+    if (shard.fd != -1) ++live;
+  return live;
+}
+
+pid_t ShardSupervisor::shard_pid(std::size_t i) const {
+  return shards_[i].fd != -1 ? shards_[i].pid : -1;
+}
+
+Json ShardSupervisor::stats_json() const {
+  Json out = Json::object();
+  out["schema"] = "clpp.shard_stats.v1";
+  out["shards"] = shards_.size();
+  out["live"] = live_shards();
+  out["inflight"] = inflight_;
+  out["backlog"] = backlog_.size();
+  out["deaths"] = deaths_;
+  out["redispatched"] = redispatched_;
+  out["expired"] = expired_;
+  out["unavailable"] = unavailable_;
+  out["flight_dumps"] = flight_dumps_;
+  Json per_shard = Json::array();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    Json row = Json::object();
+    row["index"] = i;
+    row["live"] = shard.fd != -1;
+    row["pid"] = static_cast<std::int64_t>(shard.fd != -1 ? shard.pid : -1);
+    row["restarts"] = shard.restarts;
+    row["served"] = shard.served;
+    row["pending"] = shard.pending.size();
+    row["faults"] = shard.faults;
+    row["retired"] = shard.retired;
+    per_shard.push_back(std::move(row));
+  }
+  out["per_shard"] = std::move(per_shard);
+  const AdmissionController::Stats& stats = admission_.stats();
+  Json admission = Json::object();
+  admission["accepted"] = stats.accepted;
+  admission["over_quota"] = stats.over_quota;
+  admission["overloaded"] = stats.overloaded;
+  admission["expired"] = stats.expired;
+  out["admission"] = std::move(admission);
+  return out;
+}
+
+}  // namespace clpp::shard

@@ -148,6 +148,88 @@ TEST_F(ResilTest, RetryExhaustsAttemptsThenRethrows) {
   EXPECT_EQ(calls, 3);
 }
 
+TEST_F(ResilTest, RetryElapsedBudgetCapsTotalBackoff) {
+  obs::set_enabled(true);
+  const std::uint64_t exhausted_before =
+      obs::metrics().counter("clpp.resil.retry_exhausted").value();
+  // Ten attempts are allowed but the elapsed budget only funds a couple of
+  // 10ms-ish backoffs: the retry loop must give up on the budget, not the
+  // attempt count.
+  resil::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_delay_ms = 10.0;
+  policy.multiplier = 1.0;
+  policy.max_delay_ms = 10.0;
+  policy.max_elapsed_ms = 25.0;
+  int calls = 0;
+  EXPECT_THROW(resil::with_retry(
+                   "test.budget",
+                   [&]() -> int {
+                     ++calls;
+                     throw IoError("permanent");
+                   },
+                   policy),
+               IoError);
+  // Jitter scales each delay into [5, 15) ms, so a 25ms budget funds at
+  // least one and at most four sleeps; the attempt cap (10) is never hit.
+  EXPECT_GE(calls, 2);
+  EXPECT_LE(calls, 5);
+  EXPECT_EQ(
+      obs::metrics().counter("clpp.resil.retry_exhausted").value() -
+          exhausted_before,
+      1u);
+}
+
+TEST_F(ResilTest, RetryBudgetGiveUpPointIsDeterministic) {
+  // The budget is accounted from the *scheduled* jittered delays, not
+  // wall-clock reads, so two runs with one seed agree exactly on when to
+  // give up.
+  resil::RetryPolicy policy;
+  policy.max_attempts = 32;
+  policy.base_delay_ms = 0.01;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 0.05;
+  policy.max_elapsed_ms = 0.12;
+  policy.jitter_seed = 0xfeedULL;
+  auto run = [&policy] {
+    int calls = 0;
+    try {
+      resil::with_retry(
+          "test.replay",
+          [&]() -> int {
+            ++calls;
+            throw IoError("permanent");
+          },
+          policy);
+    } catch (const IoError&) {
+    }
+    return calls;
+  };
+  const int first = run();
+  EXPECT_EQ(run(), first);
+  EXPECT_LT(first, policy.max_attempts);
+}
+
+TEST_F(ResilTest, RetryExhaustedCountsMaxAttemptsToo) {
+  obs::set_enabled(true);
+  const std::uint64_t exhausted_before =
+      obs::metrics().counter("clpp.resil.retry_exhausted").value();
+  int calls = 0;
+  EXPECT_THROW(resil::with_retry(
+                   "test.dead2",
+                   [&]() -> int {
+                     ++calls;
+                     throw IoError("permanent");
+                   },
+                   fast_retry()),
+               IoError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(
+      obs::metrics().counter("clpp.resil.retry_exhausted").value() -
+          exhausted_before,
+      1u);
+}
+
 TEST_F(ResilTest, RetryNeverRetriesParseErrors) {
   // Corruption is deterministic: retrying a checksum mismatch cannot heal it.
   int calls = 0;

@@ -600,5 +600,92 @@ TEST(RequestQueueTest, CloseWakesBlockedPusherAndDrainsPoppers) {
   EXPECT_TRUE(queue.pop_batch(8, 0).empty());
 }
 
+TEST(RequestQueueTest, PopBatchPrunesExpiredWithoutBurningSlots) {
+  RequestQueue queue(16, OverflowPolicy::kBlock);
+  std::vector<std::future<ServedAdvice>> expired_futures;
+  // Three requests whose deadline passed long ago, interleaved with two
+  // live ones — the batch must contain exactly the live pair.
+  for (int i = 0; i < 3; ++i) {
+    PendingRequest request;
+    request.code = "expired";
+    request.deadline_ns = 1;  // epoch of the steady clock: long past
+    expired_futures.push_back(request.result.get_future());
+    ASSERT_TRUE(queue.push(std::move(request)));
+    if (i < 2) {
+      PendingRequest live;
+      live.code = "live";
+      ASSERT_TRUE(queue.push(std::move(live)));
+    }
+  }
+  const std::vector<PendingRequest> batch = queue.pop_batch(8, 0);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const PendingRequest& request : batch)
+    EXPECT_EQ(request.code, "live");
+  EXPECT_EQ(queue.deadline_dropped(), 3u);
+  for (auto& future : expired_futures)
+    EXPECT_THROW(future.get(), ServeDeadline);
+}
+
+TEST(RequestQueueTest, PopBatchKeepsWaitingWhenEveryItemExpired) {
+  // A batch of only-expired requests must not return an empty vector (the
+  // workers' exit signal): the popper drops them and goes back to waiting
+  // until a live request (or close) arrives.
+  RequestQueue queue(16, OverflowPolicy::kBlock);
+  for (int i = 0; i < 4; ++i) {
+    PendingRequest request;
+    request.code = "expired";
+    request.deadline_ns = 1;
+    ASSERT_TRUE(queue.push(std::move(request)));
+  }
+  std::thread late_pusher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    PendingRequest live;
+    live.code = "live";
+    queue.push(std::move(live));
+  });
+  const std::vector<PendingRequest> batch = queue.pop_batch(8, 0);
+  late_pusher.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].code, "live");
+  EXPECT_EQ(queue.deadline_dropped(), 4u);
+}
+
+TEST(ServerTest, ExpiredDeadlineFailsWithServeDeadlineAndCounts) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.workers = 1;
+  InferenceServer server(*advisor, config);
+  // An already-expired deadline is deterministic: whenever the worker
+  // dequeues it, the drop path fires.
+  auto doomed = server.submit(snippets()[0], /*deadline_ns=*/1);
+  EXPECT_THROW(doomed.get(), ServeDeadline);
+  // A deadline-free request on the same server still serves normally.
+  auto served = server.submit(snippets()[1]);
+  EXPECT_NO_THROW(served.get());
+  server.shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_dropped, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  // Deadline drops are their own series, not inference failures.
+  EXPECT_EQ(stats.failed, 0u);
+  const Json json = server.stats_json();
+  EXPECT_EQ(json.at("deadline_dropped").as_int(), 1);
+}
+
+TEST(ServerTest, FarFutureDeadlineNeverDrops) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.workers = 1;
+  InferenceServer server(*advisor, config);
+  const std::uint64_t hour_from_now =
+      obs::Tracer::now_ns() + 3'600'000'000'000ULL;
+  std::vector<std::future<ServedAdvice>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(server.submit(snippets()[i], hour_from_now));
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  server.shutdown();
+  EXPECT_EQ(server.stats().deadline_dropped, 0u);
+}
+
 }  // namespace
 }  // namespace clpp::serve
