@@ -53,11 +53,15 @@ test -s "$OUT_DIR/flight.json" || {
 
 # clpp.shard_loadgen.v1 — socket loadgen against a small sharded front end;
 # the front end's stdout is the bare clpp.shard_stats.v1 stats document it
-# prints after draining on SIGTERM.
+# prints after draining on SIGTERM. A stale port file from an aborted run
+# would point the loadgen at a dead port, so remove it first; the trap keeps
+# a `set -e` abort anywhere below from orphaning the front end.
+rm -f "$OUT_DIR/shard_port"
 "$BIN/clpp-serve" --random-model --no-analysis --no-compar \
   --listen --shards 2 --port-file "$OUT_DIR/shard_port" \
   > "$OUT_DIR/shard_stats.json" &
 SHARD_PID=$!
+trap 'kill "$SHARD_PID" 2>/dev/null || true' EXIT
 i=0
 while [ ! -s "$OUT_DIR/shard_port" ]; do
   i=$((i + 1))
@@ -69,6 +73,7 @@ done
   --stats-out "$OUT_DIR/shard_loadgen.json" >/dev/null
 kill "$SHARD_PID"
 wait "$SHARD_PID" 2>/dev/null || true
+trap - EXIT
 test -s "$OUT_DIR/shard_stats.json" || {
   echo "check_schemas: listen front end printed no stats document" >&2
   exit 1; }

@@ -1,6 +1,7 @@
 // Admission control for the sharded serving front end: per-client token
-// buckets, an in-flight ceiling, and deadline-aware drop of work that is
-// already dead on arrival (DESIGN.md §12).
+// buckets, an in-flight ceiling, and deadline stamping (relative frame
+// budget -> absolute deadline; expiry itself is enforced downstream at
+// route/dequeue time) (DESIGN.md §12).
 //
 // The controller is deliberately pure: every decision is a function of the
 // injected `now_ns` (obs::Tracer::now_ns timebase), so tests replay exact
@@ -52,12 +53,14 @@ class TokenBucket {
   std::uint64_t last_ns_;
 };
 
-/// Admission verdict for one request.
+/// Admission verdict for one request. Deadline expiry is not an admission
+/// verdict: the frame carries a *relative* budget, so work cannot be dead
+/// on arrival — expiry is enforced downstream (supervisor route() before
+/// dispatch, serve-queue prune at dequeue) and counted there.
 enum class Admit {
   kAccept,      ///< dispatch it
   kOverQuota,   ///< client exceeded its token bucket — shed with retry_after
   kOverloaded,  ///< global in-flight ceiling reached — shed with retry_after
-  kExpired,     ///< deadline already passed on arrival — drop, never batch
 };
 
 struct AdmissionDecision {
@@ -82,7 +85,6 @@ class AdmissionController {
     std::uint64_t accepted = 0;
     std::uint64_t over_quota = 0;
     std::uint64_t overloaded = 0;
-    std::uint64_t expired = 0;
   };
   const Stats& stats() const { return stats_; }
 

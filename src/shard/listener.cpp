@@ -86,7 +86,7 @@ void SocketListener::start() {
 }
 
 void SocketListener::run() {
-  while (!stop_) poll_once(200);
+  while (!stop_.load(std::memory_order_relaxed)) poll_once(200);
 }
 
 std::size_t SocketListener::poll_once(int timeout_ms) {
@@ -160,28 +160,39 @@ void SocketListener::accept_ready() {
 }
 
 bool SocketListener::read_ready(std::uint64_t conn_id) {
-  Connection& conn = conns_.at(conn_id);
   char buf[16 * 1024];
   for (;;) {
-    const ssize_t rc = ::read(conn.fd, buf, sizeof buf);
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return true;  // closed by a handler
+    const ssize_t rc = ::read(it->second.fd, buf, sizeof buf);
     if (rc > 0) {
-      conn.decoder.feed(buf, static_cast<std::size_t>(rc));
-      Frame frame;
-      std::string error;
-      FrameDecoder::Result result;
-      while ((result = conn.decoder.next(&frame, &error)) ==
-             FrameDecoder::Result::kFrame)
-        handle_frame(conn_id, std::move(frame));
-      if (result == FrameDecoder::Result::kBadFrame) {
-        // The stream cannot resync after a garbage length prefix: answer
-        // once, then drop only this connection — the accept loop lives on.
-        ++bad_frames_;
-        Json body = Json::object();
-        body["error"] = "bad_frame: " + error;
-        send_json(conn_id, body);
-        return false;
+      it->second.decoder.feed(buf, static_cast<std::size_t>(rc));
+      // Drain decoded frames. handle_frame can close this connection (a
+      // reply write may hit EPIPE), erasing the Connection and its decoder,
+      // so re-look the connection up before every next() — never hold a
+      // reference across handle_frame.
+      for (;;) {
+        const auto cur = conns_.find(conn_id);
+        if (cur == conns_.end()) return true;  // closed by a handler
+        Frame frame;
+        std::string error;
+        const FrameDecoder::Result result =
+            cur->second.decoder.next(&frame, &error);
+        if (result == FrameDecoder::Result::kFrame) {
+          handle_frame(conn_id, std::move(frame));
+          continue;
+        }
+        if (result == FrameDecoder::Result::kBadFrame) {
+          // The stream cannot resync after a garbage length prefix: answer
+          // once, then drop only this connection — the accept loop lives on.
+          ++bad_frames_;
+          Json body = Json::object();
+          body["error"] = "bad_frame: " + error;
+          send_json(conn_id, body);
+          return false;
+        }
+        break;  // kNeedMore: read again
       }
-      if (!conns_.count(conn_id)) return true;  // closed by a handler
       continue;
     }
     if (rc == 0) return false;  // peer closed
@@ -227,9 +238,15 @@ void SocketListener::handle_frame(std::uint64_t conn_id, Frame frame) {
 
   const std::string client =
       request.get_string("client", conns_.at(conn_id).peer);
-  std::uint64_t ticket = 0;
-  const AdmissionDecision decision =
-      supervisor_.submit(frame.payload, client, frame.deadline_ms, &ticket);
+  // Register the ticket via on_accept, which fires before the supervisor
+  // routes: routing can complete synchronously (all shards retired, expired
+  // deadline), and on_response must find the mapping then — otherwise the
+  // reply is dropped as an orphan and the client hangs forever.
+  const AdmissionDecision decision = supervisor_.submit(
+      frame.payload, client, frame.deadline_ms, /*ticket_out=*/nullptr,
+      [this, conn_id](std::uint64_t ticket) {
+        ticket_conn_[ticket] = conn_id;
+      });
   if (decision.verdict == Admit::kOverQuota ||
       decision.verdict == Admit::kOverloaded) {
     ++shed_;
@@ -243,7 +260,6 @@ void SocketListener::handle_frame(std::uint64_t conn_id, Frame frame) {
     send_json(conn_id, body);
     return;
   }
-  ticket_conn_[ticket] = conn_id;
 }
 
 void SocketListener::on_response(std::uint64_t ticket, std::string payload) {

@@ -23,6 +23,7 @@
 // (the CLI does).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -76,8 +77,9 @@ class SocketListener {
   /// loop.
   std::size_t poll_once(int timeout_ms);
 
-  /// Signal-safe-ish stop flag (checked once per loop turn).
-  void stop() { stop_ = true; }
+  /// Stop flag, checked once per loop turn. Atomic (and lock-free on every
+  /// supported platform) so the CLI's SIGINT/SIGTERM handler may call this.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
 
   std::size_t active_connections() const { return conns_.size(); }
 
@@ -100,7 +102,7 @@ class SocketListener {
   ListenerConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
   std::uint64_t next_conn_id_ = 1;
   std::map<std::uint64_t, Connection> conns_;
   std::map<std::uint64_t, std::uint64_t> ticket_conn_;

@@ -41,10 +41,17 @@ std::string flight_path(const std::string& dir, std::size_t index,
 /// it on its own clock, so only the *budget* crosses the process boundary.
 std::uint32_t remaining_ms(std::uint64_t deadline_ns, std::uint64_t now_ns) {
   if (deadline_ns == 0) return 0;
+  // The deadline can pass between route()'s expiry check and this clock
+  // read (handle_death on a failed earlier dispatch blocks on poll+waitpid).
+  // An unguarded subtraction would wrap and truncate to an arbitrary budget
+  // — possibly 0, the frame encoding for "no deadline". Hand the worker a
+  // 1ms budget instead; its queue prunes it as expired at dequeue.
+  if (now_ns >= deadline_ns) return 1;
   const std::uint64_t remaining = (deadline_ns - now_ns) / 1'000'000ULL;
   // A not-yet-expired deadline rounds up to 1ms so it never turns into the
-  // frame encoding for "no deadline".
-  return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, remaining));
+  // frame encoding for "no deadline"; huge budgets clamp rather than wrap.
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::max<std::uint64_t>(1, remaining), 0xffffffffULL));
 }
 
 std::int64_t payload_id(const std::string& payload) {
@@ -156,10 +163,10 @@ void ShardSupervisor::spawn(std::size_t index) {
   flush_backlog();
 }
 
-AdmissionDecision ShardSupervisor::submit(std::string payload,
-                                          const std::string& client,
-                                          std::uint32_t deadline_ms,
-                                          std::uint64_t* ticket_out) {
+AdmissionDecision ShardSupervisor::submit(
+    std::string payload, const std::string& client, std::uint32_t deadline_ms,
+    std::uint64_t* ticket_out,
+    const std::function<void(std::uint64_t)>& on_accept) {
   CLPP_CHECK_MSG(started_, "submit before start()");
   const std::uint64_t now_ns = obs::Tracer::now_ns();
   AdmissionDecision decision =
@@ -171,7 +178,6 @@ AdmissionDecision ShardSupervisor::submit(std::string payload,
     case Admit::kOverloaded:
       count("clpp.shard.overloaded");
       return decision;
-    case Admit::kExpired:
     case Admit::kAccept:
       break;
   }
@@ -180,6 +186,10 @@ AdmissionDecision ShardSupervisor::submit(std::string payload,
   pending.payload = std::move(payload);
   pending.deadline_ns = decision.deadline_ns;
   if (ticket_out) *ticket_out = pending.ticket;
+  // Must run before route(): routing can complete synchronously (e.g. every
+  // shard retired), and the completion callback needs any ticket-keyed
+  // caller state to already exist.
+  if (on_accept) on_accept(pending.ticket);
   ++inflight_;
   route(std::move(pending), /*is_redispatch=*/false);
   return decision;
@@ -596,7 +606,6 @@ Json ShardSupervisor::stats_json() const {
   admission["accepted"] = stats.accepted;
   admission["over_quota"] = stats.over_quota;
   admission["overloaded"] = stats.overloaded;
-  admission["expired"] = stats.expired;
   out["admission"] = std::move(admission);
   return out;
 }

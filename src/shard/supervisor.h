@@ -103,9 +103,16 @@ class ShardSupervisor {
   /// identifies the request in the completion callback. Shed verdicts
   /// (kOverQuota/kOverloaded) carry retry_after_ms and never consume a
   /// ticket. `deadline_ms` is the frame-header budget (0 = config default).
-  AdmissionDecision submit(std::string payload, const std::string& client,
-                           std::uint32_t deadline_ms,
-                           std::uint64_t* ticket_out);
+  ///
+  /// Routing can complete synchronously (expired deadline, every shard
+  /// retired): the completion callback then fires *inside* submit. Callers
+  /// that key state on the ticket must set it up before routing runs —
+  /// `on_accept(ticket)` is invoked exactly then, after the ticket is
+  /// assigned and before any dispatch or completion.
+  AdmissionDecision submit(
+      std::string payload, const std::string& client,
+      std::uint32_t deadline_ms, std::uint64_t* ticket_out,
+      const std::function<void(std::uint64_t)>& on_accept = nullptr);
 
   /// One event-loop turn: waits up to `timeout_ms` for pipe activity (or a
   /// due restart), delivers responses, handles deaths and restarts.

@@ -705,6 +705,64 @@ TEST(SocketListenerTest, GarbageLengthPrefixClosesOnlyThatConnection) {
   ::close(good_fd);
 }
 
+TEST(SocketListenerTest, PipelinedFramesFromDeadPeerDontCorruptTheLoop) {
+  // Regression: read_ready used to hold a Connection reference across
+  // handle_frame. A peer that pipelines several malformed-payload frames
+  // and hangs up makes the reply writes fail mid-drain (EPIPE), which
+  // closes and erases the Connection while frames are still queued in its
+  // decoder — the old code then called next() on the dangling reference.
+  const auto advisor = tiny_advisor();
+  ListenerHarness harness(*advisor);
+  const int fd = connect_loopback(harness.listener->port());
+  ASSERT_GE(fd, 0);
+  Frame frame;
+  frame.payload = "not json";
+  std::string wire;
+  for (int i = 0; i < 6; ++i) wire += encode_frame(frame);
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fd);
+  for (int turn = 0; turn < 50; ++turn) harness.listener->poll_once(10);
+  // The event loop survived and a fresh connection still serves.
+  const int good_fd = connect_loopback(harness.listener->port());
+  ASSERT_GE(good_fd, 0);
+  const Frame ok = roundtrip(*harness.listener, good_fd,
+                             request_payload(1, snippets()[0]));
+  expect_verdict_matches(ok.payload, advisor->advise(snippets()[0]));
+  ::close(good_fd);
+}
+
+TEST(SocketListenerTest, SynchronousCompletionStillAnswersTheClient) {
+  // Regression: the ticket->connection mapping used to be registered after
+  // submit() returned, but with every shard retired submit completes
+  // synchronously — the "unavailable" reply was then dropped as an orphan
+  // and the client hung forever, violating the "every accepted request
+  // gets an answer" contract.
+  const auto advisor = tiny_advisor();
+  SupervisorConfig config = ListenerHarness::make_config();
+  config.shards = 1;
+  config.restart.max_attempts = 1;  // first death retires the only shard
+  ListenerHarness harness(*advisor, config);
+  const pid_t victim = harness.supervisor.shard_pid(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.supervisor.live_shards() > 0 &&
+         std::chrono::steady_clock::now() < give_up)
+    harness.listener->poll_once(10);
+  ASSERT_EQ(harness.supervisor.live_shards(), 0u);
+
+  const int fd = connect_loopback(harness.listener->port());
+  ASSERT_GE(fd, 0);
+  const Frame reply =
+      roundtrip(*harness.listener, fd, request_payload(7, snippets()[0]));
+  const Json body = Json::parse(reply.payload);
+  EXPECT_EQ(body.get_string("error", ""), "unavailable");
+  EXPECT_EQ(body.get_int("id", -1), 7);
+  ::close(fd);
+}
+
 TEST(SocketListenerTest, QuotaShedsWithRetryAfterHint) {
   const auto advisor = tiny_advisor();
   SupervisorConfig config = ListenerHarness::make_config();
