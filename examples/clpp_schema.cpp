@@ -43,16 +43,19 @@ const std::vector<SchemaSpec>& known_schemas() {
        {"file", "loops_checked", "errors", "warnings", "diagnostics"}},
       {"clpp.explain.v1", {"file", "loops"}},
       {"clpp.serve_stats.v1",
-       {"queue_depth", "submitted", "completed", "batches", "latency_us"}},
+       {"queue_depth", "submitted", "completed", "batches", "latency_us",
+        "cache"}},
       {"clpp.serve_loadgen.v1",
        {"requests", "mode", "seconds", "throughput_rps", "client"}},
       {"clpp.metrics_stream.v1", {"seq", "ts_ms"}},
       {"clpp.shard_stats.v1",
        {"shards", "live", "inflight", "deaths", "redispatched", "per_shard",
-        "admission"}},
+        "admission", "cache"}},
       {"clpp.shard_loadgen.v1",
        {"requests", "ok", "shed", "errors", "lost", "seconds",
         "throughput_rps", "client"}},
+      {"clpp.shard_scaling.v1",
+       {"points", "scaling", "cache_win", "lost", "verdicts_identical"}},
       {"clpp.flight.v1", {"reason", "recorded", "dropped", "events"}},
       {"clpp.bench_summary.v1", {"benches"}},
       {"clpp.slo_budget.v1", {"serve"}},

@@ -55,6 +55,7 @@
 #include <deque>
 #include <future>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +69,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "cache/cache.h"
 #include "core/advisor.h"
 #include "insight/drift.h"
 #include "serve/server.h"
@@ -172,6 +174,7 @@ Json advice_to_json(std::int64_t id, const serve::ServedAdvice& served) {
   obj["batch_us"] = static_cast<std::int64_t>(served.timing.batch_us);
   obj["infer_us"] = static_cast<std::int64_t>(served.timing.infer_us);
   obj["coalesced"] = served.timing.coalesced;
+  obj["cached"] = served.timing.cached;
   return obj;
 }
 
@@ -470,12 +473,33 @@ int connect_loopback(std::uint16_t port) {
 /// client talks to the supervisor, which survives shard crashes) is
 /// reconnected and the unanswered request counts as `lost`; check_shard.sh
 /// gates lost == 0 while killing a shard mid-run.
+/// The verdict fields of a response — everything except per-request
+/// bookkeeping (id, client) and per-serving telemetry (trace_id, timings,
+/// coalesced/cached flags). Two servings of the same snippet must agree on
+/// this projection bitwise, cached or not.
+Json normalized_verdict(const Json& body) {
+  static const char* kVolatile[] = {"id",       "client",   "trace_id",
+                                    "queue_us", "batch_us", "infer_us",
+                                    "coalesced", "cached"};
+  Json out = Json::object();
+  for (const auto& [key, value] : body.fields()) {
+    bool volatile_key = false;
+    for (const char* skip : kVolatile)
+      if (key == skip) volatile_key = true;
+    if (!volatile_key) out[key] = value;
+  }
+  return out;
+}
+
 int run_socket_loadgen(std::uint16_t port, std::size_t total,
                        std::size_t concurrency, std::uint32_t deadline_ms,
                        bool drift, const std::string& stats_out) {
   const auto& mix = drift ? drifted_mix() : demo_mix();
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> ok{0}, shed{0}, errors{0}, lost{0};
+  std::atomic<std::size_t> cached{0}, mismatches{0};
+  std::mutex verdict_mu;
+  std::map<std::size_t, std::string> verdict_of;  // mix index -> projection
   std::mutex lat_mu;
   std::vector<double> latencies;
   latencies.reserve(total);
@@ -524,6 +548,17 @@ int run_socket_loadgen(std::uint16_t port, std::size_t total,
               ++errors;
           } else {
             ++ok;
+            if (body.get_bool("cached", false)) ++cached;
+            // Every serving of one snippet — fresh, coalesced, replayed
+            // after a crash, or cached — must carry bitwise-identical
+            // verdict fields; any drift is a correctness bug, not noise.
+            const std::string verdict = normalized_verdict(body).dump();
+            {
+              std::lock_guard lock(verdict_mu);
+              const auto [it, inserted] =
+                  verdict_of.emplace(r % mix.size(), verdict);
+              if (!inserted && it->second != verdict) ++mismatches;
+            }
             const double us = std::chrono::duration<double, std::micro>(
                                   Clock::now() - s0)
                                   .count();
@@ -547,6 +582,8 @@ int run_socket_loadgen(std::uint16_t port, std::size_t total,
   report["shed"] = static_cast<std::int64_t>(shed.load());
   report["errors"] = static_cast<std::int64_t>(errors.load());
   report["lost"] = static_cast<std::int64_t>(lost.load());
+  report["cached_responses"] = static_cast<std::int64_t>(cached.load());
+  report["verdict_mismatches"] = static_cast<std::int64_t>(mismatches.load());
   report["seconds"] = seconds;
   report["throughput_rps"] = static_cast<double>(total) / seconds;
   report["client"] =
@@ -572,10 +609,13 @@ int run_socket_loadgen(std::uint16_t port, std::size_t total,
     }
     ::close(fd);
   }
-  std::fprintf(stderr, "socket loadgen: %zu ok, %zu shed, %zu errors, %zu lost\n",
-               ok.load(), shed.load(), errors.load(), lost.load());
+  std::fprintf(stderr,
+               "socket loadgen: %zu ok (%zu cached), %zu shed, %zu errors, "
+               "%zu lost, %zu verdict mismatches\n",
+               ok.load(), cached.load(), shed.load(), errors.load(),
+               lost.load(), mismatches.load());
   if (!stats_out.empty()) write_stats_artifact(stats_out, report);
-  return lost.load() == 0 ? 0 : 1;
+  return lost.load() == 0 && mismatches.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -594,6 +634,9 @@ int main(int argc, char** argv) {
   parser.add_flag("reject", "shed load when the queue is full instead of blocking");
   parser.add_flag("no-analysis", "skip dependence-analyzer clause naming");
   parser.add_flag("no-compar", "skip the ComPar comparison column");
+  parser.add_int("cache-cap", -1,
+                 "result-cache entries (front end + per shard; 0 disables, "
+                 "-1 = CLPP_CACHE_CAP env or off)");
   parser.add_int("loadgen", 0, "run a load generator for N requests instead of stdin");
   parser.add_int("concurrency", 32, "closed-loop clients for --loadgen");
   parser.add_flag("sequential", "loadgen baseline: single-request advise() loop");
@@ -636,6 +679,14 @@ int main(int argc, char** argv) {
                                                 : serve::OverflowPolicy::kBlock;
     config.options.with_analysis = !parser.get_flag("no-analysis");
     config.options.with_compar = !parser.get_flag("no-compar");
+    // One knob, two cache sites: the same capacity configures the in-process
+    // (per-shard) result cache and, in --listen mode, the supervisor's
+    // cross-connection front-end cache.
+    cache::CacheConfig cache_config = cache::CacheConfig::from_env(0);
+    const std::int64_t cache_cap = parser.get_int("cache-cap");
+    if (cache_cap >= 0)
+      cache_config.max_entries = static_cast<std::size_t>(cache_cap);
+    config.cache = cache_config;
     config.validate();
 
     const auto total = static_cast<std::size_t>(parser.get_int("loadgen"));
@@ -668,6 +719,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parser.get_int("max-inflight"));
       sup.admission.default_deadline_ms =
           static_cast<std::uint32_t>(parser.get_int("deadline-ms"));
+      sup.cache = cache_config;
       sup.flight_dir = parser.get_string("flight-dir");
       shard::ListenerConfig listen;
       listen.port = static_cast<std::uint16_t>(parser.get_int("port"));

@@ -229,6 +229,71 @@ std::vector<Check> evaluate_shard(const Json& budget, const Json& stats) {
   return checks;
 }
 
+/// Budgets for the shard-scaling bench over a clpp.shard_scaling.v1
+/// artifact ("scaling" block): per-core scaling floor on the distinct mix
+/// (judged at min(shards, ncores) — the bench cannot scale past the cores
+/// the runner has), cache-effectiveness floors (duplicate-mix speedup and
+/// hit rate), per-point client p99 ceilings, a lost-request ceiling, and
+/// the cached-vs-fresh verdict-identity requirement.
+std::vector<Check> evaluate_scaling(const Json& budget, const Json& stats) {
+  std::vector<Check> checks;
+  const Json* scaling_budget = maybe_at(budget, "scaling");
+  if (scaling_budget == nullptr) {
+    std::fprintf(stderr,
+                 "clpp-slo: budget has no \"scaling\" block, nothing to check "
+                 "for a clpp.shard_scaling.v1 artifact\n");
+    return checks;
+  }
+  auto push = [&](std::string name, double value, double bound, bool floor) {
+    Check check;
+    check.name = std::move(name);
+    check.value = value;
+    check.bound = bound;
+    check.op = floor ? ">=" : "<=";
+    check.ok = floor ? value >= bound : value <= bound;
+    checks.push_back(std::move(check));
+  };
+
+  const Json& scaling = stats.at("scaling");
+  const Json& cache_win = stats.at("cache_win");
+  if (scaling_budget->contains("min_per_core_speedup"))
+    push("scaling.per_core_speedup",
+         scaling.at("per_core_speedup").as_double(),
+         scaling_budget->at("min_per_core_speedup").as_double(), true);
+  if (scaling_budget->contains("min_cache_speedup"))
+    push("scaling.cache_speedup", cache_win.at("speedup").as_double(),
+         scaling_budget->at("min_cache_speedup").as_double(), true);
+  if (scaling_budget->contains("min_hit_rate"))
+    push("scaling.cache_hit_rate", cache_win.at("hit_rate").as_double(),
+         scaling_budget->at("min_hit_rate").as_double(), true);
+  if (scaling_budget->contains("lost_max"))
+    push("scaling.lost", static_cast<double>(stats.at("lost").as_int()),
+         scaling_budget->at("lost_max").as_double(), false);
+  if (scaling_budget->get_bool("require_identical_verdicts", false))
+    push("scaling.verdict_mismatches",
+         static_cast<double>(stats.at("verdict_mismatches").as_int()), 0.0,
+         false);
+  if (const Json* latency_budget =
+          maybe_at(*scaling_budget, "client_latency_us")) {
+    if (latency_budget->contains("p99_max")) {
+      const double bound = latency_budget->at("p99_max").as_double();
+      const Json& points = stats.at("points");
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const Json& point = points.at(i);
+        std::ostringstream name;
+        name << "scaling.p99[shards=" << point.at("shards").as_int()
+             << ",dup=" << static_cast<int>(point.at("dup_rate").as_double() *
+                                            100.0)
+             << ",cache=" << (point.at("cache_cap").as_int() > 0 ? "on" : "off")
+             << "]";
+        push(name.str(), point.at("latency_us").at("p99").as_double(), bound,
+             false);
+      }
+    }
+  }
+  return checks;
+}
+
 std::vector<Check> evaluate(const Json& budget, const Json& stats,
                             const Json* obs_stats, bool quality_warn_only) {
   std::vector<Check> checks;
@@ -327,10 +392,10 @@ int main(int argc, char** argv) {
     const std::string obs_path = parser.get_string("obs-stats");
     if (!obs_path.empty()) obs_stats = Json::parse(slurp(obs_path));
 
-    const bool shard_artifact =
-        stats.get_string("schema", "") == "clpp.shard_loadgen.v1";
+    const std::string schema = stats.get_string("schema", "");
     const std::vector<Check> checks =
-        shard_artifact
+        schema == "clpp.shard_scaling.v1" ? evaluate_scaling(budget, stats)
+        : schema == "clpp.shard_loadgen.v1"
             ? evaluate_shard(budget, stats)
             : evaluate(budget, stats, obs_path.empty() ? nullptr : &obs_stats,
                        parser.get_flag("quality-warn-only"));

@@ -11,6 +11,7 @@
 #   $ SIZE=1000 BUGGY=0.25 scripts/check_lint_audit.sh
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-ci-release}"
 SIZE="${SIZE:-400}"
@@ -50,3 +51,4 @@ if false_pos > 0:
     sys.exit(f"check_lint_audit: {false_pos} clean loops flagged "
              f"(the bar is zero false positives)")
 '
+echo "check_lint_audit: elapsed $(($(date +%s) - START_S))s"

@@ -15,6 +15,7 @@
 # blocking by dropping it once the baseline has proven stable.
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-perf}"
 THRESHOLD="${THRESHOLD:-0.2}"
@@ -40,3 +41,4 @@ else
   "$BUILD_DIR/examples/clpp-profdiff" --threshold "$THRESHOLD" \
     "$BASELINE_DIR" bench_artifacts
 fi
+echo "check_perf: elapsed $(($(date +%s) - START_S))s"

@@ -7,13 +7,22 @@
 #   $ CTEST_ARGS="-L resil" scripts/check_sanitize.sh   # just the resil suite
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-asan}"
 
-cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+# Instrumented builds are the slowest in CI; ccache (when installed) turns
+# the rebuild into a cache probe on unchanged translation units.
+LAUNCHER=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug $LAUNCHER >/dev/null
 cmake --build "$BUILD_DIR" -j >/dev/null
 
 cd "$BUILD_DIR"
 # halt_on_error keeps a UBSan report from being silently non-fatal.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 ctest --output-on-failure -j "$(nproc)" -LE perf ${CTEST_ARGS:-}
+echo "check_sanitize: elapsed $(($(date +%s) - START_S))s"

@@ -11,17 +11,20 @@
 #
 # Covered: clpp.lint.v1, clpp.explain.v1, clpp.serve_loadgen.v1 (quality
 # block included), clpp.metrics_stream.v1, clpp.flight.v1, clpp.slo_budget.v1,
-# clpp.slo_verdict.v1, clpp.insight_report.v1, clpp.shard_loadgen.v1, and
-# clpp.shard_stats.v1 (a sharded --listen front end's final stats document).
+# clpp.slo_verdict.v1, clpp.insight_report.v1, clpp.shard_loadgen.v1,
+# clpp.shard_stats.v1 (a sharded --listen front end's final stats document,
+# cache block included), and clpp.shard_scaling.v1 (a tiny scaling-bench run).
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-ci-release}"
 OUT_DIR="${OUT_DIR:-schema_artifacts}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target clpp-schema clpp-lint clpp-serve clpp-slo clpp-insight >/dev/null
+  --target clpp-schema clpp-lint clpp-serve clpp-slo clpp-insight \
+  shard_scaling_bench >/dev/null
 
 BIN="$BUILD_DIR/examples"
 mkdir -p "$OUT_DIR"
@@ -78,6 +81,14 @@ test -s "$OUT_DIR/shard_stats.json" || {
   echo "check_schemas: listen front end printed no stats document" >&2
   exit 1; }
 
+# clpp.shard_scaling.v1 — a tiny run of the closed-loop scaling bench
+# (two points, a handful of requests) exercises the full artifact shape:
+# per-point series, the scaling and cache_win summary blocks, and the
+# verdict-identity verdict.
+OMP_NUM_THREADS=1 "$BUILD_DIR/bench/shard_scaling_bench" \
+  --points "1 2" --requests 24 --dup-requests 32 --concurrency 4 \
+  --out "$OUT_DIR/shard_scaling.json" >/dev/null
+
 # clpp.slo_verdict.v1 — evaluate the loadgen artifact we just produced.
 "$BIN/clpp-slo" --budget slo/budgets.json --quality-warn-only --json \
   --stats "$OUT_DIR/loadgen.json" > "$OUT_DIR/slo_verdict.json" || true
@@ -93,6 +104,7 @@ echo "== validating =="
   "$OUT_DIR/loadgen.json" \
   "$OUT_DIR/shard_loadgen.json" \
   "$OUT_DIR/shard_stats.json" \
+  "$OUT_DIR/shard_scaling.json" \
   "$OUT_DIR/metrics_stream.jsonl" \
   "$OUT_DIR/flight.json" \
   "$OUT_DIR/slo_verdict.json" \
@@ -100,3 +112,4 @@ echo "== validating =="
   slo/budgets.json
 
 echo "check_schemas: all artifacts conform"
+echo "check_schemas: elapsed $(($(date +%s) - START_S))s"

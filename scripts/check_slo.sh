@@ -26,6 +26,7 @@
 #   SLO_verdict.json           clpp-slo --json verdict document
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-perf}"
 OUT_DIR="${OUT_DIR:-slo_artifacts}"
@@ -94,3 +95,4 @@ if "$BUILD_DIR/examples/clpp-slo" --budget "$BUDGET" \
 else
   echo "check_slo: drift canary tripped as expected"
 fi
+echo "check_slo: elapsed $(($(date +%s) - START_S))s"

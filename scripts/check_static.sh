@@ -15,6 +15,7 @@
 #   JOBS       parallel clang-tidy processes (default: nproc)
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-static}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
@@ -59,3 +60,4 @@ else
   [ "$FAILED" -eq 0 ] || { echo "check_static: clang-tidy crashed" >&2; exit 1; }
   echo "check_static: clean."
 fi
+echo "check_static: elapsed $(($(date +%s) - START_S))s"

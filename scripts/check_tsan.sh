@@ -1,7 +1,8 @@
 #!/bin/sh
 # ThreadSanitizer gate for the serving scheduler and the observability
 # plumbing it leans on: build with -DCLPP_SANITIZE_THREAD=ON and run the
-# `serve`-, `obs`-, and `shard`-labeled tests (request queue, micro-batching
+# `serve`-, `obs`-, `shard`-, and `cache`-labeled tests (request queue,
+# micro-batching
 # workers, backpressure, drain-on-shutdown, sharded histograms under
 # concurrent writers, flight-recorder rings, the metrics streamer thread,
 # and the shard supervisor/listener — single-threaded by design, which TSan
@@ -13,13 +14,22 @@
 #   $ CTEST_ARGS="--repeat until-fail:5" scripts/check_tsan.sh
 set -e
 cd "$(dirname "$0")/.."
+START_S=$(date +%s)
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE_THREAD=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+# TSan builds dominate CI wall-clock; reuse compiled objects via ccache
+# when it is installed.
+LAUNCHER=""
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCLPP_SANITIZE_THREAD=ON -DCMAKE_BUILD_TYPE=Debug $LAUNCHER >/dev/null
 cmake --build "$BUILD_DIR" -j >/dev/null
 
 cd "$BUILD_DIR"
 # halt_on_error turns any reported race into a test failure.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-ctest --output-on-failure -j"$(nproc)" -L "serve|obs|shard" ${CTEST_ARGS:-}
+ctest --output-on-failure -j"$(nproc)" -L "serve|obs|shard|cache" ${CTEST_ARGS:-}
+echo "check_tsan: elapsed $(($(date +%s) - START_S))s"

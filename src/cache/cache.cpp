@@ -1,0 +1,48 @@
+#include "cache/cache.h"
+
+#include <cstdlib>
+
+#include "support/json.h"
+
+namespace clpp::cache {
+
+namespace {
+
+/// Parses a non-negative size knob; returns `fallback` when unset or not a
+/// clean number (a typo'd knob should not silently disable the cache).
+bool env_size(const char* name, std::size_t* out) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+CacheConfig CacheConfig::from_env(std::size_t default_entries) {
+  CacheConfig config;
+  config.max_entries = default_entries;
+  env_size("CLPP_CACHE_CAP", &config.max_entries);
+  env_size("CLPP_CACHE_BYTES", &config.max_bytes);
+  return config;
+}
+
+Json cache_stats_json(const CacheStats& stats, const CacheConfig& config) {
+  Json out = Json::object();
+  out["enabled"] = config.enabled();
+  out["max_entries"] = static_cast<std::int64_t>(config.max_entries);
+  out["max_bytes"] = static_cast<std::int64_t>(config.max_bytes);
+  out["hits"] = static_cast<std::int64_t>(stats.hits);
+  out["misses"] = static_cast<std::int64_t>(stats.misses);
+  out["insertions"] = static_cast<std::int64_t>(stats.insertions);
+  out["evictions"] = static_cast<std::int64_t>(stats.evictions);
+  out["entries"] = static_cast<std::int64_t>(stats.entries);
+  out["bytes"] = static_cast<std::int64_t>(stats.bytes);
+  out["hit_rate"] = stats.hit_rate();
+  return out;
+}
+
+}  // namespace clpp::cache

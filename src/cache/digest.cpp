@@ -1,0 +1,60 @@
+#include "cache/digest.h"
+
+#include <cctype>
+
+namespace clpp::cache {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// splitmix64 finalizer: a full-avalanche mix so rendezvous scores for
+/// adjacent slots are uncorrelated.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string normalize_snippet(const std::string& code) {
+  std::string out;
+  out.reserve(code.size());
+  bool pending_space = false;
+  for (const char c : code) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();  // drop leading runs entirely
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(const char* data, std::size_t len) {
+  std::uint64_t hash = kFnvOffset;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t snippet_digest(const std::string& code) {
+  const std::string canon = normalize_snippet(code);
+  const std::uint64_t hash = fnv1a64(canon.data(), canon.size());
+  return hash == 0 ? kFnvOffset : hash;  // 0 is reserved for "no digest"
+}
+
+std::uint64_t rendezvous_score(std::uint64_t key, std::uint64_t slot) {
+  return mix64(key ^ mix64(slot));
+}
+
+}  // namespace clpp::cache

@@ -90,6 +90,36 @@ void absorb_trace(const Json& doc, BenchArtifacts& out) {
   out.wall_seconds = std::max(out.wall_seconds, max_us / 1e6);
 }
 
+/// clpp.shard_scaling.v1 (bench/shard_scaling_bench): each point becomes a
+/// latency pseudo-histogram (so the ":hist:…latency_us:" tracking rule
+/// gates its tail percentiles) plus a throughput gauge, and the scaling /
+/// cache_win summary ratios land as gauges for trajectory tracking.
+void absorb_scaling(const Json& doc, BenchArtifacts& out) {
+  const Json& points = doc.at("points");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Json& p = points.at(i);
+    std::ostringstream base;
+    base << "clpp.scaling.shards" << p.at("shards").as_int() << ".dup"
+         << static_cast<int>(p.at("dup_rate").as_double() * 100.0)
+         << (p.at("cache_cap").as_int() > 0 ? ".cache_on" : ".cache_off");
+    auto& dst = out.histograms[base.str() + ".latency_us"];
+    const Json& lat = p.at("latency_us");
+    for (const char* key : {"p50", "p95", "p99"})
+      if (lat.contains(key)) dst[key] = lat.at(key).as_double();
+    out.gauges[base.str() + ".throughput_rps"] =
+        p.at("throughput_rps").as_double();
+  }
+  if (doc.contains("scaling"))
+    out.gauges["clpp.scaling.per_core_speedup"] =
+        doc.at("scaling").at("per_core_speedup").as_double();
+  if (doc.contains("cache_win")) {
+    out.gauges["clpp.scaling.cache_win.speedup"] =
+        doc.at("cache_win").at("speedup").as_double();
+    out.gauges["clpp.scaling.cache_win.hit_rate"] =
+        doc.at("cache_win").at("hit_rate").as_double();
+  }
+}
+
 }  // namespace
 
 std::map<std::string, BenchArtifacts> scan_artifacts(const std::string& dir) {
@@ -111,6 +141,8 @@ std::map<std::string, BenchArtifacts> scan_artifacts(const std::string& dir) {
     try {
       if (doc.contains("benchmarks")) absorb_google_benchmark(doc, out);
       else if (doc.contains("traceEvents")) absorb_trace(doc, out);
+      else if (doc.get_string("schema", "") == "clpp.shard_scaling.v1")
+        absorb_scaling(doc, out);
       else if (doc.contains("counters") || doc.contains("histograms"))
         absorb_metrics(doc, out);
     } catch (const Error&) {
@@ -163,6 +195,12 @@ bool series_is_tracked(const std::string& key) {
   // redispatches, or expiries between runs of the same scenario is a
   // robustness regression even when every latency stays flat.
   if (key.find(":counter:clpp.shard.") != std::string::npos) return true;
+  // Result-cache effectiveness (clpp.cache.*): more misses or evictions on
+  // the same request mix means the cache stopped absorbing repeat traffic
+  // (a digest change, a broken LRU, a shrunk budget). Hits are left
+  // untracked — an increase there is an improvement, not a regression.
+  if (key.find(":counter:clpp.cache.") != std::string::npos)
+    return ends_with(".misses") || ends_with(".evictions");
   return false;
 }
 

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cache/cache.h"
 #include "core/advisor.h"
 #include "core/trainer.h"
 #include "support/error.h"
@@ -74,6 +75,12 @@ struct ServeConfig {
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Forwarded to `ParallelAdvisor::advise_batch` for every served batch.
   core::AdviseOptions options{};
+  /// Result cache keyed by canonical snippet digest (DESIGN.md §13):
+  /// `submit` answers a repeated snippet from the cache without spending a
+  /// queue slot or a forward pass. Off by default (max_entries == 0) so the
+  /// batching/coalescing pipeline stays byte-for-byte unchanged unless a
+  /// caller opts in (clpp-serve wires `CLPP_CACHE_CAP` / `--cache-cap`).
+  cache::CacheConfig cache{};
 
   /// Throws InvalidArgument on nonsensical settings.
   void validate() const;
@@ -97,6 +104,10 @@ struct RequestTiming {
   /// True when this request re-used a batchmate's verdict instead of its
   /// own forward pass (duplicate snippet coalescing).
   bool coalesced = false;
+  /// True when this request was answered from the result cache (a snippet
+  /// served earlier — possibly on another connection) without queueing.
+  /// queue_us/batch_us/infer_us are then 0: no serve-path work happened.
+  bool cached = false;
 };
 
 /// What `InferenceServer::submit` futures resolve to: the verdict plus the
@@ -122,6 +133,9 @@ struct ServeStats {
   /// (their futures fail with ServeDeadline; counted separately from
   /// `failed`, which covers inference errors).
   std::uint64_t deadline_dropped = 0;
+  /// Requests answered from the result cache (counted under `submitted`
+  /// and `completed` too — a cache hit is still a served request).
+  std::uint64_t cache_hits = 0;
 
   /// Average rows per inference pass (0 when no batch ran yet).
   double mean_batch_rows() const;

@@ -44,6 +44,7 @@ InferenceServer::InferenceServer(const core::ParallelAdvisor& advisor,
                                  ServeConfig config)
     : config_(std::move(config)),
       queue_(config_.queue_capacity, config_.overflow),
+      result_cache_("serve", config_.cache),
       latency_us_(obs::default_latency_buckets_us()),
       queue_wait_us_(obs::default_latency_buckets_us()),
       infer_us_(obs::default_latency_buckets_us()),
@@ -79,6 +80,28 @@ std::future<ServedAdvice> InferenceServer::submit(std::string code,
   if (stopped_.load(std::memory_order_acquire))
     throw ServeShutdown("InferenceServer::submit after shutdown");
   resil::fault_point("serve.enqueue");
+  if (config_.cache.enabled()) {
+    // A digest hit resolves the future right here: no queue slot, no batch
+    // slot, no forward pass. Correct because advice is a pure function of
+    // the code text and the advisor is immutable once serving starts
+    // (DESIGN.md §13) — a cached verdict is bitwise-identical to a fresh one.
+    core::Advice advice;
+    if (result_cache_.get(cache::snippet_digest(code), &advice)) {
+      ServedAdvice served;
+      served.advice = std::move(advice);
+      served.timing.trace_id = obs::TraceContext::mint().trace_id;
+      served.timing.cached = true;
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      latency_us_.record_always(0.0);
+      obs::flight_record("serve.cache_hit",
+                         static_cast<std::int64_t>(served.timing.trace_id));
+      std::promise<ServedAdvice> ready;
+      std::future<ServedAdvice> future = ready.get_future();
+      ready.set_value(std::move(served));
+      return future;
+    }
+  }
   PendingRequest request;
   request.code = std::move(code);
   request.deadline_ns = deadline_ns;
@@ -208,6 +231,21 @@ void InferenceServer::serve_batch(core::ParallelAdvisor& advisor,
                            static_cast<std::int64_t>(batch[i].trace.trace_id));
     }
 
+    // Populate the result cache before the promises resolve: a client that
+    // immediately re-sends the snippet it was just answered must hit. One
+    // insert per *distinct* snippet (coalesced rows share their twin's
+    // entry); duplicate inserts across racing workers refresh in place.
+    if (config_.cache.enabled()) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (timing.coalesced_of[i] != 0) continue;
+        const std::size_t bytes = sizeof(core::Advice) +
+                                  advices[i].suggestion.size() +
+                                  advices[i].compar_suggestion.size();
+        result_cache_.put(cache::snippet_digest(batch[i].code), advices[i],
+                          bytes);
+      }
+    }
+
     // Counters first, promises second: a caller woken by its future must
     // already see this batch reflected in stats().
     completed_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -280,6 +318,7 @@ ServeStats InferenceServer::stats() const {
   stats.batch_rows = batch_rows_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.deadline_dropped = queue_.deadline_dropped();
+  stats.cache_hits = result_cache_.stats().hits;
   return stats;
 }
 
@@ -305,6 +344,7 @@ Json InferenceServer::stats_json() const {
                 static_cast<double>(snapshot.batch_rows)
           : 0.0;
   out["mean_batch_rows"] = snapshot.mean_batch_rows();
+  out["cache"] = result_cache_.stats_json();
   out["latency_us"] = hist_block(latency_us_);
   out["queue_wait_us"] = hist_block(queue_wait_us_);
   out["infer_us"] = hist_block(infer_us_);

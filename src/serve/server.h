@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache.h"
 #include "insight/insight.h"
 #include "obs/metrics.h"
 #include "serve/queue.h"
@@ -84,6 +85,9 @@ class InferenceServer {
 
   ServeConfig config_;
   RequestQueue queue_;
+  /// Result cache (config_.cache; off by default): submit() answers hits
+  /// synchronously, serve_batch() inserts each distinct snippet it served.
+  cache::ShardedLruCache<core::Advice> result_cache_;
   std::vector<std::unique_ptr<core::ParallelAdvisor>> replicas_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};

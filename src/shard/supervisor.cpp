@@ -68,7 +68,8 @@ ShardSupervisor::ShardSupervisor(const core::ParallelAdvisor& advisor,
                                  SupervisorConfig config)
     : advisor_(advisor),
       config_(std::move(config)),
-      admission_(config_.admission) {
+      admission_(config_.admission),
+      cache_("frontend", config_.cache) {
   CLPP_CHECK_MSG(config_.shards > 0, "supervisor needs at least one shard");
   shards_.resize(config_.shards);
   for (std::size_t i = 0; i < shards_.size(); ++i)
@@ -169,6 +170,37 @@ AdmissionDecision ShardSupervisor::submit(
     const std::function<void(std::uint64_t)>& on_accept) {
   CLPP_CHECK_MSG(started_, "submit before start()");
   const std::uint64_t now_ns = obs::Tracer::now_ns();
+  // Parse once: the id feeds error/cached replies, the digest keys both the
+  // front cache and rendezvous routing. Admin verbs ({"cmd":...}) and
+  // unparseable payloads get digest 0 — never cached, routed by ticket.
+  std::uint64_t digest = 0;
+  std::int64_t id = -1;
+  try {
+    const Json request = Json::parse(payload);
+    id = request.get_int("id", -1);
+    if (!request.contains("cmd") && request.contains("code"))
+      digest = cache::snippet_digest(request.at("code").as_string());
+  } catch (const std::exception&) {
+  }
+  if (digest != 0) {
+    std::string stored;
+    if (cache_.get(digest, &stored)) {
+      // Answer before admission: a cached snippet consumes no quota token
+      // and no in-flight slot (the increment below is undone inside
+      // complete() on the same call stack), so repeat traffic can never be
+      // shed and the quota protects only inference work (DESIGN.md §13).
+      const std::uint64_t ticket = next_ticket_++;
+      if (ticket_out) *ticket_out = ticket;
+      if (on_accept) on_accept(ticket);
+      ++inflight_;
+      count("clpp.shard.cache_served");
+      Json body = Json::parse(stored);
+      body["id"] = id;
+      body["cached"] = true;
+      complete(ticket, body.dump());
+      return AdmissionDecision{};  // kAccept, no deadline
+    }
+  }
   AdmissionDecision decision =
       admission_.admit(client, deadline_ms, now_ns, inflight_);
   switch (decision.verdict) {
@@ -185,6 +217,8 @@ AdmissionDecision ShardSupervisor::submit(
   pending.ticket = next_ticket_++;
   pending.payload = std::move(payload);
   pending.deadline_ns = decision.deadline_ns;
+  pending.digest = digest;
+  pending.id = id;
   if (ticket_out) *ticket_out = pending.ticket;
   // Must run before route(): routing can complete synchronously (e.g. every
   // shard retired), and the completion callback needs any ticket-keyed
@@ -209,13 +243,28 @@ void ShardSupervisor::route(Pending pending, bool is_redispatch) {
     ++redispatched_;
     count("clpp.shard.redispatched");
   }
-  // Round-robin over live shards; a failed write marks the target dead and
-  // the loop moves on. handle_death() may have requeued other work by the
-  // time we return — that work went through route() itself, so ordering
-  // stays per-request FIFO per pipe.
-  for (std::size_t tries = 0; tries < shards_.size(); ++tries) {
-    const std::size_t index = rr_next_++ % shards_.size();
-    if (shards_[index].fd == -1) continue;
+  // Rendezvous (HRW) hashing: every shard slot scores the digest
+  // independently and the highest-scoring live slot owns it, so one snippet
+  // always lands on one shard (its private result cache shards cleanly,
+  // no duplication) and a dead shard only displaces *its own* keys — they
+  // fall to their next-highest score and come back home after the restart.
+  // Requests without a digest (admin verbs) spread by ticket. A failed
+  // write marks the target dead and the loop falls through score order;
+  // handle_death() may have requeued other work by the time we return —
+  // that work went through route() itself, so ordering stays per-request
+  // FIFO per pipe.
+  const std::uint64_t key = pending.digest != 0 ? pending.digest
+                                                : pending.ticket;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    if (shards_[i].fd != -1)
+      ranked.emplace_back(cache::rendezvous_score(key, i), i);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [score, index] : ranked) {
+    (void)score;
+    if (shards_[index].fd == -1) continue;  // died on an earlier dispatch
     if (dispatch_to(index, pending)) return;
   }
   // No shard could take it right now.
@@ -261,6 +310,20 @@ void ShardSupervisor::flush_backlog() {
   }
 }
 
+void ShardSupervisor::maybe_cache_response(const Pending& pending,
+                                           const std::string& payload) {
+  if (pending.digest == 0 || !config_.cache.enabled()) return;
+  // Only verdicts are memoizable: error payloads (deadline_exceeded,
+  // unavailable, a worker-side parse failure) depend on transient state,
+  // never on the snippet text alone.
+  try {
+    if (Json::parse(payload).contains("error")) return;
+  } catch (const std::exception&) {
+    return;
+  }
+  cache_.put(pending.digest, payload, payload.size());
+}
+
 void ShardSupervisor::complete(std::uint64_t ticket, std::string payload) {
   CLPP_CHECK_MSG(inflight_ > 0, "completion without an inflight request");
   --inflight_;
@@ -296,6 +359,7 @@ void ShardSupervisor::drain_fd(std::size_t index) {
         // the full restart budget again.
         shard.restart_attempt = 0;
         shard.backoff_elapsed_ms = 0.0;
+        maybe_cache_response(pending, frame.payload);
         complete(pending.ticket, std::move(frame.payload));
       }
       if (result == FrameDecoder::Result::kBadFrame) {
@@ -361,6 +425,7 @@ void ShardSupervisor::handle_death(std::size_t index) {
       Pending pending = std::move(shard.pending.front());
       shard.pending.pop_front();
       shard.served += 1;
+      maybe_cache_response(pending, frame.payload);
       complete(pending.ticket, std::move(frame.payload));
     }
   }
@@ -607,6 +672,10 @@ Json ShardSupervisor::stats_json() const {
   admission["over_quota"] = stats.over_quota;
   admission["overloaded"] = stats.overloaded;
   out["admission"] = std::move(admission);
+  // Front-end result cache: hits here are exactly the requests answered
+  // without touching admission or a shard (`admission.accepted` excludes
+  // them by design — see SupervisorConfig::cache).
+  out["cache"] = cache_.stats_json();
   return out;
 }
 

@@ -3,8 +3,12 @@
 // hosting one InferenceServer replica behind a UNIX socketpair, and runs a
 // single-threaded event loop over those pipes:
 //
-//   submit() — admission control (token buckets, in-flight ceiling,
-//     deadline stamping), then dispatch to a live shard round-robin.
+//   submit() — front-end result-cache lookup (a digest hit answers
+//     immediately, before admission — see SupervisorConfig::cache), then
+//     admission control (token buckets, in-flight ceiling, deadline
+//     stamping), then dispatch to a live shard by rendezvous-hashing the
+//     snippet digest (so each shard's private result cache sees a disjoint
+//     slice of the key space).
 //   pump()   — poll the pipes, deliver responses through the completion
 //     callback, detect worker death (EOF/POLLHUP + a waitpid sweep),
 //     harvest the dead shard's flight-recorder dump, restart it with
@@ -34,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "resil/retry.h"
 #include "serve/serve.h"
 #include "shard/admission.h"
@@ -56,6 +61,13 @@ struct SupervisorConfig {
   /// Per-shard InferenceServer configuration (workers, batching, queue).
   serve::ServeConfig serve;
   AdmissionConfig admission;
+  /// Front-end result cache (DESIGN.md §13), shared across every client
+  /// connection. A hit is answered *before* admission control, so cached
+  /// snippets consume no token-bucket slot and no in-flight slot — cheap
+  /// repeat traffic can never be shed, and the quota protects exactly the
+  /// expensive (inference) work. Off by default (max_entries == 0);
+  /// clpp-serve wires `--cache-cap` / `CLPP_CACHE_CAP` into it.
+  cache::CacheConfig cache{};
   /// Directory for per-shard flight-recorder dumps ("" = no dumps). Each
   /// worker generation dumps to shard<i>.gen<g>.flight.jsonl on a crash
   /// seam; the supervisor harvests (counts + logs) dumps on death.
@@ -103,6 +115,10 @@ class ShardSupervisor {
   /// identifies the request in the completion callback. Shed verdicts
   /// (kOverQuota/kOverloaded) carry retry_after_ms and never consume a
   /// ticket. `deadline_ms` is the frame-header budget (0 = config default).
+  ///
+  /// A front-cache hit completes synchronously too — before admission, so
+  /// it consumes no quota token and no in-flight slot; the decision comes
+  /// back kAccept with deadline_ns == 0.
   ///
   /// Routing can complete synchronously (expired deadline, every shard
   /// retired): the completion callback then fires *inside* submit. Callers
@@ -152,6 +168,10 @@ class ShardSupervisor {
     std::uint64_t ticket = 0;
     std::string payload;
     std::uint64_t deadline_ns = 0;  // absolute, obs::Tracer::now_ns; 0=none
+    /// Canonical snippet digest (0 for admin/cmd or unparseable payloads):
+    /// the routing key and the front-cache key.
+    std::uint64_t digest = 0;
+    std::int64_t id = -1;  // request id, parsed once at submit
   };
 
   struct Shard {
@@ -178,9 +198,14 @@ class ShardSupervisor {
   /// harvests its flight dump, schedules the restart, and re-dispatches its
   /// pending requests.
   void handle_death(std::size_t index);
-  /// Routes one pending request to a live shard (round-robin), the backlog
-  /// when none is up, or an expiry completion when its deadline passed.
+  /// Routes one pending request to a live shard (rendezvous hashing on the
+  /// snippet digest, falling through score order when the winner is down),
+  /// the backlog when none is up, or an expiry completion when its deadline
+  /// passed.
   void route(Pending pending, bool is_redispatch);
+  /// Caches a successful verdict payload under the request's digest.
+  void maybe_cache_response(const Pending& pending,
+                            const std::string& payload);
   bool dispatch_to(std::size_t index, Pending& pending);
   void complete(std::uint64_t ticket, std::string payload);
   void drain_fd(std::size_t index);
@@ -189,12 +214,14 @@ class ShardSupervisor {
   const core::ParallelAdvisor& advisor_;
   SupervisorConfig config_;
   AdmissionController admission_;
+  /// Cross-connection result cache: response payloads (id stripped of
+  /// meaning — it is re-patched per hit) keyed by snippet digest.
+  cache::ShardedLruCache<std::string> cache_;
   Completion on_response_;
   std::vector<Shard> shards_;
   std::deque<Pending> backlog_;  // no live shard could take these yet
   std::vector<int> close_in_child_;
   std::uint64_t next_ticket_ = 1;
-  std::size_t rr_next_ = 0;  // round-robin dispatch cursor
   std::size_t inflight_ = 0;
   bool started_ = false;
   bool draining_ = false;

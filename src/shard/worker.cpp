@@ -66,6 +66,7 @@ Json response_json(std::int64_t id, const serve::ServedAdvice& served) {
   obj["batch_us"] = static_cast<std::int64_t>(served.timing.batch_us);
   obj["infer_us"] = static_cast<std::int64_t>(served.timing.infer_us);
   obj["coalesced"] = served.timing.coalesced;
+  obj["cached"] = served.timing.cached;
   return obj;
 }
 

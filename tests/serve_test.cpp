@@ -255,6 +255,39 @@ TEST(ServerTest, DuplicateRequestsCoalesceWithinABatch) {
   EXPECT_EQ(stats.coalesced, 7u);  // one forward served all eight copies
 }
 
+TEST(ServerTest, ResultCacheServesRepeatsWithoutReinference) {
+  const auto advisor = tiny_advisor();
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 500;
+  config.cache.max_entries = 64;
+  InferenceServer server(*advisor, config);
+
+  const std::string code = snippets()[0];
+  const Advice sequential = advisor->advise(code);
+  const ServedAdvice first = server.submit(code).get();
+  expect_same_advice(first.advice, sequential, code);
+  EXPECT_FALSE(first.timing.cached);
+
+  // The repeat is served from the result cache: identical advice, flagged
+  // cached, fresh trace id, and no second batch row.
+  const ServedAdvice repeat = server.submit(code).get();
+  expect_same_advice(repeat.advice, sequential, code);
+  EXPECT_TRUE(repeat.timing.cached);
+  EXPECT_NE(repeat.timing.trace_id, 0u);
+
+  // Whitespace-only edits hit the same canonical digest.
+  const ServedAdvice reformatted =
+      server.submit("  " + code + "\n").get();
+  expect_same_advice(reformatted.advice, sequential, code);
+  EXPECT_TRUE(reformatted.timing.cached);
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.batch_rows, 1u);
+}
+
 TEST(ServerTest, RejectPolicyShedsLoadWhenQueueIsFull) {
   const auto advisor = tiny_advisor();
   ServeConfig config;

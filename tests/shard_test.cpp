@@ -763,6 +763,54 @@ TEST(SocketListenerTest, SynchronousCompletionStillAnswersTheClient) {
   ::close(fd);
 }
 
+TEST(SocketListenerTest, CachedSnippetsAnswerQuotaExhaustedClients) {
+  // The front-end result cache sits BEFORE admission (DESIGN.md §13): a
+  // client that has burned its whole token budget still gets answers for
+  // snippets the cache already holds — hits cost no inference, so they
+  // consume no quota — while fresh snippets from the same client shed.
+  const auto advisor = tiny_advisor();
+  SupervisorConfig config = ListenerHarness::make_config();
+  config.admission.quota_rps = 0.001;  // effectively no refill in-test
+  config.admission.quota_burst = 2.0;
+  config.cache.max_entries = 64;
+  ListenerHarness harness(*advisor, config);
+  const int fd = connect_loopback(harness.listener->port());
+  ASSERT_GE(fd, 0);
+  auto with_client = [](std::int64_t id, const std::string& code) {
+    Json request = Json::object();
+    request["id"] = id;
+    request["code"] = code;
+    request["client"] = "greedy";
+    return request.dump();
+  };
+  // Both tokens go on two distinct snippets; their responses populate the
+  // cache on the way back to the client.
+  for (int i = 0; i < 2; ++i) {
+    const Frame reply = roundtrip(*harness.listener, fd,
+                                  with_client(i + 1, snippets()[i]));
+    const Json body = Json::parse(reply.payload);
+    EXPECT_FALSE(body.contains("error")) << reply.payload;
+    EXPECT_FALSE(body.get_bool("cached", false)) << reply.payload;
+  }
+  // Quota exhausted: repeats of the cached snippets are still answered —
+  // flagged cached, with the requester's own id and the identical verdict.
+  for (int i = 0; i < 2; ++i) {
+    const Frame reply = roundtrip(*harness.listener, fd,
+                                  with_client(10 + i, snippets()[i]));
+    const Json body = Json::parse(reply.payload);
+    EXPECT_EQ(body.get_int("id", -1), 10 + i);
+    EXPECT_TRUE(body.get_bool("cached", false)) << reply.payload;
+    expect_verdict_matches(reply.payload, advisor->advise(snippets()[i]));
+  }
+  // A fresh snippet from the same client still sheds on quota.
+  const Frame shed =
+      roundtrip(*harness.listener, fd, with_client(20, snippets()[3]));
+  const Json body = Json::parse(shed.payload);
+  EXPECT_EQ(body.get_string("error", ""), "overloaded");
+  EXPECT_EQ(body.get_string("reason", ""), "quota");
+  ::close(fd);
+}
+
 TEST(SocketListenerTest, QuotaShedsWithRetryAfterHint) {
   const auto advisor = tiny_advisor();
   SupervisorConfig config = ListenerHarness::make_config();
